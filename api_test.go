@@ -1,0 +1,139 @@
+package reunion
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"reunion/internal/workload"
+)
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Threads != 4 || o.CompareLatency != 10 || o.FPInterval != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.WarmCycles != 100_000 || o.MeasureCycles != 50_000 {
+		t.Fatalf("window defaults: %+v", o)
+	}
+	z := Options{CompareLatency: ZeroLatency}.withDefaults()
+	if z.CompareLatency != 0 {
+		t.Fatalf("ZeroLatency → %d", z.CompareLatency)
+	}
+	five := Options{CompareLatency: 5}.withDefaults()
+	if five.CompareLatency != 5 {
+		t.Fatalf("explicit latency clobbered: %d", five.CompareLatency)
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.Core.ROBSize != 256 || c.Core.SBSize != 64 || c.Core.DispatchWidth != 4 {
+		t.Fatal("core parameters deviate from Table 1")
+	}
+	if c.L1Bytes != 64<<10 || c.L1Ways != 2 || c.L1MSHRs != 32 || c.Core.LoadToUse != 2 {
+		t.Fatal("L1 parameters deviate from Table 1")
+	}
+	if c.L2.CapacityBytes != 16<<20 || c.L2.Banks != 4 || c.L2.Ways != 8 || c.L2.HitLatency != 35 {
+		t.Fatal("L2 parameters deviate from Table 1")
+	}
+	if c.ITLBEntries != 128 || c.DTLBEntries != 512 {
+		t.Fatal("TLB parameters deviate from Table 1")
+	}
+	if c.L2.MemLatency != 240 || c.L2.MemBanks != 64 {
+		t.Fatal("memory parameters deviate from Table 1 (60ns at 4GHz, 64 banks)")
+	}
+	if c.L2.Phantom != PhantomGlobal || c.Core.FPInterval != 1 {
+		t.Fatal("Reunion defaults deviate from the paper's evaluation setup")
+	}
+}
+
+func TestModeAndEnumStrings(t *testing.T) {
+	if ModeNonRedundant.String() != "non-redundant" || ModeStrict.String() != "strict" ||
+		ModeReunion.String() != "reunion" || Mode(9).String() != "?" {
+		t.Fatal("mode names")
+	}
+	if TopologyDirectory.String() != "directory" || TopologySnoopy.String() != "snoopy" {
+		t.Fatal("topology names")
+	}
+}
+
+func TestDefaultSeedsDistinct(t *testing.T) {
+	s := DefaultSeeds(5)
+	seen := map[uint64]bool{}
+	for _, x := range s {
+		if seen[x] {
+			t.Fatal("duplicate seed")
+		}
+		seen[x] = true
+	}
+}
+
+func TestExpConfigPrintf(t *testing.T) {
+	var sb strings.Builder
+	c := QuickExp(&sb)
+	c.printf("hello %d\n", 42)
+	if !strings.Contains(sb.String(), "hello 42") {
+		t.Fatal("printf lost output")
+	}
+	silent := QuickExp(nil)
+	silent.printf("dropped\n") // must not panic
+}
+
+func TestCommercialSuiteExcludesScientific(t *testing.T) {
+	for _, p := range commercialSuite() {
+		if p.Class == workload.Scientific {
+			t.Fatalf("%s is scientific", p.Name)
+		}
+	}
+	if len(commercialSuite()) != 7 {
+		t.Fatalf("commercial suite size %d want 7", len(commercialSuite()))
+	}
+}
+
+func TestCollectRates(t *testing.T) {
+	w := workload.Sparse().Build(3, 2)
+	sys := NewSystem(DefaultConfig(), ModeReunion, w, 3)
+	sys.Prefill()
+	sys.Run(8_000)
+	sys.ResetStats()
+	sys.Run(8_000)
+	r := Collect(sys, 8_000)
+	if r.Committed <= 0 || r.UserIPC <= 0 {
+		t.Fatalf("no progress: %+v", r)
+	}
+	if r.AvgROBOccupancy <= 0 || r.AvgROBOccupancy > 256 {
+		t.Fatalf("occupancy %v out of range", r.AvgROBOccupancy)
+	}
+	if r.Compares <= 0 {
+		t.Fatal("no comparisons under Reunion")
+	}
+	if r.CommittedLoads == 0 || r.CommittedStores == 0 {
+		t.Fatal("load/store accounting missing")
+	}
+}
+
+func TestFigure5ClassMean(t *testing.T) {
+	f := &Figure5Result{Rows: []WorkloadRow{
+		{Workload: "a", Class: workload.Web, Values: map[string]float64{"strict": 0.9}},
+		{Workload: "b", Class: workload.Web, Values: map[string]float64{"strict": 0.4}},
+		{Workload: "c", Class: workload.OLTP, Values: map[string]float64{"strict": 0.7}},
+	}}
+	got := f.ClassMean(workload.Web, "strict")
+	if got < 0.59 || got > 0.61 { // geomean(0.9, 0.4) = 0.6
+		t.Fatalf("class mean %v", got)
+	}
+	if f.ClassMean(workload.DSS, "strict") != 0 {
+		t.Fatal("empty class mean")
+	}
+}
+
+func TestQuickAndFullCampaignSizing(t *testing.T) {
+	q, fl := QuickExp(io.Discard), FullExp(io.Discard)
+	if len(q.Seeds) >= len(fl.Seeds) {
+		t.Fatal("full campaign must use more seeds")
+	}
+	if q.MeasureCycles >= fl.MeasureCycles || q.Table3Cycles >= fl.Table3Cycles {
+		t.Fatal("full campaign must use longer windows")
+	}
+}

@@ -1,0 +1,88 @@
+// Command reunion-bench regenerates every table and figure of the paper's
+// evaluation section (plus the §4.3 fingerprint-interval ablation and the
+// §5.5 sequential-consistency result).
+//
+// Usage:
+//
+//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology] [-full]
+//
+// -full uses the paper-scale sampling methodology (3 matched seeds,
+// 100k/50k-cycle windows, 400k-cycle event windows); the default quick
+// campaign finishes in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reunion"
+	"reunion/internal/workload"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	full := flag.Bool("full", false, "paper-scale campaign (slower)")
+	flag.Parse()
+
+	cfg := reunion.QuickExp(os.Stdout)
+	if *full {
+		cfg = reunion.FullExp(os.Stdout)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("config", func() error { printConfig(); return nil })
+	run("workloads", func() error { printWorkloads(); return nil })
+	run("fig5", func() error { _, err := cfg.Figure5(); return err })
+	run("fig6a", func() error { _, err := cfg.Figure6(reunion.ModeStrict); return err })
+	run("fig6b", func() error { _, err := cfg.Figure6(reunion.ModeReunion); return err })
+	run("table3", func() error { _, err := cfg.Table3(); return err })
+	run("fig7a", func() error { _, err := cfg.Figure7a(); return err })
+	run("fig7b", func() error { _, err := cfg.Figure7b(); return err })
+	run("sc", func() error { _, err := cfg.SCExperiment(); return err })
+	run("interval", func() error { _, err := cfg.FPIntervalAblation(); return err })
+	run("rob", func() error { _, err := cfg.ROBSweep(); return err })
+	run("topology", func() error { _, err := cfg.TopologyAblation(); return err })
+}
+
+func printConfig() {
+	c := reunion.DefaultConfig()
+	fmt.Println("Table 1: simulated baseline CMP parameters")
+	fmt.Printf("  logical processors   %d (+%d mute cores under Reunion)\n",
+		c.LogicalProcessors, c.LogicalProcessors)
+	fmt.Printf("  pipeline             %d-wide dispatch/retire, %d-entry RUU, %d-entry store buffer\n",
+		c.Core.DispatchWidth, c.Core.ROBSize, c.Core.SBSize)
+	fmt.Printf("  L1 I/D               %d KB, %d-way, %d-cycle load-to-use, %d MSHRs, %d rd / %d wr ports\n",
+		c.L1Bytes>>10, c.L1Ways, c.Core.LoadToUse, c.L1MSHRs, c.Core.L1LoadPorts, c.Core.L1StorePorts)
+	fmt.Printf("  shared L2            %d MB, %d banks, %d-way, %d-cycle hit\n",
+		c.L2.CapacityBytes>>20, c.L2.Banks, c.L2.Ways, c.L2.HitLatency)
+	fmt.Printf("  memory               %d-cycle access, %d banks\n", c.L2.MemLatency, c.L2.MemBanks)
+	fmt.Printf("  ITLB/DTLB            %d / %d entries, %d-way, 8K pages\n",
+		c.ITLBEntries, c.DTLBEntries, c.ITLBWays)
+	fmt.Printf("  comparison latency   %d cycles (default)\n", c.CompareLatency)
+	fmt.Println()
+}
+
+func printWorkloads() {
+	fmt.Println("Table 2: application suite (synthetic profiles; see DESIGN.md)")
+	fmt.Printf("  %-12s %-10s %10s %10s %8s %8s %8s\n",
+		"workload", "class", "private", "scan", "locks", "crit", "traps")
+	for _, p := range workload.Suite() {
+		fmt.Printf("  %-12s %-10s %9dK %9dK %8d 1/%-6d 1/%-6d\n",
+			p.Name, p.Class, p.PrivateBytes>>10, p.ScanBytes>>10,
+			p.Locks, p.CritEvery, p.TrapEvery)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,127 @@
+// Command reunion-sim runs one simulation configuration and prints its
+// measured statistics.
+//
+// Usage:
+//
+//	reunion-sim -workload apache -mode reunion -latency 10 -phantom global \
+//	            -tlb hardware -consistency tso -warm 100000 -measure 50000
+//
+// Run with -list to enumerate workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reunion"
+	"reunion/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "apache", "workload name (-list to enumerate)")
+	mode := flag.String("mode", "reunion", "non-redundant | strict | reunion")
+	latency := flag.Int64("latency", 10, "comparison latency in cycles")
+	phantom := flag.String("phantom", "global", "phantom strength: global | shared | null")
+	tlbMode := flag.String("tlb", "hardware", "TLB discipline: hardware | software")
+	consistency := flag.String("consistency", "tso", "memory consistency: tso | sc")
+	interval := flag.Int("interval", 1, "fingerprint comparison interval (instructions)")
+	warm := flag.Int64("warm", 100_000, "warmup cycles")
+	measure := flag.Int64("measure", 50_000, "measurement cycles")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Suite() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+
+	p, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *wl)
+		os.Exit(2)
+	}
+
+	opts := reunion.Options{
+		Workload:      p,
+		Seed:          *seed,
+		FPInterval:    *interval,
+		WarmCycles:    *warm,
+		MeasureCycles: *measure,
+	}
+	switch *mode {
+	case "non-redundant":
+		opts.Mode = reunion.ModeNonRedundant
+	case "strict":
+		opts.Mode = reunion.ModeStrict
+	case "reunion":
+		opts.Mode = reunion.ModeReunion
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *phantom {
+	case "global":
+		opts.Phantom = reunion.PhantomGlobal
+	case "shared":
+		opts.Phantom = reunion.PhantomShared
+	case "null":
+		opts.Phantom = reunion.PhantomNull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown phantom strength %q\n", *phantom)
+		os.Exit(2)
+	}
+	if *tlbMode == "software" {
+		opts.TLB = reunion.TLBSoftware
+	}
+	if *consistency == "sc" {
+		opts.Consistency = reunion.SC
+	}
+	if *latency == 0 {
+		opts.CompareLatency = reunion.ZeroLatency
+	} else {
+		opts.CompareLatency = *latency
+	}
+
+	res, err := reunion.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("mode                %v\n", res.Mode)
+	fmt.Printf("cycles measured     %d\n", res.Cycles)
+	fmt.Printf("user instructions   %d\n", res.Committed)
+	fmt.Printf("aggregate user IPC  %.3f\n", res.UserIPC)
+	fmt.Printf("loads / stores      %d / %d\n", res.CommittedLoads, res.CommittedStores)
+	fmt.Printf("serializing instrs  %d\n", res.Serializing)
+	fmt.Printf("branch mispredicts  %d\n", res.Mispredicts)
+	fmt.Printf("TLB misses          %d (%.0f /M)\n", res.TLBMisses, res.TLBMissPerM)
+	fmt.Printf("L1D hit rate        %.1f%%\n",
+		100*float64(res.L1DHits)/float64(max64(1, res.L1DHits+res.L1DMisses)))
+	fmt.Printf("L2 hits / misses    %d / %d\n", res.L2Hits, res.L2Misses)
+	fmt.Printf("memory accesses     %d\n", res.MemAccesses)
+	fmt.Printf("avg RUU occupancy   %.1f entries (%.1f in check)\n",
+		res.AvgROBOccupancy, res.AvgCheckOccupancy)
+	fmt.Printf("serializing stalls  %d issue-slot cycles\n", res.SerIssueStalls)
+	if res.Mode == reunion.ModeReunion {
+		fmt.Printf("fingerprint compares %d\n", res.Compares)
+		fmt.Printf("compare slack       vocal waited %d cycles, mute waited %d\n",
+			res.CompareWaitVocal, res.CompareWaitMute)
+		fmt.Printf("input incoherence   %d (%.1f /M)\n", res.IncoherenceEvents, res.IncoherencePerM)
+		fmt.Printf("recoveries          %d (sync requests %d, phase-2 %d, failures %d)\n",
+			res.Recoveries, res.SyncRequests, res.Phase2, res.Failures)
+		fmt.Printf("phantom garbage     %d\n", res.PhantomGarbage)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

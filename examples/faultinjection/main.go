@@ -1,0 +1,70 @@
+// Fault injection: validate the soft-error story end to end.
+//
+// The paper's premise is that the same fingerprint-compare + rollback
+// machinery handles both soft errors and input incoherence. This example
+// injects single-bit transients into instruction results on random cores
+// of a Reunion system running the lock-protected counter microbenchmark,
+// and then checks that (a) every fired fault was detected and recovered
+// and (b) the program still computed the architecturally correct result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reunion"
+	"reunion/internal/fault"
+	"reunion/internal/workload"
+)
+
+func main() {
+	const (
+		threads = 4
+		iters   = 200
+	)
+	w := workload.MicroCounter(threads, iters)
+	sys := reunion.NewSystem(reunion.DefaultConfig(), reunion.ModeReunion, w, 42)
+
+	campaign := fault.NewCampaign(99, 3_000, sys.Cores)
+
+	var cycles int64
+	for cycles = 0; cycles < 30_000_000; cycles++ {
+		sys.Step()
+		campaign.Tick(cycles)
+		done := true
+		for _, c := range sys.Cores {
+			if !c.Halted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if sys.Failed() {
+		log.Fatal("unrecoverable failure signalled — should not happen for transient faults")
+	}
+
+	counter, _ := sys.CoherentWord(workload.CounterAddr)
+	want := int64(threads * iters)
+
+	var recoveries, faultEvents, incoherence, phase2 int64
+	for _, p := range sys.Pairs {
+		recoveries += p.Stats.Recoveries
+		faultEvents += p.Stats.FaultEvents
+		incoherence += p.Stats.IncoherenceEvents
+		phase2 += p.Stats.Phase2
+	}
+
+	fmt.Printf("ran %d cycles with fault injection\n", cycles)
+	fmt.Printf("faults armed:    %d\n", campaign.Injected)
+	fmt.Printf("faults fired:    %d (remainder armed on squashed/halted paths)\n", campaign.Fired)
+	fmt.Printf("recoveries:      %d (%d attributed to faults, %d to incoherence, %d phase-2)\n",
+		recoveries, faultEvents, incoherence, phase2)
+	fmt.Printf("final counter:   %d (want %d)\n", counter, want)
+	if counter != want {
+		log.Fatal("ARCHITECTURAL CORRUPTION — detection/recovery failed")
+	}
+	fmt.Println("all injected faults detected or masked; result architecturally correct ✓")
+}

@@ -1,0 +1,52 @@
+// Quickstart: run one workload under all three execution models and print
+// the headline comparison the paper makes — the cost of redundancy with
+// strict input replication vs. Reunion's relaxed input replication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reunion"
+	"reunion/internal/workload"
+)
+
+func main() {
+	p := workload.Apache()
+	fmt.Printf("workload: %s (%s)\n\n", p.Name, p.Class)
+
+	base, err := reunion.Run(reunion.Options{
+		Mode:     reunion.ModeNonRedundant,
+		Workload: p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-redundant baseline: %.3f aggregate user IPC\n", base.UserIPC)
+
+	strict, err := reunion.Run(reunion.Options{
+		Mode:     reunion.ModeStrict,
+		Workload: p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strict input replication: %.3f IPC (%.1f%% overhead)\n",
+		strict.UserIPC, 100*(1-strict.UserIPC/base.UserIPC))
+
+	reun, err := reunion.Run(reunion.Options{
+		Mode:     reunion.ModeReunion,
+		Workload: p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Reunion (relaxed input replication): %.3f IPC (%.1f%% overhead)\n",
+		reun.UserIPC, 100*(1-reun.UserIPC/base.UserIPC))
+	fmt.Printf("\nReunion events over %d instructions:\n", reun.Committed)
+	fmt.Printf("  fingerprint comparisons: %d\n", reun.Compares)
+	fmt.Printf("  input incoherence:       %d (%.1f per million instructions)\n",
+		reun.IncoherenceEvents, reun.IncoherencePerM)
+	fmt.Printf("  synchronizing requests:  %d\n", reun.SyncRequests)
+	fmt.Printf("  TLB misses (reference):  %.0f per million\n", reun.TLBMissPerM)
+}

@@ -1,0 +1,42 @@
+// Snoopy topology: the paper notes (§4.1) that the Reunion execution model
+// can also be implemented at a snoopy cache interface for
+// microarchitectures with private caches, such as Montecito. This example
+// runs the same workload under both memory-system organizations and shows
+// that the execution model's behaviour (overheads, incoherence handling)
+// carries over unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reunion"
+	"reunion/internal/workload"
+)
+
+func main() {
+	p := workload.Moldyn()
+	fmt.Printf("workload: %s (%s)\n\n", p.Name, p.Class)
+	fmt.Printf("%-10s %12s %12s %14s %10s\n", "topology", "base IPC", "reunion IPC", "normalized", "inc/M")
+
+	for _, topo := range []reunion.Topology{reunion.TopologyDirectory, reunion.TopologySnoopy} {
+		cfg := reunion.DefaultConfig()
+		cfg.Topology = topo
+		base, err := reunion.Run(reunion.Options{
+			Mode: reunion.ModeNonRedundant, Workload: p, Config: &cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := reunion.Run(reunion.Options{
+			Mode: reunion.ModeReunion, Workload: p, Config: &cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %14.3f %10.1f\n",
+			topo, base.UserIPC, r.UserIPC, r.UserIPC/base.UserIPC, r.IncoherencePerM)
+	}
+	fmt.Println("\nAbsolute IPC differs (no shared L2 on the bus), but the Reunion")
+	fmt.Println("overhead and incoherence behaviour are topology-independent.")
+}

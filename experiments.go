@@ -1,0 +1,535 @@
+package reunion
+
+import (
+	"fmt"
+	"io"
+
+	"reunion/internal/stats"
+	"reunion/internal/workload"
+)
+
+// ExpConfig sizes an experiment campaign. Quick settings keep `go test
+// -bench` affordable; Full settings match the paper's methodology more
+// closely (longer windows, several matched seeds).
+type ExpConfig struct {
+	Seeds         []uint64
+	WarmCycles    int64
+	MeasureCycles int64
+	// Table3Cycles extends the measurement window for event-rate
+	// experiments (input incoherence under global phantoms is rare, so it
+	// needs long windows to count).
+	Table3Cycles int64
+	Out          io.Writer
+
+	// baseCache memoizes non-redundant baseline runs: sweeps reuse the
+	// same baseline across latencies and modes.
+	baseCache map[string]Result
+}
+
+// QuickExp returns a campaign sized for CI and `go test -bench`.
+func QuickExp(out io.Writer) ExpConfig {
+	return ExpConfig{
+		Seeds:         DefaultSeeds(1),
+		WarmCycles:    40_000,
+		MeasureCycles: 30_000,
+		Table3Cycles:  120_000,
+		Out:           out,
+		baseCache:     make(map[string]Result),
+	}
+}
+
+// FullExp returns a campaign sized like the paper's sampling methodology.
+func FullExp(out io.Writer) ExpConfig {
+	return ExpConfig{
+		Seeds:         DefaultSeeds(3),
+		WarmCycles:    100_000,
+		MeasureCycles: 50_000,
+		Table3Cycles:  400_000,
+		Out:           out,
+		baseCache:     make(map[string]Result),
+	}
+}
+
+func (c ExpConfig) printf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+func (c ExpConfig) runOpts(mode Mode, p workload.Params, seed uint64) Options {
+	return Options{
+		Mode: mode, Workload: p, Seed: seed,
+		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles,
+	}
+}
+
+// normalized measures mode-vs-nonredundant IPC for one workload across
+// the campaign's seeds. The common mutator applies to both the baseline
+// and the test run, so system-level knobs (TLB discipline, consistency
+// model) configure the whole comparison, as in the paper.
+func (c ExpConfig) normalized(p workload.Params, mode Mode, common func(*Options)) (float64, error) {
+	base := Options{Mode: ModeNonRedundant, Workload: p,
+		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles}
+	if common != nil {
+		common(&base)
+	}
+	base.Mode = ModeNonRedundant
+	test := base
+	test.Mode = mode
+	var mp stats.MatchedPair
+	for _, seed := range c.Seeds {
+		b := base
+		b.Seed = seed
+		cfgKey := ""
+		if b.Config != nil {
+			cfgKey = fmt.Sprintf("%+v", *b.Config)
+		}
+		key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%s",
+			p.Name, seed, b.WarmCycles, b.MeasureCycles, b.FPInterval, b.TLB, b.Consistency, b.Threads, cfgKey)
+		br, ok := c.baseCache[key]
+		if !ok {
+			var err error
+			br, err = Run(b)
+			if err != nil {
+				return 0, err
+			}
+			if c.baseCache != nil {
+				c.baseCache[key] = br
+			}
+		}
+		tt := test
+		tt.Seed = seed
+		tr, err := Run(tt)
+		if err != nil {
+			return 0, err
+		}
+		mp.Add(br.UserIPC, tr.UserIPC)
+	}
+	return mp.Mean(), nil
+}
+
+// WorkloadRow is one workload's entry in a figure.
+type WorkloadRow struct {
+	Workload string
+	Class    workload.Class
+	Values   map[string]float64
+}
+
+// Figure5Result reproduces Figure 5: normalized IPC of Strict and Reunion
+// at a 10-cycle comparison latency, per workload.
+type Figure5Result struct {
+	Rows []WorkloadRow
+}
+
+// Figure5 runs the Figure 5 experiment.
+func (c ExpConfig) Figure5() (*Figure5Result, error) {
+	c.printf("Figure 5: baseline performance of redundant execution (normalized IPC, 10-cycle comparison latency)\n")
+	c.printf("%-12s %-10s %8s %8s\n", "workload", "class", "strict", "reunion")
+	res := &Figure5Result{}
+	for _, p := range workload.Suite() {
+		s, err := c.normalized(p, ModeStrict, func(o *Options) { o.CompareLatency = 10 })
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.normalized(p, ModeReunion, func(o *Options) { o.CompareLatency = 10 })
+		if err != nil {
+			return nil, err
+		}
+		row := WorkloadRow{Workload: p.Name, Class: p.Class,
+			Values: map[string]float64{"strict": s, "reunion": r}}
+		res.Rows = append(res.Rows, row)
+		c.printf("%-12s %-10s %8.3f %8.3f\n", p.Name, p.Class, s, r)
+	}
+	for _, cls := range workload.Classes() {
+		c.printf("%-12s %-10s %8.3f %8.3f\n", "avg", cls,
+			res.ClassMean(cls, "strict"), res.ClassMean(cls, "reunion"))
+	}
+	return res, nil
+}
+
+// ClassMean averages a series over a workload class (geometric mean, as
+// normalized ratios should be averaged).
+func (f *Figure5Result) ClassMean(cls workload.Class, key string) float64 {
+	var xs []float64
+	for _, r := range f.Rows {
+		if r.Class == cls {
+			xs = append(xs, r.Values[key])
+		}
+	}
+	return stats.GeoMean(xs)
+}
+
+// LatencySweepResult reproduces Figure 6(a) or 6(b): normalized IPC per
+// workload class over comparison latencies.
+type LatencySweepResult struct {
+	Mode      Mode
+	Latencies []int64
+	// Series[class][i] is the class-average normalized IPC at Latencies[i].
+	Series map[workload.Class][]float64
+}
+
+// Figure6Latencies is the x-axis of Figure 6.
+var Figure6Latencies = []int64{0, 10, 20, 30, 40}
+
+// Figure6 runs the comparison-latency sensitivity sweep for one execution
+// model: Figure 6(a) with ModeStrict, Figure 6(b) with ModeReunion.
+func (c ExpConfig) Figure6(mode Mode) (*LatencySweepResult, error) {
+	c.printf("Figure 6(%s): %v normalized IPC vs comparison latency\n",
+		map[Mode]string{ModeStrict: "a", ModeReunion: "b"}[mode], mode)
+	res := &LatencySweepResult{Mode: mode, Latencies: Figure6Latencies,
+		Series: make(map[workload.Class][]float64)}
+	perClass := make(map[workload.Class][][]float64) // class -> lat idx -> values
+	for _, p := range workload.Suite() {
+		for i, lat := range res.Latencies {
+			l := lat
+			if l == 0 {
+				l = ZeroLatency
+			}
+			v, err := c.normalized(p, mode, func(o *Options) { o.CompareLatency = l })
+			if err != nil {
+				return nil, err
+			}
+			if perClass[p.Class] == nil {
+				perClass[p.Class] = make([][]float64, len(res.Latencies))
+			}
+			perClass[p.Class][i] = append(perClass[p.Class][i], v)
+		}
+	}
+	c.printf("%-10s", "class")
+	for _, lat := range res.Latencies {
+		c.printf(" %7dc", lat)
+	}
+	c.printf("\n")
+	for _, cls := range workload.Classes() {
+		series := make([]float64, len(res.Latencies))
+		for i := range res.Latencies {
+			series[i] = stats.GeoMean(perClass[cls][i])
+		}
+		res.Series[cls] = series
+		c.printf("%-10s", cls)
+		for _, v := range series {
+			c.printf(" %8.3f", v)
+		}
+		c.printf("\n")
+	}
+	return res, nil
+}
+
+// Table3Row is one workload's entry in Table 3.
+type Table3Row struct {
+	Workload string
+	Class    workload.Class
+	// IncoherencePerM maps phantom strength name -> input incoherence
+	// events per million retired instructions.
+	IncoherencePerM map[string]float64
+	TLBMissPerM     float64
+}
+
+// Table3Result reproduces Table 3: input incoherence events per million
+// instructions per phantom strength, with TLB misses as the comparison
+// point.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the input-incoherence frequency experiment.
+func (c ExpConfig) Table3() (*Table3Result, error) {
+	c.printf("Table 3: input incoherence events per 1M instructions (10-cycle comparison latency)\n")
+	c.printf("%-12s %10s %10s %10s %12s\n", "workload", "global", "shared", "null", "TLB misses")
+	res := &Table3Result{}
+	for _, p := range workload.Suite() {
+		row := Table3Row{Workload: p.Name, Class: p.Class,
+			IncoherencePerM: make(map[string]float64)}
+		for _, ph := range []Phantom{PhantomGlobal, PhantomShared, PhantomNull} {
+			o := c.runOpts(ModeReunion, p, c.Seeds[0])
+			o.Phantom = ph
+			o.CompareLatency = 10
+			o.MeasureCycles = c.Table3Cycles
+			r, err := Run(o)
+			if err != nil {
+				return nil, err
+			}
+			row.IncoherencePerM[ph.String()] = r.IncoherencePerM
+			if ph == PhantomGlobal {
+				row.TLBMissPerM = r.TLBMissPerM
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		c.printf("%-12s %10.1f %10.1f %10.1f %12.0f\n", p.Name,
+			row.IncoherencePerM["global"], row.IncoherencePerM["shared"],
+			row.IncoherencePerM["null"], row.TLBMissPerM)
+	}
+	return res, nil
+}
+
+// Figure7aResult reproduces Figure 7(a): Reunion normalized IPC per
+// phantom request strength.
+type Figure7aResult struct {
+	Rows []WorkloadRow // Values keyed by phantom strength name
+}
+
+// Figure7a runs the phantom-strength performance experiment.
+func (c ExpConfig) Figure7a() (*Figure7aResult, error) {
+	c.printf("Figure 7(a): Reunion normalized IPC per phantom request strength (10-cycle comparison latency)\n")
+	c.printf("%-12s %8s %8s %8s\n", "workload", "global", "shared", "null")
+	res := &Figure7aResult{}
+	for _, p := range workload.Suite() {
+		row := WorkloadRow{Workload: p.Name, Class: p.Class, Values: make(map[string]float64)}
+		for _, ph := range []Phantom{PhantomGlobal, PhantomShared, PhantomNull} {
+			phc := ph
+			v, err := c.normalized(p, ModeReunion, func(o *Options) {
+				o.CompareLatency = 10
+				o.Phantom = phc
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Values[ph.String()] = v
+		}
+		res.Rows = append(res.Rows, row)
+		c.printf("%-12s %8.3f %8.3f %8.3f\n", p.Name,
+			row.Values["global"], row.Values["shared"], row.Values["null"])
+	}
+	return res, nil
+}
+
+// Figure7bResult reproduces Figure 7(b): commercial-workload average
+// normalized IPC with hardware- vs software-managed TLBs across
+// comparison latencies.
+type Figure7bResult struct {
+	Latencies []int64
+	Hardware  []float64
+	Software  []float64
+}
+
+// Figure7b runs the TLB-discipline experiment over commercial workloads.
+func (c ExpConfig) Figure7b() (*Figure7bResult, error) {
+	c.printf("Figure 7(b): Reunion commercial average, hardware vs software-managed TLB\n")
+	res := &Figure7bResult{Latencies: Figure6Latencies}
+	commercial := commercialSuite()
+	for _, tlbMode := range []TLBMode{TLBHardware, TLBSoftware} {
+		var series []float64
+		for _, lat := range res.Latencies {
+			l := lat
+			if l == 0 {
+				l = ZeroLatency
+			}
+			var vals []float64
+			for _, p := range commercial {
+				tm := tlbMode
+				v, err := c.normalized(p, ModeReunion, func(o *Options) {
+					o.CompareLatency = l
+					o.TLB = tm
+				})
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			series = append(series, stats.GeoMean(vals))
+		}
+		if tlbMode == TLBHardware {
+			res.Hardware = series
+		} else {
+			res.Software = series
+		}
+	}
+	c.printf("%-10s", "TLB")
+	for _, lat := range res.Latencies {
+		c.printf(" %7dc", lat)
+	}
+	c.printf("\n%-10s", "hardware")
+	for _, v := range res.Hardware {
+		c.printf(" %8.3f", v)
+	}
+	c.printf("\n%-10s", "software")
+	for _, v := range res.Software {
+		c.printf(" %8.3f", v)
+	}
+	c.printf("\n")
+	return res, nil
+}
+
+// SCResult reproduces the §5.5 consistency-model result: performance under
+// sequential consistency, where every store serializes retirement.
+type SCResult struct {
+	Latencies []int64
+	TSO       []float64
+	SC        []float64
+}
+
+// SCExperiment measures the store-serialization cost of SC on commercial
+// workloads under Reunion.
+func (c ExpConfig) SCExperiment() (*SCResult, error) {
+	c.printf("§5.5: Reunion commercial average under TSO vs sequential consistency\n")
+	res := &SCResult{Latencies: []int64{0, 10, 20, 30, 40}}
+	commercial := commercialSuite()
+	for _, cons := range []Consistency{TSO, SC} {
+		var series []float64
+		for _, lat := range res.Latencies {
+			l := lat
+			if l == 0 {
+				l = ZeroLatency
+			}
+			var vals []float64
+			for _, p := range commercial {
+				cc := cons
+				v, err := c.normalized(p, ModeReunion, func(o *Options) {
+					o.CompareLatency = l
+					o.Consistency = cc
+				})
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			series = append(series, stats.GeoMean(vals))
+		}
+		if cons == TSO {
+			res.TSO = series
+		} else {
+			res.SC = series
+		}
+	}
+	c.printf("%-10s", "model")
+	for _, lat := range res.Latencies {
+		c.printf(" %7dc", lat)
+	}
+	c.printf("\n%-10s", "TSO")
+	for _, v := range res.TSO {
+		c.printf(" %8.3f", v)
+	}
+	c.printf("\n%-10s", "SC")
+	for _, v := range res.SC {
+		c.printf(" %8.3f", v)
+	}
+	c.printf("\n")
+	return res, nil
+}
+
+// FPIntervalResult is the fingerprint-interval ablation (§4.3 reports that
+// intervals of 1 and 50 instructions perform indistinguishably).
+type FPIntervalResult struct {
+	Intervals []int
+	Reunion   []float64 // commercial-average normalized IPC per interval
+}
+
+// FPIntervalAblation sweeps the fingerprint comparison interval.
+func (c ExpConfig) FPIntervalAblation() (*FPIntervalResult, error) {
+	c.printf("Ablation (§4.3): fingerprint interval sensitivity, Reunion commercial average\n")
+	res := &FPIntervalResult{Intervals: []int{1, 5, 10, 50}}
+	commercial := commercialSuite()
+	for _, iv := range res.Intervals {
+		var vals []float64
+		for _, p := range commercial {
+			ivc := iv
+			v, err := c.normalized(p, ModeReunion, func(o *Options) {
+				o.CompareLatency = 10
+				o.FPInterval = ivc
+			})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		res.Reunion = append(res.Reunion, stats.GeoMean(vals))
+		c.printf("interval %3d: %7.3f\n", iv, res.Reunion[len(res.Reunion)-1])
+	}
+	return res, nil
+}
+
+// ROBSweepResult is the §5.2 ablation: "larger speculation windows (e.g.,
+// thousands of instructions, as in checkpointing architectures) completely
+// eliminate the resource occupancy bottleneck, but cannot relieve stalls
+// from serializing instructions." Sweeping the window size at a 40-cycle
+// comparison latency, scientific workloads (occupancy-bound) recover while
+// commercial workloads (serialization-bound) stay limited.
+type ROBSweepResult struct {
+	Sizes      []int
+	Commercial []float64 // Strict normalized IPC at 40-cycle latency
+	Scientific []float64
+}
+
+// ROBSweep runs the speculation-window ablation.
+func (c ExpConfig) ROBSweep() (*ROBSweepResult, error) {
+	c.printf("Ablation (§5.2): speculation window size, Strict @40-cycle latency\n")
+	res := &ROBSweepResult{Sizes: []int{128, 256, 1024, 4096}}
+	for _, size := range res.Sizes {
+		var comm, sci []float64
+		for _, p := range workload.Suite() {
+			sz := size
+			v, err := c.normalized(p, ModeStrict, func(o *Options) {
+				o.CompareLatency = 40
+				cfg := DefaultConfig()
+				cfg.Core.ROBSize = sz
+				cfg.Core.CheckQCap = sz
+				o.Config = &cfg
+			})
+			if err != nil {
+				return nil, err
+			}
+			if p.Class == workload.Scientific {
+				sci = append(sci, v)
+			} else {
+				comm = append(comm, v)
+			}
+		}
+		res.Commercial = append(res.Commercial, stats.GeoMean(comm))
+		res.Scientific = append(res.Scientific, stats.GeoMean(sci))
+		c.printf("window %5d: commercial %.3f  scientific %.3f\n",
+			size, res.Commercial[len(res.Commercial)-1], res.Scientific[len(res.Scientific)-1])
+	}
+	return res, nil
+}
+
+// TopologyResult is the §4.1 ablation: the Reunion execution model at a
+// snoopy cache interface (Montecito-style private caches on a bus) versus
+// the directory-based shared L2 baseline. Absolute performance differs
+// (no shared cache), but the redundancy overhead carries over.
+type TopologyResult struct {
+	Topologies []Topology
+	Commercial []float64 // Reunion normalized IPC @10c
+	Scientific []float64
+}
+
+// TopologyAblation measures Reunion's overhead under both memory-system
+// organizations.
+func (c ExpConfig) TopologyAblation() (*TopologyResult, error) {
+	c.printf("Ablation (§4.1): Reunion normalized IPC by memory-system topology (10-cycle latency)\n")
+	res := &TopologyResult{Topologies: []Topology{TopologyDirectory, TopologySnoopy}}
+	for _, topo := range res.Topologies {
+		var comm, sci []float64
+		for _, p := range workload.Suite() {
+			tp := topo
+			v, err := c.normalized(p, ModeReunion, func(o *Options) {
+				o.CompareLatency = 10
+				cfg := DefaultConfig()
+				cfg.Topology = tp
+				o.Config = &cfg
+			})
+			if err != nil {
+				return nil, err
+			}
+			if p.Class == workload.Scientific {
+				sci = append(sci, v)
+			} else {
+				comm = append(comm, v)
+			}
+		}
+		res.Commercial = append(res.Commercial, stats.GeoMean(comm))
+		res.Scientific = append(res.Scientific, stats.GeoMean(sci))
+		c.printf("%-10s: commercial %.3f  scientific %.3f\n",
+			topo, res.Commercial[len(res.Commercial)-1], res.Scientific[len(res.Scientific)-1])
+	}
+	return res, nil
+}
+
+func commercialSuite() []workload.Params {
+	var out []workload.Params
+	for _, p := range workload.Suite() {
+		if p.Class != workload.Scientific {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package reunion
+
+import (
+	"io"
+	"testing"
+
+	"reunion/internal/workload"
+)
+
+// TestExperimentShapes asserts the qualitative results of the paper's
+// evaluation at quick-campaign scale — the "shape" contract of the
+// reproduction:
+//
+//  1. Checking overhead grows with comparison latency (Figure 6a).
+//  2. Reunion never meaningfully beats the Strict oracle, and both
+//     converge toward the same trend at large latencies (Figure 6b).
+//  3. Input incoherence under global phantoms is orders of magnitude
+//     rarer than under shared/null, and rarer than TLB misses (Table 3).
+//  4. Weak phantom strengths collapse performance (Figure 7a).
+//  5. Software-managed TLBs cost more than hardware-managed ones under
+//     redundant execution at high latency (Figure 7b).
+//  6. Sequential consistency collapses performance at high comparison
+//     latency (§5.5).
+func TestExperimentShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := ExpConfig{
+		Seeds:         DefaultSeeds(1),
+		WarmCycles:    25_000,
+		MeasureCycles: 20_000,
+		Table3Cycles:  60_000,
+		Out:           io.Discard,
+		baseCache:     make(map[string]Result),
+	}
+
+	t.Run("figure6-latency-sensitivity", func(t *testing.T) {
+		strict, err := cfg.Figure6(ModeStrict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reun, err := cfg.Figure6(ModeReunion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cls := range workload.Classes() {
+			s := strict.Series[cls]
+			r := reun.Series[cls]
+			if s[0] < 0.93 {
+				t.Errorf("%s: strict at zero latency %.3f; should be near 1.0", cls, s[0])
+			}
+			if s[len(s)-1] > s[0]+0.02 {
+				t.Errorf("%s: strict does not degrade with latency: %.3f -> %.3f", cls, s[0], s[len(s)-1])
+			}
+			if r[len(r)-1] > r[0]+0.02 {
+				t.Errorf("%s: reunion does not degrade with latency: %.3f -> %.3f", cls, r[0], r[len(r)-1])
+			}
+			// Reunion never meaningfully beats the oracle.
+			for i := range s {
+				if r[i] > s[i]+0.05 {
+					t.Errorf("%s @%dc: reunion %.3f beats strict oracle %.3f", cls, strict.Latencies[i], r[i], s[i])
+				}
+			}
+		}
+	})
+
+	t.Run("table3-incoherence-ordering", func(t *testing.T) {
+		res, err := cfg.Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g, sh, nl, tlb float64
+		for _, row := range res.Rows {
+			g += row.IncoherencePerM["global"]
+			sh += row.IncoherencePerM["shared"]
+			nl += row.IncoherencePerM["null"]
+			tlb += row.TLBMissPerM
+		}
+		if !(g < sh && sh <= nl*1.5) {
+			t.Errorf("incoherence ordering violated: global=%.1f shared=%.1f null=%.1f", g, sh, nl)
+		}
+		if g > sh/20 {
+			t.Errorf("global (%.1f) not orders of magnitude rarer than shared (%.1f)", g, sh)
+		}
+		if g > tlb {
+			t.Errorf("global incoherence (%.1f/M) more frequent than TLB misses (%.1f/M)", g/11, tlb/11)
+		}
+	})
+
+	t.Run("figure7a-weak-phantoms-collapse", func(t *testing.T) {
+		res, err := cfg.Figure7a()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g, n float64
+		for _, row := range res.Rows {
+			g += row.Values["global"]
+			n += row.Values["null"]
+		}
+		k := float64(len(res.Rows))
+		if g/k < 0.8 {
+			t.Errorf("global phantom average %.3f; should be near baseline", g/k)
+		}
+		if n/k > 0.75*g/k {
+			t.Errorf("null phantom average %.3f does not collapse vs global %.3f", n/k, g/k)
+		}
+	})
+
+	t.Run("figure7b-software-tlb-costs-more", func(t *testing.T) {
+		res, err := cfg.Figure7b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := len(res.Latencies) - 1
+		if res.Software[last] > res.Hardware[last]+0.01 {
+			t.Errorf("software TLB @40c (%.3f) not costlier than hardware (%.3f)",
+				res.Software[last], res.Hardware[last])
+		}
+	})
+
+	t.Run("sc-store-serialization", func(t *testing.T) {
+		res, err := cfg.SCExperiment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := len(res.Latencies) - 1
+		if res.SC[last] > res.TSO[last]-0.05 {
+			t.Errorf("SC @40c (%.3f) does not collapse vs TSO (%.3f)", res.SC[last], res.TSO[last])
+		}
+	})
+
+	t.Run("interval-ablation-flat", func(t *testing.T) {
+		res, err := cfg.FPIntervalAblation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := res.Reunion[0], res.Reunion[0]
+		for _, v := range res.Reunion {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// The paper: intervals of 1 and 50 are performance-insignificant.
+		if hi-lo > 0.08 {
+			t.Errorf("interval sensitivity too large: %.3f..%.3f", lo, hi)
+		}
+	})
+}

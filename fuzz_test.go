@@ -1,0 +1,162 @@
+package reunion
+
+import (
+	"testing"
+
+	"reunion/internal/interp"
+	"reunion/internal/isa"
+	"reunion/internal/workload"
+)
+
+// TestRandomProgramsDifferential is the heavy-calibre correctness test:
+// random programs (ALU dataflow, memory ops, CAS, skip branches, counted
+// loops, membars, traps) must produce bit-identical architectural results
+// on the golden interpreter, the non-redundant pipeline, and the vocal
+// core of a Reunion pair.
+func TestRandomProgramsDifferential(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for s := 0; s < seeds; s++ {
+		seed := uint64(1000 + s*7919)
+		w := workload.RandomProgram(seed, 120, 0)
+
+		// Golden reference.
+		mRef := newMemWrap(w)
+		ref, err := interp.Run(w.Threads[0], mRef, 1_000_000, nil)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		if !ref.Halted {
+			t.Fatalf("seed %d: interpreter did not halt", seed)
+		}
+
+		for _, mode := range []Mode{ModeNonRedundant, ModeReunion} {
+			w2 := workload.RandomProgram(seed, 120, 0)
+			sys := NewSystem(DefaultConfig(), mode, w2, seed)
+			if _, halted := sys.RunUntilHalted(5_000_000); !halted {
+				t.Fatalf("seed %d %v: pipeline did not halt\n%s", seed, mode, sys.Cores[0].DumpState())
+			}
+			if sys.Failed() {
+				t.Fatalf("seed %d %v: failure signalled", seed, mode)
+			}
+			arf := sys.Cores[0].ARF()
+			for r := 0; r < isa.NumRegs; r++ {
+				if arf[r] != ref.Regs[r] {
+					t.Fatalf("seed %d %v: r%d = %d, golden %d", seed, mode, r, arf[r], ref.Regs[r])
+				}
+			}
+			// Memory side: compare the coherent view of the region against
+			// the interpreter's memory for every touched word.
+			base := uint64(workload.PrivateBase)
+			for off := uint64(0); off < 4096; off += 8 {
+				want := int64(mRef.ReadWord(base + off))
+				got, _ := sys.CoherentWord(base + off)
+				if got != want {
+					t.Fatalf("seed %d %v: mem[%#x] = %d, golden %d", seed, mode, base+off, got, want)
+				}
+			}
+			if mode == ModeReunion {
+				// The mute's architectural state must match too.
+				if sys.Cores[1].ARF() != arf {
+					t.Fatalf("seed %d: mute ARF diverged from vocal", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsUnderStress re-runs a subset of random programs under
+// hostile configurations: null phantoms (constant recovery), long
+// fingerprint intervals, software TLBs and sequential consistency — the
+// results must still be bit-exact.
+func TestRandomProgramsUnderStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	type variant struct {
+		name string
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"null-phantom", func(c *Config) { c.L2.Phantom = PhantomNull }},
+		{"interval-50", func(c *Config) { c.Core.FPInterval = 50 }},
+		{"software-tlb", func(c *Config) { c.Core.TLB.Mode = TLBSoftware }},
+		{"sequential-consistency", func(c *Config) { c.Core.Consistency = SC }},
+		{"tiny-rob", func(c *Config) { c.Core.ROBSize = 16; c.Core.CheckQCap = 16; c.Core.SBSize = 8 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			for s := 0; s < 6; s++ {
+				seed := uint64(5000 + s*104729)
+				w := workload.RandomProgram(seed, 80, 0)
+				mRef := newMemWrap(w)
+				ref, err := interp.Run(w.Threads[0], mRef, 1_000_000, nil)
+				if err != nil || !ref.Halted {
+					t.Fatalf("seed %d: interp: %v", seed, err)
+				}
+				cfg := DefaultConfig()
+				v.mut(&cfg)
+				w2 := workload.RandomProgram(seed, 80, 0)
+				sys := NewSystem(cfg, ModeReunion, w2, seed)
+				if _, halted := sys.RunUntilHalted(30_000_000); !halted {
+					t.Fatalf("seed %d: did not halt\n%s", seed, sys.Cores[0].DumpState())
+				}
+				arf := sys.Cores[0].ARF()
+				for r := 0; r < isa.NumRegs; r++ {
+					if arf[r] != ref.Regs[r] {
+						t.Fatalf("seed %d: r%d = %d, golden %d", seed, r, arf[r], ref.Regs[r])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomProgramsConcurrent runs four different random programs on the
+// four logical processors simultaneously. Their data regions are disjoint,
+// so each thread's architectural result must match its own single-threaded
+// golden run exactly — any cross-thread interference through the shared
+// memory system (directory bugs, misrouted fills, recovery cross-talk)
+// shows up as divergence.
+func TestRandomProgramsConcurrent(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		base := uint64(9000 + round*31337)
+		combined := &workload.Workload{Name: "fuzz-concurrent", Class: "fuzz"}
+		var golden [4][32]int64
+		inits := make([]func(m *memWrap), 0, 4)
+		for tid := 0; tid < 4; tid++ {
+			w := workload.RandomProgram(base+uint64(tid), 100, tid)
+			combined.Threads = append(combined.Threads, w.Threads[0])
+			init := w.Init
+			inits = append(inits, func(m *memWrap) { init(m) })
+			mRef := newMemWrap(w)
+			ref, err := interp.Run(w.Threads[0], mRef, 1_000_000, nil)
+			if err != nil || !ref.Halted {
+				t.Fatalf("round %d tid %d: interp %v", round, tid, err)
+			}
+			golden[tid] = ref.Regs
+		}
+		combined.Init = func(m *memWrap) {
+			for _, f := range inits {
+				f(m)
+			}
+		}
+		for _, mode := range []Mode{ModeNonRedundant, ModeReunion} {
+			sys := NewSystem(DefaultConfig(), mode, combined, base)
+			if _, halted := sys.RunUntilHalted(20_000_000); !halted {
+				t.Fatalf("round %d %v: did not halt", round, mode)
+			}
+			for _, c := range sys.VocalCores() {
+				if c.ARF() != golden[c.Pair] {
+					t.Fatalf("round %d %v: thread %d diverged from golden", round, mode, c.Pair)
+				}
+			}
+		}
+	}
+}

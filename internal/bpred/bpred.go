@@ -1,0 +1,68 @@
+// Package bpred implements the branch predictor used by the simulated
+// out-of-order cores: a bimodal (per-PC 2-bit saturating counter)
+// direction predictor with a direct-mapped branch target buffer.
+//
+// Reunion explicitly does not require predictor state to match across a
+// logical pair (unlike lockstep, which needs determinism even in
+// structures that do not affect architectural correctness — paper §2.2).
+// The vocal and mute predictors evolve independently; divergent predictions
+// only perturb timing, which is exactly the loose coupling the execution
+// model tolerates.
+package bpred
+
+// Predictor is a bimodal + BTB branch predictor.
+type Predictor struct {
+	counters []uint8 // 2-bit saturating counters
+	mask     uint64
+
+	btbTags    []uint64
+	btbTargets []int64
+	btbMask    uint64
+
+	Lookups, Mispredicts int64
+}
+
+// New builds a predictor with 2^dirBits direction counters and 2^btbBits
+// BTB entries.
+func New(dirBits, btbBits uint) *Predictor {
+	return &Predictor{
+		counters:   make([]uint8, 1<<dirBits),
+		mask:       1<<dirBits - 1,
+		btbTags:    make([]uint64, 1<<btbBits),
+		btbTargets: make([]int64, 1<<btbBits),
+		btbMask:    1<<btbBits - 1,
+	}
+}
+
+func (p *Predictor) dirIndex(pc int64) uint64 { return uint64(pc) & p.mask }
+
+// Predict returns the predicted direction and target for the branch at pc.
+// For unconditional branches callers should treat taken as true and use
+// the target only when targetValid.
+func (p *Predictor) Predict(pc int64) (taken bool, target int64, targetValid bool) {
+	p.Lookups++
+	taken = p.counters[p.dirIndex(pc)] >= 2
+	slot := uint64(pc) & p.btbMask
+	if p.btbTags[slot] == uint64(pc)|1<<63 {
+		return taken, p.btbTargets[slot], true
+	}
+	return taken, 0, false
+}
+
+// Update trains the predictor with the resolved outcome.
+func (p *Predictor) Update(pc int64, taken bool, target int64, conditional bool) {
+	if conditional {
+		idx := p.dirIndex(pc)
+		c := p.counters[idx]
+		if taken && c < 3 {
+			p.counters[idx] = c + 1
+		} else if !taken && c > 0 {
+			p.counters[idx] = c - 1
+		}
+	}
+	if taken {
+		slot := uint64(pc) & p.btbMask
+		p.btbTags[slot] = uint64(pc) | 1<<63
+		p.btbTargets[slot] = target
+	}
+}

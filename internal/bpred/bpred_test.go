@@ -1,0 +1,90 @@
+package bpred
+
+import "testing"
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(10, 6)
+	pc := int64(100)
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true, 5, true)
+	}
+	taken, target, ok := p.Predict(pc)
+	if !taken || !ok || target != 5 {
+		t.Fatalf("taken=%v target=%d ok=%v", taken, target, ok)
+	}
+}
+
+func TestLearnsNotTaken(t *testing.T) {
+	p := New(10, 6)
+	pc := int64(200)
+	for i := 0; i < 8; i++ {
+		p.Update(pc, false, 0, true)
+	}
+	if taken, _, _ := p.Predict(pc); taken {
+		t.Fatal("predicted taken after not-taken training")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	p := New(10, 6)
+	pc := int64(300)
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true, 7, true)
+	}
+	p.Update(pc, false, 0, true) // one not-taken shouldn't flip a saturated counter
+	if taken, _, _ := p.Predict(pc); !taken {
+		t.Fatal("2-bit counter flipped after one contrary outcome")
+	}
+}
+
+func TestLoopPattern(t *testing.T) {
+	// A loop branch (taken N-1 times, not-taken once) should be mostly
+	// predicted correctly after warmup.
+	p := New(12, 8)
+	pc := int64(400)
+	correct, total := 0, 0
+	// Use a stable history: single static branch.
+	for iter := 0; iter < 50; iter++ {
+		for i := 0; i < 10; i++ {
+			actual := i != 9
+			pred, _, _ := p.Predict(pc)
+			if iter > 5 {
+				total++
+				if pred == actual {
+					correct++
+				}
+			}
+			p.Update(pc, actual, 4, true)
+		}
+	}
+	if rate := float64(correct) / float64(total); rate < 0.7 {
+		t.Fatalf("loop accuracy %.2f", rate)
+	}
+}
+
+func TestBTBIndirect(t *testing.T) {
+	p := New(10, 6)
+	pc := int64(500)
+	if _, _, ok := p.Predict(pc); ok {
+		t.Fatal("BTB hit before training")
+	}
+	p.Update(pc, true, 1234, false) // unconditional indirect
+	_, target, ok := p.Predict(pc)
+	if !ok || target != 1234 {
+		t.Fatalf("BTB target=%d ok=%v", target, ok)
+	}
+	// Retarget.
+	p.Update(pc, true, 99, false)
+	if _, target, _ := p.Predict(pc); target != 99 {
+		t.Fatal("BTB retarget failed")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(10, 6)
+	p.Predict(1)
+	p.Predict(2)
+	if p.Lookups != 2 {
+		t.Fatalf("lookups=%d", p.Lookups)
+	}
+}

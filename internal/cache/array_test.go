@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reunion/internal/mem"
+)
+
+func blk(n uint64) uint64 { return n * mem.BlockBytes }
+
+func TestArrayGeometry(t *testing.T) {
+	a := NewArray(64<<10, 2) // 64KB 2-way: 512 sets
+	if a.Sets() != 512 || a.Ways() != 2 {
+		t.Fatalf("sets=%d ways=%d", a.Sets(), a.Ways())
+	}
+}
+
+func TestArrayPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArray(3*64, 1) // 3 sets: not a power of two
+}
+
+func TestLookupInstall(t *testing.T) {
+	a := NewArray(1024, 2) // 8 sets
+	var d mem.Block
+	d[0] = 7
+	if a.Lookup(blk(1)) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	line, _, evicted := a.Install(blk(1), &d, Shared)
+	if evicted {
+		t.Fatal("eviction from empty set")
+	}
+	if line.Data[0] != 7 || line.State != Shared {
+		t.Fatal("install contents wrong")
+	}
+	got := a.Lookup(blk(1))
+	if got == nil || got.Data[0] != 7 {
+		t.Fatal("lookup after install failed")
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	a := NewArray(2*64, 2) // 1 set, 2 ways
+	var d mem.Block
+	a.Install(blk(0), &d, Shared)
+	a.Install(blk(1), &d, Shared)
+	a.Lookup(blk(0)) // touch 0: 1 is now LRU
+	_, victim, evicted := a.Install(blk(2), &d, Shared)
+	if !evicted || victim.Block != blk(1) {
+		t.Fatalf("victim=%#x evicted=%v, want block 1", victim.Block, evicted)
+	}
+	if a.Peek(blk(0)) == nil || a.Peek(blk(2)) == nil || a.Peek(blk(1)) != nil {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestLockedLinesNeverVictims(t *testing.T) {
+	a := NewArray(2*64, 2)
+	var d mem.Block
+	l0, _, _ := a.Install(blk(0), &d, Modified)
+	a.Install(blk(1), &d, Shared)
+	l0.Locked = true
+	a.Lookup(blk(1)) // make block 1 MRU; LRU is the locked line
+	_, victim, evicted := a.Install(blk(2), &d, Shared)
+	if !evicted || victim.Block != blk(1) {
+		t.Fatalf("victimized %#x; must skip locked line", victim.Block)
+	}
+}
+
+func TestVictimNilWhenAllLocked(t *testing.T) {
+	a := NewArray(2*64, 2)
+	var d mem.Block
+	l0, _, _ := a.Install(blk(0), &d, Modified)
+	l1, _, _ := a.Install(blk(1), &d, Modified)
+	l0.Locked, l1.Locked = true, true
+	if a.Victim(blk(2)) != nil {
+		t.Fatal("victim from fully locked set")
+	}
+}
+
+func TestInvalidateAndDowngrade(t *testing.T) {
+	a := NewArray(1024, 2)
+	var d mem.Block
+	d[3] = 99
+	line, _, _ := a.Install(blk(5), &d, Modified)
+	line.Dirty = true
+
+	prior, ok, busy := a.Downgrade(blk(5))
+	if !ok || busy || prior.Data[3] != 99 || !prior.Dirty {
+		t.Fatalf("downgrade: ok=%v busy=%v", ok, busy)
+	}
+	if got := a.Peek(blk(5)); got.State != Shared || got.Dirty {
+		t.Fatal("downgrade left wrong state")
+	}
+
+	prior, ok, busy = a.Invalidate(blk(5))
+	if !ok || busy || prior.State != Shared {
+		t.Fatalf("invalidate: ok=%v busy=%v", ok, busy)
+	}
+	if a.Peek(blk(5)) != nil {
+		t.Fatal("line survived invalidate")
+	}
+
+	_, ok, _ = a.Invalidate(blk(5))
+	if ok {
+		t.Fatal("invalidate of absent line reported ok")
+	}
+}
+
+func TestLockedProbesReportBusy(t *testing.T) {
+	a := NewArray(1024, 2)
+	var d mem.Block
+	line, _, _ := a.Install(blk(5), &d, Modified)
+	line.Locked = true
+	if _, ok, busy := a.Invalidate(blk(5)); ok || !busy {
+		t.Fatal("locked invalidate must report busy")
+	}
+	if _, ok, busy := a.Downgrade(blk(5)); ok || !busy {
+		t.Fatal("locked downgrade must report busy")
+	}
+	if a.Peek(blk(5)) == nil {
+		t.Fatal("busy probe must not remove the line")
+	}
+}
+
+func TestInstallRefreshesResidentLine(t *testing.T) {
+	a := NewArray(1024, 2)
+	var d1, d2 mem.Block
+	d1[0], d2[0] = 1, 2
+	a.Install(blk(7), &d1, Shared)
+	line, _, evicted := a.Install(blk(7), &d2, Exclusive)
+	if evicted {
+		t.Fatal("refill of resident line must not evict")
+	}
+	if line.Data[0] != 2 || line.State != Exclusive {
+		t.Fatal("refill did not update in place")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", State(9): "?"} {
+		if s.String() != want {
+			t.Errorf("%d -> %q want %q", s, s.String(), want)
+		}
+	}
+}
+
+// Property: against a map oracle, a single-master cache (install on miss,
+// write through Lookup) always returns the data last written per block.
+func TestArrayVsOracle(t *testing.T) {
+	a := NewArray(4<<10, 4)
+	oracle := make(map[uint64]uint64) // block -> word0 value
+	backing := make(map[uint64]uint64)
+	f := func(ops []struct {
+		N     uint16
+		Val   uint64
+		Write bool
+	}) bool {
+		for _, op := range ops {
+			b := blk(uint64(op.N % 256))
+			line := a.Lookup(b)
+			if line == nil {
+				var d mem.Block
+				d[0] = backing[b]
+				var victim Line
+				var ev bool
+				line, victim, ev = a.Install(b, &d, Shared)
+				if ev {
+					backing[victim.Block] = victim.Data[0] // write back
+				}
+			}
+			if op.Write {
+				line.Data[0] = op.Val
+				line.Dirty = true
+				oracle[b] = op.Val
+			} else if line.Data[0] != oracle[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachValid(t *testing.T) {
+	a := NewArray(1024, 2)
+	var d mem.Block
+	a.Install(blk(1), &d, Shared)
+	a.Install(blk(2), &d, Modified)
+	n := 0
+	a.ForEachValid(func(l *Line) { n++ })
+	if n != 2 {
+		t.Fatalf("visited %d lines, want 2", n)
+	}
+}

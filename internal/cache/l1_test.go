@@ -1,0 +1,318 @@
+package cache
+
+import (
+	"testing"
+
+	"reunion/internal/mem"
+)
+
+// fakeBelow records requests and lets tests reply on demand.
+type fakeBelow struct {
+	reqs []*Req
+}
+
+func (f *fakeBelow) Request(r *Req) { f.reqs = append(f.reqs, r) }
+
+func (f *fakeBelow) replyAll(val uint64, exclusive bool) {
+	reqs := f.reqs
+	f.reqs = nil
+	for _, r := range reqs {
+		if r.Done == nil {
+			continue
+		}
+		var d mem.Block
+		for i := range d {
+			d[i] = val
+		}
+		r.Done(Resp{Data: d, Exclusive: exclusive})
+	}
+}
+
+func newTestL1(b Below) *L1 {
+	return NewL1("l1", 0, 0, true, 4<<10, 2, 4, b, false)
+}
+
+func TestLoadMissFillHit(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var got uint64
+	st, _ := c.Load(blk(3), 2, func(v uint64) { got = v })
+	if st != Miss || len(fb.reqs) != 1 || fb.reqs[0].Kind != GetS {
+		t.Fatalf("st=%v reqs=%d", st, len(fb.reqs))
+	}
+	fb.replyAll(77, false)
+	if got != 77 {
+		t.Fatalf("fill value %d", got)
+	}
+	st, v := c.Load(blk(3), 2, nil)
+	if st != Hit || v != 77 {
+		t.Fatalf("post-fill load st=%v v=%d", st, v)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestMissMerging(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var a, b uint64
+	c.Load(blk(3), 0, func(v uint64) { a = v })
+	st, _ := c.Load(blk(3), 1, func(v uint64) { b = v })
+	if st != Miss || len(fb.reqs) != 1 {
+		t.Fatalf("merge failed: %d requests", len(fb.reqs))
+	}
+	if c.MergedMisses != 1 {
+		t.Fatalf("MergedMisses=%d", c.MergedMisses)
+	}
+	fb.replyAll(5, false)
+	if a != 5 || b != 5 {
+		t.Fatalf("waiters got %d,%d", a, b)
+	}
+}
+
+func TestMSHRExhaustionRetries(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb) // 4 MSHRs
+	for i := 0; i < 4; i++ {
+		c.Load(blk(uint64(i)), 0, nil)
+	}
+	st, _ := c.Load(blk(9), 0, nil)
+	if st != Retry {
+		t.Fatalf("5th miss st=%v want Retry", st)
+	}
+	if c.Retries != 1 {
+		t.Fatalf("Retries=%d", c.Retries)
+	}
+}
+
+func TestStoreHitStates(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var d mem.Block
+	c.Arr.Install(blk(1), &d, Exclusive)
+	if st := c.Store(blk(1), 0, 42, nil); st != Hit {
+		t.Fatalf("store on E: %v", st)
+	}
+	l := c.Arr.Peek(blk(1))
+	if l.State != Modified || !l.Dirty || l.Data[0] != 42 {
+		t.Fatal("store on E must silently upgrade to M")
+	}
+}
+
+func TestStoreUpgradeFromShared(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var d mem.Block
+	c.Arr.Install(blk(1), &d, Shared)
+	done := false
+	if st := c.Store(blk(1), 3, 9, func() { done = true }); st != Miss {
+		t.Fatalf("store on S must upgrade, got %v", st)
+	}
+	if len(fb.reqs) != 1 || fb.reqs[0].Kind != GetX {
+		t.Fatal("upgrade must send GetX")
+	}
+	fb.replyAll(0, true)
+	if !done {
+		t.Fatal("store completion not signalled")
+	}
+	l := c.Arr.Peek(blk(1))
+	if l.State != Modified || l.Data[3] != 9 {
+		t.Fatal("upgraded store not applied")
+	}
+}
+
+func TestStoreIntoPendingReadRetries(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	c.Load(blk(1), 0, nil) // GetS outstanding
+	if st := c.Store(blk(1), 0, 1, nil); st != Retry {
+		t.Fatalf("store into GetS-pending block: %v want Retry", st)
+	}
+}
+
+func TestStoreMergesIntoPendingWrite(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	c.Store(blk(1), 0, 1, nil) // GetX outstanding
+	if st := c.Store(blk(1), 1, 2, nil); st != Miss {
+		t.Fatalf("store into GetX-pending block: %v want Miss (merge)", st)
+	}
+	fb.replyAll(0, true)
+	l := c.Arr.Peek(blk(1))
+	if l.Data[0] != 1 || l.Data[1] != 2 {
+		t.Fatal("merged stores not both applied")
+	}
+}
+
+func TestAtomicLifecycle(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var old uint64
+	st, _ := c.AtomicBegin(blk(2), 0, func(v uint64) { old = v })
+	if st != Miss || fb.reqs[0].Kind != GetX {
+		t.Fatalf("atomic miss: %v", st)
+	}
+	fb.replyAll(7, true)
+	if old != 7 {
+		t.Fatalf("atomic old=%d", old)
+	}
+	l := c.Arr.Peek(blk(2))
+	if !l.Locked || l.State != Modified {
+		t.Fatal("atomic fill must lock the line in M")
+	}
+	// Probes against the locked line are deferred.
+	if _, _, _, busy := c.ProbeInvalidate(blk(2)); !busy {
+		t.Fatal("probe of locked line must be busy")
+	}
+	c.AtomicEnd(blk(2), 0, 9, true)
+	l = c.Arr.Peek(blk(2))
+	if l.Locked || l.Data[0] != 9 || !l.Dirty {
+		t.Fatal("AtomicEnd write/unlock failed")
+	}
+	// Failed CAS: no write.
+	st, v := c.AtomicBegin(blk(2), 0, nil)
+	if st != Hit || v != 9 {
+		t.Fatalf("atomic hit st=%v v=%d", st, v)
+	}
+	c.AtomicEnd(blk(2), 0, 55, false)
+	if c.Arr.Peek(blk(2)).Data[0] != 9 {
+		t.Fatal("failed CAS must not write")
+	}
+}
+
+func TestVocalDirtyEvictionWritesBack(t *testing.T) {
+	fb := &fakeBelow{}
+	c := NewL1("l1", 0, 0, true, 2*64, 2, 4, fb, false) // 1 set, 2 ways
+	var d mem.Block
+	l, _, _ := c.Arr.Install(blk(0), &d, Modified)
+	l.Dirty = true
+	l.Data[0] = 123
+	c.Arr.Install(blk(1), &d, Shared)
+	// Fill a third block into the full set via the miss path.
+	c.Load(blk(2), 0, nil)
+	// Make block 1 MRU so the dirty block 0 is the victim.
+	c.Arr.Lookup(blk(1))
+	fb.reqs = fb.reqs[:0+1] // keep the GetS
+	getS := fb.reqs[0]
+	fb.reqs = nil
+	var fill mem.Block
+	getS.Done(Resp{Data: fill})
+	if len(fb.reqs) != 1 || fb.reqs[0].Kind != Writeback {
+		t.Fatalf("dirty eviction sent %d reqs", len(fb.reqs))
+	}
+	if fb.reqs[0].Data[0] != 123 {
+		t.Fatal("writeback data wrong")
+	}
+	if c.WritebacksSent != 1 {
+		t.Fatalf("WritebacksSent=%d", c.WritebacksSent)
+	}
+}
+
+func TestMuteDirtyEvictionDropped(t *testing.T) {
+	fb := &fakeBelow{}
+	c := NewL1("l1m", 1, 0, false, 2*64, 2, 4, fb, false)
+	var d mem.Block
+	l, _, _ := c.Arr.Install(blk(0), &d, Modified)
+	l.Dirty = true
+	c.Arr.Install(blk(1), &d, Shared)
+	c.Load(blk(2), 0, nil)
+	c.Arr.Lookup(blk(1))
+	getS := fb.reqs[0]
+	fb.reqs = nil
+	getS.Done(Resp{})
+	if len(fb.reqs) != 0 {
+		t.Fatal("mute eviction must not reach the shared cache controller")
+	}
+	if c.MuteDropsWB != 1 {
+		t.Fatalf("MuteDropsWB=%d", c.MuteDropsWB)
+	}
+}
+
+func TestSyncFillAtomicAndAbort(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var old uint64
+	if !c.SyncFill(blk(4), 1, true, 7, func(v uint64) { old = v }) {
+		t.Fatal("SyncFill rejected")
+	}
+	if len(fb.reqs) != 1 || fb.reqs[0].Kind != Sync || fb.reqs[0].Token != 7 {
+		t.Fatalf("sync request malformed: %+v", fb.reqs)
+	}
+	if c.SyncFill(blk(4), 1, true, 7, nil) {
+		t.Fatal("second SyncFill on pending block must be refused")
+	}
+	if !c.HasPendingFill(blk(4)) {
+		t.Fatal("sync fill must be visible as pending")
+	}
+	fb.replyAll(11, true)
+	if old != 11 {
+		t.Fatalf("sync old=%d", old)
+	}
+	l := c.Arr.Peek(blk(4))
+	if !l.Locked || l.State != Modified {
+		t.Fatal("atomic sync fill must lock M")
+	}
+	c.AtomicEnd(blk(4), 1, 0, false)
+
+	// Abort path: MSHR freed, no completion.
+	called := false
+	c.SyncFill(blk(8), 0, false, 9, func(uint64) { called = true })
+	c.AbortMiss(blk(8))
+	if c.HasPendingFill(blk(8)) {
+		t.Fatal("aborted miss still pending")
+	}
+	if c.OutstandingMisses() != 0 {
+		t.Fatalf("outstanding=%d", c.OutstandingMisses())
+	}
+	if called {
+		t.Fatal("aborted waiter ran")
+	}
+}
+
+func TestProbeDowngradeReturnsDirtyData(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var d mem.Block
+	l, _, _ := c.Arr.Install(blk(6), &d, Modified)
+	l.Dirty = true
+	l.Data[0] = 5
+	data, dirty, had, busy := c.ProbeDowngrade(blk(6))
+	if !had || busy || !dirty || data[0] != 5 {
+		t.Fatalf("downgrade: had=%v busy=%v dirty=%v", had, busy, dirty)
+	}
+	if c.Arr.Peek(blk(6)).State != Shared {
+		t.Fatal("line not downgraded")
+	}
+	if _, _, had, _ := c.ProbeInvalidate(blk(99)); had {
+		t.Fatal("probe of absent block reported had")
+	}
+}
+
+func TestUnlockAll(t *testing.T) {
+	fb := &fakeBelow{}
+	c := newTestL1(fb)
+	var d mem.Block
+	l, _, _ := c.Arr.Install(blk(1), &d, Modified)
+	l.Locked = true
+	c.UnlockAll()
+	if c.Arr.Peek(blk(1)).Locked {
+		t.Fatal("UnlockAll left a lock")
+	}
+}
+
+func TestIfetchUsesIfetchKind(t *testing.T) {
+	fb := &fakeBelow{}
+	ic := NewL1("l1i", 0, 0, true, 4<<10, 2, 4, fb, true)
+	done := false
+	if st := ic.Ifetch(blk(1), func() { done = true }); st != Miss {
+		t.Fatalf("ifetch st=%v", st)
+	}
+	if fb.reqs[0].Kind != Ifetch {
+		t.Fatalf("kind=%v", fb.reqs[0].Kind)
+	}
+	fb.replyAll(0, false)
+	if !done {
+		t.Fatal("ifetch completion not signalled")
+	}
+}

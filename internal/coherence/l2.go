@@ -1,0 +1,742 @@
+// Package coherence implements the shared cache controller of the
+// simulated CMP: a banked, inclusive L2 with a directory tracking vocal L1
+// sharers and owners, backed by a fixed-latency memory model.
+//
+// On top of the ordinary MESI-style protocol, the controller implements
+// the three Reunion mechanisms from §4.2 of the paper:
+//
+//   - Vocal/mute semantics: the directory never records mute caches as
+//     sharers or owners, and mute evictions/writebacks never reach memory.
+//     The coherence protocol behaves as if mute cores were absent.
+//   - Phantom requests: every non-synchronizing mute request is transformed
+//     into a phantom request that returns a value without changing
+//     coherence state. Three strengths are modelled — null (arbitrary data
+//     on any miss), shared (L2 hit data, arbitrary on L2 miss), and global
+//     (L2, then vocal-owner peek, then main memory).
+//   - Synchronizing requests: issued by both members of a logical pair
+//     during the re-execution protocol. The controller collects both,
+//     flushes the block from the pair's private caches, performs a coherent
+//     write transaction on the pair's behalf, and replies to both cores
+//     atomically.
+package coherence
+
+import (
+	"fmt"
+	"os"
+
+	"reunion/internal/cache"
+	"reunion/internal/interconnect"
+	"reunion/internal/mem"
+	"reunion/internal/sim"
+)
+
+// TraceBlock, when non-zero, logs every controller action on that block
+// to stderr (protocol debugging).
+var TraceBlock uint64
+
+func (l2 *L2) tracef(block uint64, format string, args ...any) {
+	if TraceBlock != 0 && block == TraceBlock {
+		fmt.Fprintf(os.Stderr, "[%8d] l2: %s\n", l2.eq.Now(), fmt.Sprintf(format, args...))
+	}
+}
+
+// PhantomStrength selects how diligently a phantom request searches for
+// coherent data (paper §4.2).
+type PhantomStrength uint8
+
+// Phantom request strengths. Global — the paper's default and the only
+// strength that keeps input incoherence rare — is the zero value, so a
+// zero Config gets the sensible configuration.
+const (
+	// PhantomGlobal checks the shared cache, peeks private vocal caches,
+	// and issues non-coherent reads to main memory for off-chip misses.
+	PhantomGlobal PhantomStrength = iota
+	// PhantomShared checks the shared cache and returns arbitrary values
+	// only on L2 misses.
+	PhantomShared
+	// PhantomNull returns arbitrary data on any request.
+	PhantomNull
+)
+
+// String names the strength as in the paper's tables.
+func (p PhantomStrength) String() string {
+	switch p {
+	case PhantomNull:
+		return "null"
+	case PhantomShared:
+		return "shared"
+	case PhantomGlobal:
+		return "global"
+	}
+	return "?"
+}
+
+// Config holds shared-cache and memory parameters (Table 1 defaults come
+// from the reunion package).
+type Config struct {
+	CapacityBytes int
+	Ways          int
+	Banks         int   // power of two
+	HitLatency    int64 // L1-miss to L1-fill for an L2 hit (35 cycles)
+	XBarLatency   int64 // one-way crossbar traversal, included in HitLatency
+	RecallLatency int64 // extra latency to recall/peek a private L1 copy
+	MemLatency    int64 // off-chip access (60ns at 4GHz = 240 cycles)
+	MemBanks      int   // memory banks (64); 0 disables bank contention
+	MemBankBusy   int64 // cycles a bank is occupied per access
+	MemMSHRs      int   // max outstanding off-chip fetches (64)
+	PortsPerBank  int   // bank service bandwidth per cycle
+	Phantom       PhantomStrength
+}
+
+type dirEntry struct {
+	sharers uint32 // vocal core bitmask, excluding owner
+	owner   int8   // vocal core index with E/M permission, -1 if none
+}
+
+type flightKey struct {
+	core  int
+	block uint64
+}
+
+// L2 is the shared cache controller. It implements cache.Below.
+type L2 struct {
+	cfg Config
+	eq  *sim.EventQueue
+	arr *cache.Array
+	dir map[uint64]*dirEntry
+	mem *mem.Memory
+
+	banks    []*interconnect.BankQueue
+	bankMask uint64
+
+	l1d []*cache.L1 // indexed by global core id; nil until registered
+
+	memInFlight  int
+	memBankFree  []int64 // next free cycle per memory bank
+	MemQueueWait int64   // cycles memory requests waited on busy banks
+
+	pendingSync  map[int]*cache.Req // pair id -> first-arrived sync request
+	syncMinToken map[int]int64      // pair id -> minimum valid sync token
+
+	// fillsInFlight tracks replies that grant a copy to a vocal L1 and
+	// have been scheduled but not yet delivered. A directory-listed owner
+	// or sharer with no line and no in-flight fill has silently evicted a
+	// clean line; with an in-flight fill the prober must retry (the fill
+	// lands within a bounded reply latency, so retries terminate).
+	fillsInFlight map[flightKey]int
+
+	// Stats
+	Reads, ReadX, Ifetches int64
+	HitsL2, MissesL2       int64
+	Recalls                int64
+	Invalidations          int64
+	MemAccesses            int64
+	PhantomReqs            int64
+	PhantomGarbage         int64
+	PhantomPeeks           int64
+	PhantomMemReads        int64
+	SyncRequests           int64
+	WritebacksRecv         int64
+	RetriesInternal        int64
+}
+
+// NewL2 builds the controller.
+func NewL2(cfg Config, eq *sim.EventQueue, m *mem.Memory, numCores int) *L2 {
+	if cfg.Banks&(cfg.Banks-1) != 0 || cfg.Banks == 0 {
+		panic("coherence: banks must be a power of two")
+	}
+	l2 := &L2{
+		cfg:           cfg,
+		eq:            eq,
+		arr:           cache.NewArray(cfg.CapacityBytes, cfg.Ways),
+		dir:           make(map[uint64]*dirEntry),
+		mem:           m,
+		bankMask:      uint64(cfg.Banks - 1),
+		l1d:           make([]*cache.L1, numCores),
+		pendingSync:   make(map[int]*cache.Req),
+		syncMinToken:  make(map[int]int64),
+		fillsInFlight: make(map[flightKey]int),
+	}
+	for i := 0; i < cfg.Banks; i++ {
+		l2.banks = append(l2.banks, interconnect.NewBankQueue(cfg.PortsPerBank))
+	}
+	if cfg.MemBanks > 0 {
+		l2.memBankFree = make([]int64, cfg.MemBanks)
+	}
+	return l2
+}
+
+// memAccessLatency returns the latency of an off-chip access to block,
+// accounting for memory bank occupancy (banks are interleaved by block
+// address). Doubling miss traffic — as relaxed input replication does —
+// shows up here as queueing delay.
+func (l2 *L2) memAccessLatency(block uint64) int64 {
+	if l2.memBankFree == nil {
+		return l2.cfg.MemLatency
+	}
+	bank := (block >> mem.BlockShift) % uint64(len(l2.memBankFree))
+	now := l2.eq.Now()
+	start := now
+	if l2.memBankFree[bank] > start {
+		start = l2.memBankFree[bank]
+		l2.MemQueueWait += start - now
+	}
+	l2.memBankFree[bank] = start + l2.cfg.MemBankBusy
+	return start - now + l2.cfg.MemLatency
+}
+
+// RegisterL1D attaches a core's data cache for probes and phantom peeks.
+func (l2 *L2) RegisterL1D(core int, c *cache.L1) { l2.l1d[core] = c }
+
+// QueueStats returns aggregate bank-queue contention statistics.
+func (l2 *L2) QueueStats() (arrivals, totalWait int64) {
+	for _, b := range l2.banks {
+		arrivals += b.Arrivals
+		totalWait += b.TotalWait
+	}
+	return
+}
+
+func (l2 *L2) bankOf(block uint64) *interconnect.BankQueue {
+	return l2.banks[(block>>mem.BlockShift)&l2.bankMask]
+}
+
+// Request accepts an L1 (or pair) request. It arrives at its bank after
+// the crossbar latency.
+func (l2 *L2) Request(r *cache.Req) {
+	l2.eq.After(l2.cfg.XBarLatency, func() {
+		l2.bankOf(r.Block).Push(l2.eq.Now(), r)
+	})
+}
+
+// Tick services every bank once per cycle. Call exactly once per cycle.
+func (l2 *L2) Tick() {
+	now := l2.eq.Now()
+	for _, b := range l2.banks {
+		for {
+			it := b.Pop(now)
+			if it == nil {
+				break
+			}
+			l2.process(it.(*cache.Req))
+		}
+	}
+}
+
+// requeue re-enqueues a request that hit a transient conflict; it will be
+// serviced after everything already queued, which guarantees progress for
+// in-flight notifications it may be waiting on.
+func (l2 *L2) requeue(r *cache.Req) {
+	l2.RetriesInternal++
+	l2.bankOf(r.Block).Push(l2.eq.Now(), r)
+}
+
+// reply schedules a response to the requester after service plus crossbar
+// time. extra adds recall or memory latency. Replies that grant a copy to
+// a vocal data cache are tracked until delivery so directory probes can
+// distinguish in-flight fills from silent clean evictions.
+func (l2 *L2) reply(r *cache.Req, data *mem.Block, exclusive bool, extra int64) {
+	lat := l2.cfg.HitLatency - l2.cfg.XBarLatency + extra
+	if lat < 1 {
+		lat = 1
+	}
+	resp := cache.Resp{Data: *data, Exclusive: exclusive}
+	track := r.Kind != cache.Ifetch
+	key := flightKey{core: r.Core, block: r.Block}
+	if track {
+		l2.fillsInFlight[key]++
+	}
+	l2.eq.After(lat, func() {
+		r.Done(resp)
+		if track {
+			if l2.fillsInFlight[key]--; l2.fillsInFlight[key] == 0 {
+				delete(l2.fillsInFlight, key)
+			}
+		}
+	})
+}
+
+func (l2 *L2) fillInFlight(core int, block uint64) bool {
+	return l2.fillsInFlight[flightKey{core: core, block: block}] > 0
+}
+
+func garbageBlock(block uint64) mem.Block {
+	var b mem.Block
+	for i := range b {
+		b[i] = sim.Mix64(block ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ 0xbadc0ffee0ddf00d)
+	}
+	return b
+}
+
+func (l2 *L2) process(r *cache.Req) {
+	if TraceBlock != 0 && r.Block == TraceBlock {
+		d := l2.dir[r.Block]
+		ds := "nil"
+		if d != nil {
+			ds = fmt.Sprintf("{own=%d sh=%b}", d.owner, d.sharers)
+		}
+		l2.tracef(r.Block, "process %v core=%d vocal=%v dir=%s", r.Kind, r.Core, r.Vocal, ds)
+	}
+	switch r.Kind {
+	case cache.Writeback:
+		l2.processWriteback(r)
+	case cache.Sync:
+		l2.processSync(r)
+	default:
+		if r.Vocal {
+			l2.processVocal(r)
+		} else {
+			l2.processPhantom(r)
+		}
+	}
+}
+
+func (l2 *L2) processWriteback(r *cache.Req) {
+	if !r.Vocal {
+		// The controller ignores all eviction and writeback requests
+		// originating from mute cores (paper §4.2). L1s drop them at the
+		// source, so seeing one here is a bug.
+		panic("coherence: mute writeback reached shared cache controller")
+	}
+	l2.WritebacksRecv++
+	d := l2.dir[r.Block]
+	if d != nil {
+		if d.owner == int8(r.Core) {
+			d.owner = -1
+		}
+		d.sharers &^= 1 << uint(r.Core)
+		if r.Data == nil { // clean-eviction notification
+			if d.owner < 0 && d.sharers == 0 {
+				delete(l2.dir, r.Block)
+			}
+			return
+		}
+	}
+	if r.Data == nil {
+		return
+	}
+	if l := l2.arr.Peek(r.Block); l != nil {
+		l.Data = *r.Data
+		l.Dirty = true
+		l.State = cache.Modified
+	} else {
+		// Victimized from L2 while the L1 still held it; write home.
+		l2.mem.WriteBlock(r.Block, r.Data)
+	}
+}
+
+// recallOwner pulls the freshest copy from the current owner's L1 into the
+// L2 line. invalidate selects recall-invalidate vs recall-downgrade.
+// It returns false (and requeues r) if the owner's copy is transiently
+// unavailable (fill in flight or line locked by an atomic).
+func (l2 *L2) recallOwner(r *cache.Req, line *cache.Line, d *dirEntry, invalidate bool) (ok bool, extra int64) {
+	if d == nil || d.owner < 0 {
+		return true, 0
+	}
+	if int(d.owner) == r.Core {
+		// The requester itself is the stale-registered owner (it silently
+		// evicted a clean E line and is re-requesting). Clear and proceed.
+		d.owner = -1
+		return true, 0
+	}
+	if l2.fillInFlight(int(d.owner), r.Block) {
+		// The owner's grant has not landed yet. Probing now would find
+		// either nothing or a stale pre-upgrade S line; both are wrong to
+		// act on. Retry once the grant is delivered (bounded wait).
+		l2.tracef(r.Block, "recallOwner core=%d: owner=%d fill in flight, requeue", r.Core, d.owner)
+		l2.requeue(r)
+		return false, 0
+	}
+	owner := l2.l1d[d.owner]
+	var data mem.Block
+	var dirty, had, busy bool
+	if invalidate {
+		data, dirty, had, busy = owner.ProbeInvalidate(r.Block)
+	} else {
+		data, dirty, had, busy = owner.ProbeDowngrade(r.Block)
+	}
+	if busy {
+		l2.requeue(r)
+		return false, 0
+	}
+	l2.Recalls++
+	if had && dirty {
+		line.Data = data
+		line.Dirty = true
+	}
+	if !had {
+		// No line and no grant in flight: the owner silently evicted a
+		// clean line; the L2 copy is current. Clear ownership below.
+		l2.tracef(r.Block, "recallOwner core=%d: owner=%d treated as silent evict", r.Core, d.owner)
+	}
+	if invalidate {
+		d.owner = -1
+	} else {
+		d.sharers |= 1 << uint(d.owner)
+		d.owner = -1
+	}
+	return true, l2.cfg.RecallLatency
+}
+
+// invalidateSharers drops every vocal sharer except keep. It returns
+// false (after requeueing r) when a sharer's fill is still in flight or
+// its line is transiently locked: clearing the directory bit then would
+// let the late fill create a stale copy the directory no longer tracks.
+func (l2 *L2) invalidateSharers(r *cache.Req, block uint64, d *dirEntry, keep int) bool {
+	if d == nil {
+		return true
+	}
+	for c := 0; c < len(l2.l1d); c++ {
+		if c == keep || d.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if l1 := l2.l1d[c]; l1 != nil {
+			if l2.fillInFlight(c, block) {
+				l2.requeue(r)
+				return false
+			}
+			if _, _, _, busy := l1.ProbeInvalidate(block); busy {
+				l2.requeue(r)
+				return false
+			}
+			l2.Invalidations++
+		}
+		d.sharers &^= 1 << uint(c)
+	}
+	return true
+}
+
+// ensureLine obtains the L2 line for r.Block, fetching from memory when
+// absent. cont runs when the line is resident, with extra latency already
+// accumulated for the reply. Returns false if the request was deferred.
+func (l2 *L2) ensureLine(r *cache.Req, cont func(line *cache.Line, extra int64)) bool {
+	if l := l2.arr.Lookup(r.Block); l != nil {
+		l2.HitsL2++
+		cont(l, 0)
+		return true
+	}
+	if l2.memInFlight >= l2.cfg.MemMSHRs {
+		l2.requeue(r)
+		return false
+	}
+	l2.MissesL2++
+	l2.MemAccesses++
+	l2.memInFlight++
+	block := r.Block
+	l2.eq.After(l2.memAccessLatency(block), func() {
+		l2.memInFlight--
+		var data mem.Block
+		l2.mem.ReadBlock(block, &data)
+		line := l2.installL2(block, &data)
+		// The off-chip latency was paid by this event; the reply adds only
+		// its normal on-chip service and crossbar time.
+		cont(line, 0)
+	})
+	return true
+}
+
+// installL2 places a block into the L2 array, handling inclusive eviction
+// of the victim's L1 copies.
+func (l2 *L2) installL2(block uint64, data *mem.Block) *cache.Line {
+	if l := l2.arr.Peek(block); l != nil {
+		// Raced with another miss to the same block; keep resident copy.
+		return l
+	}
+	line, victim, evicted := l2.arr.Install(block, data, cache.Shared)
+	if evicted {
+		l2.evictInclusive(victim)
+	}
+	return line
+}
+
+func (l2 *L2) evictInclusive(victim cache.Line) {
+	data := victim.Data
+	dirty := victim.Dirty
+	if d := l2.dir[victim.Block]; d != nil {
+		if d.owner >= 0 {
+			if od, odirty, had, busy := l2.l1d[d.owner].ProbeInvalidate(victim.Block); had && !busy && odirty {
+				data = od
+				dirty = true
+			}
+			// A busy (locked) or in-flight owner copy is a tolerated rare
+			// race: its eventual writeback goes straight to memory. LRU
+			// makes it near-impossible (the line was just touched).
+		}
+		for c := 0; c < len(l2.l1d); c++ {
+			if d.sharers&(1<<uint(c)) == 0 {
+				continue
+			}
+			if l1 := l2.l1d[c]; l1 != nil {
+				l1.ProbeInvalidate(victim.Block)
+				l2.Invalidations++
+			}
+		}
+		delete(l2.dir, victim.Block)
+	}
+	if dirty {
+		l2.mem.WriteBlock(victim.Block, &data)
+	}
+}
+
+func (l2 *L2) dirFor(block uint64) *dirEntry {
+	d := l2.dir[block]
+	if d == nil {
+		d = &dirEntry{owner: -1}
+		l2.dir[block] = d
+	}
+	return d
+}
+
+func (l2 *L2) processVocal(r *cache.Req) {
+	switch r.Kind {
+	case cache.Ifetch:
+		l2.Ifetches++
+		l2.ensureLine(r, func(line *cache.Line, extra int64) {
+			l2.reply(r, &line.Data, false, extra)
+		})
+	case cache.GetS:
+		l2.Reads++
+		l2.ensureLine(r, func(line *cache.Line, extra int64) {
+			d := l2.dirFor(r.Block)
+			ok, rextra := l2.recallOwner(r, line, d, false)
+			if !ok {
+				return
+			}
+			exclusive := d.sharers == 0 && d.owner < 0
+			if exclusive {
+				d.owner = int8(r.Core)
+			} else {
+				d.sharers |= 1 << uint(r.Core)
+			}
+			l2.reply(r, &line.Data, exclusive, extra+rextra)
+		})
+	case cache.GetX:
+		l2.ReadX++
+		l2.ensureLine(r, func(line *cache.Line, extra int64) {
+			d := l2.dirFor(r.Block)
+			ok, rextra := l2.recallOwner(r, line, d, true)
+			if !ok {
+				return
+			}
+			if !l2.invalidateSharers(r, r.Block, d, r.Core) {
+				return
+			}
+			d.sharers = 0
+			d.owner = int8(r.Core)
+			l2.reply(r, &line.Data, true, extra+rextra)
+		})
+	default:
+		panic(fmt.Sprintf("coherence: unexpected vocal request kind %v", r.Kind))
+	}
+}
+
+// processPhantom serves a mute request at the configured strength.
+// Phantom replies always grant write permission within the mute hierarchy.
+func (l2 *L2) processPhantom(r *cache.Req) {
+	l2.PhantomReqs++
+	switch l2.cfg.Phantom {
+	case PhantomNull:
+		g := garbageBlock(r.Block)
+		l2.PhantomGarbage++
+		l2.reply(r, &g, true, 0)
+	case PhantomShared:
+		if line := l2.arr.Lookup(r.Block); line != nil {
+			l2.HitsL2++
+			l2.reply(r, &line.Data, true, 0)
+			return
+		}
+		l2.MissesL2++
+		g := garbageBlock(r.Block)
+		l2.PhantomGarbage++
+		l2.reply(r, &g, true, 0)
+	case PhantomGlobal:
+		if line := l2.arr.Lookup(r.Block); line != nil {
+			l2.HitsL2++
+			// Best-effort freshness: peek a vocal owner's private copy
+			// without changing its coherence state.
+			if d := l2.dir[r.Block]; d != nil && d.owner >= 0 {
+				if data, ok := l2.l1d[d.owner].PeekWord(r.Block); ok {
+					l2.PhantomPeeks++
+					l2.reply(r, &data, true, l2.cfg.RecallLatency)
+					return
+				}
+			}
+			l2.reply(r, &line.Data, true, 0)
+			return
+		}
+		// Off-chip non-coherent read: do not install in L2 (a phantom
+		// request must not change memory-system state).
+		l2.MissesL2++
+		if l2.memInFlight >= l2.cfg.MemMSHRs {
+			l2.requeue(r)
+			return
+		}
+		l2.PhantomMemReads++
+		l2.MemAccesses++
+		l2.memInFlight++
+		block := r.Block
+		l2.eq.After(l2.memAccessLatency(block), func() {
+			l2.memInFlight--
+			var data mem.Block
+			l2.mem.ReadBlock(block, &data)
+			l2.reply(r, &data, true, 0)
+		})
+	}
+}
+
+// DebugDir formats the directory and cache state of a block plus every
+// registered L1's view of it (wedge diagnosis).
+func (l2 *L2) DebugDir(block uint64) string {
+	s := fmt.Sprintf("block %#x: ", block)
+	if d := l2.dir[block]; d != nil {
+		s += fmt.Sprintf("dir{owner=%d sharers=%012b} ", d.owner, d.sharers)
+	} else {
+		s += "dir{none} "
+	}
+	if l := l2.arr.Peek(block); l != nil {
+		s += fmt.Sprintf("l2{%v dirty=%v w0=%d} ", l.State, l.Dirty, l.Data[0])
+	} else {
+		s += "l2{miss} "
+	}
+	for i, l1 := range l2.l1d {
+		if l1 == nil {
+			continue
+		}
+		if l := l1.Arr.Peek(block); l != nil {
+			s += fmt.Sprintf("l1d%d{%v dirty=%v locked=%v w0=%d} ", i, l.State, l.Dirty, l.Locked, l.Data[0])
+		}
+	}
+	return s
+}
+
+// DebugRead returns the current coherent value of a block, outside of
+// timing: the owner's private copy if one exists, else the L2 copy, else
+// memory. For tests and result inspection.
+func (l2 *L2) DebugRead(block uint64) mem.Block {
+	if d := l2.dir[block]; d != nil && d.owner >= 0 {
+		if data, ok := l2.l1d[d.owner].PeekWord(block); ok {
+			return data
+		}
+	}
+	if l := l2.arr.Peek(block); l != nil {
+		return l.Data
+	}
+	var b mem.Block
+	l2.mem.ReadBlock(block, &b)
+	return b
+}
+
+// Prefill installs a block from memory into the L2 without timing (warmup
+// from an emulated checkpoint). It reports whether the block was newly
+// installed.
+func (l2 *L2) Prefill(block uint64) bool {
+	if l2.arr.Peek(block) != nil {
+		return false
+	}
+	var d mem.Block
+	l2.mem.ReadBlock(block, &d)
+	l2.installL2(block, &d)
+	return true
+}
+
+// Capacity returns the number of blocks the L2 can hold.
+func (l2 *L2) Capacity() int { return l2.cfg.CapacityBytes / mem.BlockBytes }
+
+// CancelSync invalidates every synchronizing request of the pair with a
+// token below minToken: a parked request is dropped and in-flight ones are
+// discarded on arrival. Recovery escalation uses this so stale sync
+// requests can never pair with the re-executed ones.
+func (l2 *L2) CancelSync(pair int, minToken int64) {
+	if r := l2.pendingSync[pair]; r != nil && r.Token < minToken {
+		delete(l2.pendingSync, pair)
+	}
+	if l2.syncMinToken[pair] < minToken {
+		l2.syncMinToken[pair] = minToken
+	}
+}
+
+// processSync implements the synchronizing request: held until both
+// members of the logical pair have arrived, then the block is flushed from
+// the pair's private caches, a coherent write transaction is performed on
+// the pair's behalf, and both cores receive the same value atomically.
+func (l2 *L2) processSync(r *cache.Req) {
+	if r.Token < l2.syncMinToken[r.Pair] {
+		return // cancelled by recovery escalation; the L1 MSHR was aborted
+	}
+	first, ok := l2.pendingSync[r.Pair]
+	if !ok {
+		l2.pendingSync[r.Pair] = r
+		return
+	}
+	if first.Token != r.Token {
+		// A stale partner survived cancellation bookkeeping; keep the
+		// newer request parked and drop the older one.
+		if first.Token < r.Token {
+			l2.pendingSync[r.Pair] = r
+		}
+		return
+	}
+	if first.Block != r.Block {
+		panic(fmt.Sprintf("coherence: pair %d sync requests disagree on block: %#x vs %#x",
+			r.Pair, first.Block, r.Block))
+	}
+	vocal, mute := first, r
+	if !vocal.Vocal {
+		vocal, mute = r, first
+	}
+	// Stale pre-recovery fills still in flight toward either private cache
+	// would land over the synchronizing fill; wait for them to drain.
+	if l2.fillInFlight(vocal.Core, r.Block) || l2.fillInFlight(mute.Core, r.Block) {
+		l2.pendingSync[r.Pair] = first
+		l2.requeue(r)
+		return
+	}
+	l2.SyncRequests++
+	// Flush the pair's private copies: the vocal's comes home, the mute's
+	// is discarded.
+	vd, vdirty, vhad, vbusy := l2.l1d[vocal.Core].ProbeInvalidate(r.Block)
+	if vbusy {
+		// Cannot happen in the re-execution protocol (the pair is single-
+		// stepping and holds no locked lines), but be safe.
+		delete(l2.pendingSync, r.Pair)
+		l2.requeue(first)
+		l2.requeue(r)
+		return
+	}
+	l2.l1d[mute.Core].ProbeInvalidate(r.Block)
+	delete(l2.pendingSync, r.Pair)
+
+	l2.ensureLine(r, func(line *cache.Line, extra int64) {
+		d := l2.dirFor(r.Block)
+		ok, rextra := l2.recallOwner(r, line, d, true)
+		if !ok {
+			// recallOwner requeued r; re-park its partner so the retried
+			// request finds it and the pair combines again.
+			partner := vocal
+			if r == vocal {
+				partner = mute
+			}
+			l2.pendingSync[r.Pair] = partner
+			return
+		}
+		if vhad && vdirty {
+			line.Data = vd
+			line.Dirty = true
+		}
+		if !l2.invalidateSharers(r, r.Block, d, vocal.Core) {
+			// r was requeued; re-park its partner so the retried request
+			// finds it and the pair combines again.
+			partner := vocal
+			if r == vocal {
+				partner = mute
+			}
+			l2.pendingSync[r.Pair] = partner
+			return
+		}
+		d.sharers = 0
+		d.owner = int8(vocal.Core)
+		// Atomic reply to both members of the pair.
+		l2.reply(vocal, &line.Data, true, extra+rextra)
+		l2.reply(mute, &line.Data, true, extra+rextra)
+	})
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"reunion/internal/cpu"
+	"reunion/internal/isa"
+	"reunion/internal/sim"
+)
+
+func entry(seq int64, op isa.Op) *cpu.Entry {
+	return &cpu.Entry{Seq: seq, In: isa.Instr{Op: op}}
+}
+
+func TestNonRedundantGateImmediate(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &NonRedundantGate{EQ: eq}
+	e := entry(0, isa.Add)
+	e.OfferedAt = eq.Now()
+	g.Offer(nil, e, true, 0)
+	if !g.FinalizeReady(nil, e) {
+		t.Fatal("non-redundant retirement must be immediate")
+	}
+	if g.Stepping(nil) || g.SyncArmed(nil) {
+		t.Fatal("no re-execution machinery without redundancy")
+	}
+}
+
+func TestNonRedundantGateChargesHandlerBody(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &NonRedundantGate{EQ: eq}
+	e := entry(0, isa.Ld)
+	e.OfferedAt = eq.Now()
+	e.ExtraCheck = 30 // software TLB handler body
+	g.Offer(nil, e, true, 0)
+	if g.FinalizeReady(nil, e) {
+		t.Fatal("handler body must delay retirement")
+	}
+	eq.Advance(30)
+	if !g.FinalizeReady(nil, e) {
+		t.Fatal("retirement after handler body")
+	}
+}
+
+func TestStrictGateComparisonLatency(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &StrictGate{EQ: eq, CompareLat: 10}
+	e := entry(5, isa.Add)
+	e.OfferedAt = eq.Now()
+	g.Offer(nil, e, true, 0x1234)
+	if g.FinalizeReady(nil, e) {
+		t.Fatal("retired before the comparison latency elapsed")
+	}
+	eq.Advance(9)
+	if g.FinalizeReady(nil, e) {
+		t.Fatal("retired one cycle early")
+	}
+	eq.Advance(10)
+	if !g.FinalizeReady(nil, e) {
+		t.Fatal("not retired at send + latency")
+	}
+}
+
+func TestStrictGateIntervalGrouping(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &StrictGate{EQ: eq, CompareLat: 10}
+	// Three instructions, one interval ending at seq 2.
+	e0, e1, e2 := entry(0, isa.Add), entry(1, isa.Add), entry(2, isa.Add)
+	g.Offer(nil, e0, false, 0)
+	g.Offer(nil, e1, false, 0)
+	g.Offer(nil, e2, true, 0xbeef)
+	if g.FinalizeReady(nil, e0) {
+		t.Fatal("interval member retired before the interval compared")
+	}
+	eq.Advance(10)
+	for _, e := range []*cpu.Entry{e0, e1, e2} {
+		if !g.FinalizeReady(nil, e) {
+			t.Fatalf("seq %d not released after interval compare", e.Seq)
+		}
+	}
+	// The decision is consumed by the endSeq entry.
+	if g.FinalizeReady(nil, entry(3, isa.Add)) {
+		t.Fatal("released an instruction from an uncompared interval")
+	}
+}
+
+func TestStrictGateSerialExposures(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &StrictGate{EQ: eq, CompareLat: 10}
+	e := entry(0, isa.Trap)
+	e.SerialCount = 4 // software TLB handler: 4 extra exposures
+	e.ExtraCheck = 30
+	g.Offer(nil, e, true, 0)
+	// decision at 10 + 30 + 4*10 = 80
+	eq.Advance(79)
+	if g.FinalizeReady(nil, e) {
+		t.Fatal("serial exposures not charged")
+	}
+	eq.Advance(80)
+	if !g.FinalizeReady(nil, e) {
+		t.Fatal("not released after full exposure")
+	}
+}
+
+func TestStrictGateStaleDecisionDiscarded(t *testing.T) {
+	eq := sim.NewEventQueue()
+	g := &StrictGate{EQ: eq, CompareLat: 0}
+	g.Offer(nil, entry(0, isa.Add), true, 0)
+	eq.Advance(5)
+	// An entry with a larger seq arrives (post-squash seq reuse pattern):
+	// the stale decision must be discarded, not wedge the gate.
+	e := entry(9, isa.Add)
+	g.Offer(nil, e, true, 0)
+	eq.Advance(10)
+	if !g.FinalizeReady(nil, e) {
+		t.Fatal("stale decision wedged the gate")
+	}
+}
+
+func TestDeviceValueDeterminism(t *testing.T) {
+	a := deviceValue(1, 0x100, 0)
+	if a != deviceValue(1, 0x100, 0) {
+		t.Fatal("device values must be deterministic")
+	}
+	if a == deviceValue(1, 0x100, 1) {
+		t.Fatal("successive device reads must differ")
+	}
+	if a == deviceValue(2, 0x100, 0) {
+		t.Fatal("different salts must differ")
+	}
+}

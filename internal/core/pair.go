@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"reunion/internal/cpu"
+	"reunion/internal/sim"
+	"reunion/internal/trace"
+)
+
+// Debug enables recovery/compare tracing to stderr (tests and debugging).
+var Debug = false
+
+func debugf(format string, args ...any) {
+	if Debug {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+// SyncTarget is the shared cache controller surface the pair needs: it
+// can cancel stale synchronizing requests during recovery escalation
+// (the requests themselves travel through the cores' L1s, like misses).
+type SyncTarget interface {
+	CancelSync(pair int, minToken int64)
+}
+
+// PairStats counts Reunion execution-model events.
+type PairStats struct {
+	Recoveries        int64 // rollback recoveries (fingerprint mismatches)
+	IncoherenceEvents int64 // recoveries attributed to input incoherence
+	FaultEvents       int64 // recoveries attributed to injected soft errors
+	Phase2            int64 // re-execution phase-2 escalations (ARF copy)
+	Failures          int64 // unrecoverable (phase-2 mismatch)
+	SyncRequests      int64 // synchronizing requests issued (per pair-op)
+	AliasForced       int64 // comparisons force-matched by the alias hook
+	Timeouts          int64 // divergence watchdog firings
+	CompareWaitVocal  int64 // cycles the vocal's interval waited for the mute
+	CompareWaitMute   int64
+	Compares          int64
+}
+
+type sentInterval struct {
+	endSeq  int64
+	fp      uint16
+	at      int64
+	extra   int64
+	serial  int
+	endsMem bool
+	dbg     string // populated only when Debug is set
+}
+
+type pairSide struct {
+	sent          []sentInterval
+	decided       []decidedInterval
+	pendingExtra  int64
+	pendingSerial int
+}
+
+// Pair implements the Reunion execution model for one logical processor
+// pair (Definitions 1-11): a vocal and a mute core compare fingerprints at
+// every comparison-interval boundary, retire only on a match, and on a
+// mismatch run rollback recovery followed by the two-phase re-execution
+// protocol with a synchronizing request at the first memory operation.
+type Pair struct {
+	ID      int
+	VocalC  *cpu.Core
+	MuteC   *cpu.Core
+	EQ      *sim.EventQueue
+	L2      SyncTarget
+	Lat     int64 // one-way comparison latency between the cores
+	Timeout int64 // divergence watchdog (cycles one side may run lonely)
+	DevSalt uint64
+
+	sides [2]pairSide
+	gen   int64
+
+	stepping  bool
+	syncArmed bool
+	phase     int
+
+	syncBlockSet bool
+	syncBlock    uint64
+	syncIssued   [2]bool
+	syncDone     int
+
+	lonelySince int64
+
+	// pendingFault is set when an injected fault fires on either core so
+	// the next recovery is attributed to a soft error, not incoherence.
+	pendingFault bool
+
+	// ForceAlias makes the next n mismatching comparisons pass, emulating
+	// fingerprint aliasing (drives the phase-2 path in tests).
+	ForceAlias int
+
+	intPending  int64
+	intServiced int64
+
+	// Trace optionally records recovery/compare events (nil = off).
+	Trace *trace.Ring
+
+	Stats PairStats
+}
+
+// RaiseInterrupt implements InterruptSink: the interrupt is replicated to
+// both cores and serviced at the next comparison boundary — fingerprint
+// comparison synchronizes the pair on a single instruction (paper §4.3).
+func (p *Pair) RaiseInterrupt(cost int64) { p.intPending += cost }
+
+// InterruptsServiced implements InterruptSink.
+func (p *Pair) InterruptsServiced() int64 { return p.intServiced }
+
+// NewPair wires a vocal and mute core into a logical processor pair.
+// Call Bind afterwards (or let the system do it) to install the gate.
+func NewPair(id int, eq *sim.EventQueue, l2 SyncTarget, lat, timeout int64, devSalt uint64) *Pair {
+	return &Pair{
+		ID: id, EQ: eq, L2: l2, Lat: lat, Timeout: timeout, DevSalt: devSalt,
+		lonelySince: -1,
+	}
+}
+
+// Bind attaches the two cores. The pair is their cpu.Gate.
+func (p *Pair) Bind(vocal, mute *cpu.Core) {
+	if !vocal.Vocal || mute.Vocal {
+		panic("core: pair Bind roles reversed")
+	}
+	p.VocalC, p.MuteC = vocal, mute
+	vocal.OnFaultFired = func() { p.pendingFault = true }
+	mute.OnFaultFired = func() { p.pendingFault = true }
+}
+
+func (p *Pair) sideOf(c *cpu.Core) int {
+	if c.Vocal {
+		return 0
+	}
+	return 1
+}
+
+// Offer implements cpu.Gate: record the interval fingerprint send.
+func (p *Pair) Offer(c *cpu.Core, e *cpu.Entry, send bool, fp uint16) {
+	s := &p.sides[p.sideOf(c)]
+	s.pendingExtra += e.ExtraCheck
+	s.pendingSerial += e.SerialCount
+	if !send {
+		return
+	}
+	si := sentInterval{
+		endSeq:  e.Seq,
+		fp:      fp,
+		at:      p.EQ.Now(),
+		extra:   s.pendingExtra,
+		serial:  s.pendingSerial,
+		endsMem: e.In.IsMem(),
+	}
+	if Debug {
+		si.dbg = fmt.Sprintf("pc=%d %v res=%d ea=%#x tk=%v tg=%d", e.PC, e.In, e.Result, e.EA, e.Taken, e.Target)
+	}
+	s.sent = append(s.sent, si)
+	s.pendingExtra, s.pendingSerial = 0, 0
+}
+
+// FlushInterval implements cpu.Gate: an early-ended interval is exchanged
+// and compared like any other; both cores flush at the same committed
+// position, so the FIFO matching stays aligned.
+func (p *Pair) FlushInterval(c *cpu.Core, endSeq int64, fp uint16) {
+	s := &p.sides[p.sideOf(c)]
+	s.sent = append(s.sent, sentInterval{
+		endSeq: endSeq,
+		fp:     fp,
+		at:     p.EQ.Now(),
+		extra:  s.pendingExtra,
+		serial: s.pendingSerial,
+	})
+	s.pendingExtra, s.pendingSerial = 0, 0
+}
+
+// Tick matches fingerprint sends from the two sides and schedules the
+// comparison decisions. Call once per cycle.
+func (p *Pair) Tick() {
+	v, m := &p.sides[0], &p.sides[1]
+	for len(v.sent) > 0 && len(m.sent) > 0 {
+		a, b := v.sent[0], m.sent[0]
+		v.sent = v.sent[1:]
+		m.sent = m.sent[1:]
+		p.Stats.Compares++
+		// Loose coupling: the comparison completes one comparison latency
+		// after the *later* send (the cores swap fingerprints, §4.3).
+		send := a.at
+		if b.at > send {
+			send = b.at
+			p.Stats.CompareWaitVocal += b.at - a.at
+		} else {
+			p.Stats.CompareWaitMute += a.at - b.at
+		}
+		at := send + p.Lat + a.extra + int64(a.serial)*p.Lat
+		if p.intPending > 0 {
+			// Service the replicated external interrupt at this boundary:
+			// both cores retire the preceding instructions, then handle it.
+			at += p.intPending
+			p.intPending = 0
+			p.intServiced++
+		}
+		match := a.fp == b.fp
+		if !match && p.ForceAlias > 0 {
+			p.ForceAlias--
+			p.Stats.AliasForced++
+			match = true
+		}
+		gen := p.gen
+		aEnd, bEnd, endsMem := a.endSeq, b.endSeq, a.endsMem
+		if !match {
+			debugf("[%d] %v compare MISMATCH endSeq v=%d m=%d fp %04x/%04x endsMem=%v stepping=%v\n    vocal: %s\n    mute:  %s",
+				p.EQ.Now(), p, aEnd, bEnd, a.fp, b.fp, endsMem, p.stepping, a.dbg, b.dbg)
+			p.Trace.Addf(p.EQ.Now(), p.VocalC.ID, trace.Compare,
+				"mismatch endSeq=%d fp=%04x/%04x stepping=%v", aEnd, a.fp, b.fp, p.stepping)
+		}
+		p.EQ.At(at, func() {
+			if p.gen != gen {
+				return
+			}
+			if !match {
+				p.recover()
+				return
+			}
+			now := p.EQ.Now()
+			p.sides[0].decided = append(p.sides[0].decided, decidedInterval{endSeq: aEnd, at: now})
+			p.sides[1].decided = append(p.sides[1].decided, decidedInterval{endSeq: bEnd, at: now})
+			if p.stepping && endsMem {
+				// Re-execution protocol complete: the first memory
+				// operation after rollback compared successfully; normal
+				// execution resumes (Definition 11).
+				p.stepping = false
+				p.syncArmed = false
+				p.phase = 0
+			}
+		})
+	}
+	// Divergence watchdog: if one side keeps sending while the other is
+	// silent (e.g., the mute wandered off a garbage-value branch with a
+	// comparison interval longer than one instruction), force recovery.
+	lonely := (len(v.sent) > 0) != (len(m.sent) > 0)
+	switch {
+	case !lonely:
+		p.lonelySince = -1
+	case p.lonelySince < 0:
+		p.lonelySince = p.EQ.Now()
+	case p.EQ.Now()-p.lonelySince > p.Timeout:
+		p.Stats.Timeouts++
+		p.recover()
+	}
+}
+
+// recover performs rollback recovery (Definition 8) and arms the
+// re-execution protocol (Definition 11). Called at fingerprint mismatch,
+// sync-address divergence, or watchdog timeout.
+func (p *Pair) recover() {
+	if p.VocalC.Failed() {
+		return
+	}
+	p.gen++
+	if p.stepping {
+		p.phase++
+	} else {
+		p.phase = 1
+	}
+	p.Stats.Recoveries++
+	if p.pendingFault {
+		p.Stats.FaultEvents++
+		p.pendingFault = false
+	} else {
+		p.Stats.IncoherenceEvents++
+	}
+	p.sides[0] = pairSide{}
+	p.sides[1] = pairSide{}
+	// Outstanding synchronizing requests from before this recovery will
+	// never be answered (the controller drops stale tokens): abort their
+	// L1-side MSHRs and invalidate them at the controller.
+	p.L2.CancelSync(p.ID, p.gen)
+	if p.syncIssued[0] {
+		p.VocalC.L1D.AbortMiss(p.syncBlock)
+	}
+	if p.syncIssued[1] {
+		p.MuteC.L1D.AbortMiss(p.syncBlock)
+	}
+	p.syncBlockSet = false
+	p.syncIssued = [2]bool{}
+	p.syncDone = 0
+	p.lonelySince = -1
+
+	if p.phase > 2 {
+		// Phase 2 already copied the vocal's safe state and comparison
+		// still fails: the error is in safe state (e.g., aliased past the
+		// fingerprint). Signal a detected, unrecoverable error (§4.3).
+		p.Stats.Failures++
+		p.VocalC.MarkFailed()
+		p.MuteC.MarkFailed()
+		return
+	}
+	if p.phase == 2 {
+		// Mute register initialization from the vocal (Definition 9).
+		p.Stats.Phase2++
+		p.MuteC.SetARF(p.VocalC.ARF())
+		seq, pc := p.VocalC.CommitPoint()
+		p.MuteC.SetCommitPoint(seq, pc)
+	}
+	p.VocalC.SquashAll()
+	p.MuteC.SquashAll()
+	p.stepping = true
+	p.syncArmed = true
+	if Debug {
+		vs, vp := p.VocalC.CommitPoint()
+		ms, mp := p.MuteC.CommitPoint()
+		debugf("[%d] %v RECOVER phase=%d vocal@(%d,%d) mute@(%d,%d)", p.EQ.Now(), p, p.phase, vs, vp, ms, mp)
+	}
+	if p.Trace.Enabled(trace.Recovery) {
+		seq, pc := p.VocalC.CommitPoint()
+		p.Trace.Addf(p.EQ.Now(), p.VocalC.ID, trace.Recovery,
+			"phase=%d restart seq=%d pc=%d", p.phase, seq, pc)
+	}
+}
+
+// DebugString dumps pair internals for wedge diagnosis.
+func (p *Pair) DebugString() string {
+	return fmt.Sprintf("%v gen=%d phase=%d stepping=%v armed=%v syncIssued=%v syncDone=%d sent=[%d,%d] decided=[%d,%d] stats=%+v",
+		p, p.gen, p.phase, p.stepping, p.syncArmed, p.syncIssued, p.syncDone,
+		len(p.sides[0].sent), len(p.sides[1].sent),
+		len(p.sides[0].decided), len(p.sides[1].decided), p.Stats)
+}
+
+// FinalizeReady implements cpu.Gate.
+func (p *Pair) FinalizeReady(c *cpu.Core, e *cpu.Entry) bool {
+	s := &p.sides[p.sideOf(c)]
+	for len(s.decided) > 0 && e.Seq > s.decided[0].endSeq {
+		s.decided = s.decided[1:]
+	}
+	if len(s.decided) == 0 {
+		return false
+	}
+	d := s.decided[0]
+	if p.EQ.Now() < d.at {
+		return false
+	}
+	if e.Seq == d.endSeq {
+		s.decided = s.decided[1:]
+	}
+	return true
+}
+
+// Stepping implements cpu.Gate.
+func (p *Pair) Stepping(*cpu.Core) bool { return p.stepping }
+
+// SyncArmed implements cpu.Gate.
+func (p *Pair) SyncArmed(*cpu.Core) bool { return p.syncArmed }
+
+// SyncIssue implements cpu.Gate: route this side's synchronizing request
+// through its L1 to the shared cache controller, which combines the
+// pair's two requests into one coherent transaction and replies to both
+// atomically (Definition 10).
+func (p *Pair) SyncIssue(c *cpu.Core, block uint64, word int, atomic bool, done func(old uint64)) bool {
+	side := p.sideOf(c)
+	if p.syncIssued[side] {
+		return false
+	}
+	if p.syncBlockSet && p.syncBlock != block {
+		// The two sides disagree on the first memory address after
+		// rollback: architectural state diverged (possible only past a
+		// fingerprint alias). Escalate instead of deadlocking.
+		p.recover()
+		return false
+	}
+	gen := p.gen
+	if !c.L1D.SyncFill(block, word, atomic, gen, func(v uint64) {
+		if p.gen == gen {
+			p.syncDone++
+			if p.syncDone == 2 {
+				p.syncBlockSet = false
+				p.syncIssued = [2]bool{}
+				p.syncDone = 0
+			}
+		}
+		done(v)
+	}) {
+		return false
+	}
+	p.syncBlock, p.syncBlockSet = block, true
+	p.syncIssued[side] = true
+	if c.Vocal {
+		p.Stats.SyncRequests++
+	}
+	return true
+}
+
+// DeviceRead implements cpu.Gate: device values are replicated to both
+// members of the pair (the vocal issues the real uncached access; the mute
+// observes the same value after output comparison of the address).
+func (p *Pair) DeviceRead(c *cpu.Core, addr uint64, n int64) int64 {
+	return deviceValue(p.DevSalt^uint64(p.ID), addr, n)
+}
+
+// InRecovery reports whether the pair is currently re-executing.
+func (p *Pair) InRecovery() bool { return p.stepping }
+
+// String identifies the pair.
+func (p *Pair) String() string { return fmt.Sprintf("pair%d", p.ID) }

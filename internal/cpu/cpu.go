@@ -1,0 +1,374 @@
+// Package cpu implements the out-of-order processor core of the simulated
+// CMP: the simplified pipeline of the paper's Figure 3 — in-order fetch and
+// decode, out-of-order issue/execute/writeback against a 256-entry RUU-style
+// reorder buffer, a two-region (speculative/non-speculative) store buffer,
+// and in-order retirement stages.
+//
+// For redundant execution models, retirement is split exactly as in
+// Figure 3(b): instructions first pass mis-speculation detection, then
+// enter an in-order *check* stage where a fingerprint of their
+// architectural updates is generated and exchanged with the partner core,
+// and only after a matching comparison do they retire to the architectural
+// register file and non-speculative store buffer. Instructions occupy
+// their ROB entry until the comparison completes, which is the resource-
+// occupancy overhead the paper measures; serializing instructions stall
+// issue of younger instructions until they retire, which is the
+// serializing overhead.
+//
+// The core is fully functional: register values, memory values and branch
+// outcomes are real, so a vocal/mute pair detects genuine divergence.
+package cpu
+
+import (
+	"fmt"
+
+	"reunion/internal/bpred"
+	"reunion/internal/cache"
+	"reunion/internal/fingerprint"
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+	"reunion/internal/sim"
+	"reunion/internal/tlb"
+)
+
+// Consistency selects the memory consistency model.
+type Consistency uint8
+
+// Consistency models.
+const (
+	// TSO (Sun total store order): stores drain lazily from the
+	// non-speculative store buffer; MEMBAR drains and serializes.
+	TSO Consistency = iota
+	// SC (sequential consistency): every store carries memory-barrier
+	// semantics and therefore serializes retirement (paper §5.5).
+	SC
+)
+
+// String names the consistency model.
+func (c Consistency) String() string {
+	if c == SC {
+		return "SC"
+	}
+	return "TSO"
+}
+
+// Config holds per-core microarchitecture parameters (defaults per
+// Table 1 live in the public reunion package).
+type Config struct {
+	FetchWidth    int
+	DispatchWidth int
+	IssueWidth    int
+	RetireWidth   int
+	ROBSize       int
+	SBSize        int
+	FetchQCap     int
+	CheckQCap     int   // max instructions in check (offered, unretired)
+	LoadToUse     int64 // L1D hit latency
+	FrontDepth    int64 // fetch-to-dispatch stages (redirect penalty)
+	L1LoadPorts   int
+	L1StorePorts  int
+	TrapLatency   int64 // trap service body
+	DevLatency    int64 // uncached device access latency
+	Consistency   Consistency
+	FPMode        fingerprint.Mode
+	FPInterval    int // instructions per fingerprint/comparison interval
+
+	TLB TLBPolicy
+}
+
+// TLBPolicy configures TLB management (paper §5.5).
+type TLBPolicy struct {
+	Mode        tlb.Mode
+	WalkLatency int64 // hardware-managed page walk
+	HandlerBody int64 // software handler non-serializing work
+	// HandlerSerializers counts serializing events inside the software
+	// handler: trap entry + three non-idempotent MMU accesses + trap
+	// return = 5 for the UltraSPARC III fast miss handler.
+	HandlerSerializers int
+}
+
+type entryState uint8
+
+const (
+	stFree entryState = iota
+	stDispatched
+	stIssued
+	stDone
+	stOffered
+)
+
+// Entry is one ROB (RUU) entry.
+type Entry struct {
+	Seq   int64
+	PC    int64
+	In    isa.Instr
+	Epoch int64
+
+	state entryState
+
+	// Operand capture (RUU style): each source is either a ready value or
+	// a reference to the producing ROB entry, guarded by the producer's
+	// Seq against slot reuse.
+	src1, src2, src3                int64
+	src1Rob, src2Rob, src3Rob       int
+	src1Seq, src2Seq, src3Seq       int64
+	src1Reg, src2Reg, src3Reg       uint8
+	src1Ready, src2Ready, src3Ready bool
+
+	// Branch prediction state.
+	predTaken  bool
+	predTarget int64
+
+	// Execution results.
+	Result    int64
+	Taken     bool
+	Target    int64
+	EA        uint64
+	doneAt    int64
+	hasDoneAt bool
+
+	// CAS bookkeeping.
+	casSuccess bool
+	casNew     int64
+
+	// Synchronizing-request bookkeeping (re-execution protocol).
+	syncIssued bool
+
+	// Check-stage state.
+	Serializing bool  // ISA- or consistency-model-serializing
+	IntervalID  int64 // comparison interval this entry belongs to
+	ExtraCheck  int64 // additional compare exposure (software TLB handler)
+	SerialCount int   // serializing compare exposures beyond the first
+	OfferedAt   int64 // cycle the entry entered check
+	tlbChecked  bool
+	offerAfter  int64
+}
+
+type fqSlot struct {
+	seq        int64
+	pc         int64
+	in         isa.Instr
+	predTaken  bool
+	predTarget int64
+	readyAt    int64
+}
+
+type sbEntry struct {
+	seq       int64
+	block     uint64
+	word      int
+	data      uint64
+	addrReady bool
+	nonspec   bool
+	draining  bool
+}
+
+// Stats are per-core counters. Reset at measurement boundaries.
+type Stats struct {
+	Committed       int64 // user instructions retired to architectural state
+	CommittedLoads  int64
+	CommittedStores int64
+	Mispredicts     int64
+	Serializing     int64 // serializing instructions committed
+	ITLBMisses      int64
+	DTLBMisses      int64
+	ROBOccupancy    int64 // summed per cycle
+	CheckOccupancy  int64 // offered-unretired summed per cycle
+	Cycles          int64
+	IssueStallSer   int64 // cycles an issuable instruction waited on a serializing fence
+	SBFullStalls    int64
+	DevReads        int64
+}
+
+// Gate decides when offered instructions may architecturally retire. It is
+// the seam between the core pipeline and the execution model (non-
+// redundant, strict, or Reunion pair) implemented in internal/core.
+type Gate interface {
+	// Offer is called once per instruction, in order, when it enters the
+	// check stage. send is true when this instruction closes a comparison
+	// interval; fp is then the interval fingerprint.
+	Offer(c *Core, e *Entry, send bool, fp uint16)
+	// FlushInterval closes the open comparison interval early, ending at
+	// endSeq: a serializing instruction is next, and all older
+	// instructions must compare and retire before it executes (§4.4:
+	// "the fingerprint interval immediately ends").
+	FlushInterval(c *Core, endSeq int64, fp uint16)
+	// FinalizeReady reports whether the head entry may retire now.
+	FinalizeReady(c *Core, e *Entry) bool
+	// Stepping reports whether the core is in re-execution single-step mode.
+	Stepping(c *Core) bool
+	// SyncArmed reports whether the next load/atomic must use a
+	// synchronizing request.
+	SyncArmed(c *Core) bool
+	// SyncIssue sends the synchronizing request for this core; done fires
+	// with the coherent word value once the block has been filled into the
+	// core's L1 (locked and Modified when atomic is set). It returns false
+	// if the request could not be sent yet.
+	SyncIssue(c *Core, block uint64, word int, atomic bool, done func(old uint64)) bool
+	// DeviceRead returns the value of the n-th committed non-idempotent
+	// device read at addr for this logical processor (replicated so both
+	// members of a pair observe identical device values).
+	DeviceRead(c *Core, addr uint64, n int64) int64
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	ID    int
+	Pair  int
+	Vocal bool
+	Cfg   *Config
+	EQ    *sim.EventQueue
+
+	Thread *program.Thread
+	L1D    *cache.L1
+	L1I    *cache.L1
+	ITLB   *tlb.TLB
+	DTLB   *tlb.TLB
+	BP     *bpred.Predictor
+	Gate   Gate
+
+	// Architectural state.
+	arf       [isa.NumRegs]int64
+	commitSeq int64
+	commitPC  int64
+
+	// Front end.
+	fetchPC     int64
+	fetchSeq    int64
+	fetchHalted bool
+	icacheWait  bool
+	curIBlock   uint64
+	haveIBlock  bool
+	fetchEpoch  int64
+	fq          []fqSlot
+
+	// Window.
+	rob      []Entry
+	robHead  int
+	robCount int
+	offerIdx int // entries [head, head+offerIdx) are offered
+	rename   [isa.NumRegs]renameRef
+	inExec   []int // ROB indices executing or awaiting memory
+
+	// Store buffer (ordered by seq; spec entries follow non-spec).
+	sb         []sbEntry
+	sbDraining bool
+
+	// Serializing fences: seqs of in-flight serializing instructions.
+	serQ []int64
+
+	epoch  int64
+	halted bool
+	failed bool
+
+	// Soft-error injection: when armed, the next register-writing
+	// instruction entering check has the given bit of its result flipped
+	// (a datapath transient caught by output comparison).
+	faultArmed   bool
+	faultBit     uint
+	OnFaultFired func()
+
+	// Fingerprinting.
+	fpGen         *fingerprint.Gen
+	intervalCount int
+	intervalID    int64
+
+	// Per-cycle structural ports.
+	loadsThisCycle  int
+	storesThisCycle int
+
+	// devCount numbers committed device reads; unlike Stats it is never
+	// reset, so the replicated device values of a pair stay aligned across
+	// measurement boundaries.
+	devCount int64
+
+	Stats Stats
+}
+
+type renameRef struct {
+	valid bool
+	rob   int
+	seq   int64
+}
+
+// New builds a core bound to a thread and its private caches.
+func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
+	th *program.Thread, l1d, l1i *cache.L1, itlb, dtlb *tlb.TLB, gate Gate) *Core {
+	c := &Core{
+		ID: id, Pair: pair, Vocal: vocal, Cfg: cfg, EQ: eq,
+		Thread: th, L1D: l1d, L1I: l1i, ITLB: itlb, DTLB: dtlb,
+		BP:    bpred.New(12, 10),
+		Gate:  gate,
+		rob:   make([]Entry, cfg.ROBSize),
+		fpGen: fingerprint.NewGen(cfg.FPMode),
+	}
+	c.arf = th.InitRegs
+	c.fetchPC = th.Entry
+	c.commitPC = th.Entry
+	return c
+}
+
+// ARF returns a copy of the committed architectural register file.
+func (c *Core) ARF() [isa.NumRegs]int64 { return c.arf }
+
+// SetARF overwrites the committed register file (mute register
+// initialization, Definition 9 / re-execution phase 2).
+func (c *Core) SetARF(r [isa.NumRegs]int64) { c.arf = r }
+
+// CommitPoint returns the seq and pc of the next instruction to retire.
+func (c *Core) CommitPoint() (seq, pc int64) { return c.commitSeq, c.commitPC }
+
+// SetCommitPoint overwrites the restart point (phase-2 recovery: the mute
+// adopts the vocal's).
+func (c *Core) SetCommitPoint(seq, pc int64) { c.commitSeq, c.commitPC = seq, pc }
+
+// Halted reports whether the core has retired a Halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// MarkFailed permanently stops the core (unrecoverable error, paper §4.3).
+func (c *Core) MarkFailed() { c.failed = true; c.halted = true }
+
+// Failed reports whether the core was stopped by an unrecoverable error.
+func (c *Core) Failed() bool { return c.failed }
+
+func (c *Core) robIdx(offset int) int { return (c.robHead + offset) % len(c.rob) }
+
+func (c *Core) head() *Entry {
+	if c.robCount == 0 {
+		return nil
+	}
+	return &c.rob[c.robHead]
+}
+
+// ArmFault schedules a single-bit transient fault: the next register-
+// writing instruction to enter the check stage has bit b of its result
+// flipped before fingerprinting. Because the flip happens before
+// retirement, detection-and-recovery machinery must catch it for the
+// program to stay architecturally correct.
+func (c *Core) ArmFault(b uint) { c.faultArmed, c.faultBit = true, b%64 }
+
+// FaultPending reports whether an armed fault has not yet fired.
+func (c *Core) FaultPending() bool { return c.faultArmed }
+
+// String identifies the core in diagnostics.
+func (c *Core) String() string {
+	role := "mute"
+	if c.Vocal {
+		role = "vocal"
+	}
+	return fmt.Sprintf("core%d(%s,pair%d)", c.ID, role, c.Pair)
+}
+
+// DumpState formats a short pipeline summary for debugging.
+func (c *Core) DumpState() string {
+	h := c.head()
+	hs := "-"
+	if h != nil {
+		hs = fmt.Sprintf("seq=%d pc=%d %v st=%d", h.Seq, h.PC, h.In, h.state)
+	}
+	return fmt.Sprintf("%s commitSeq=%d commitPC=%d fetchPC=%d rob=%d offered=%d sb=%d head[%s] halted=%v",
+		c, c.commitSeq, c.commitPC, c.fetchPC, c.robCount, c.offerIdx, len(c.sb), hs, c.halted)
+}
+
+func wordIndex(addr uint64) int { return int(addr%mem.BlockBytes) / 8 }

@@ -1,0 +1,557 @@
+package cpu
+
+import (
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+)
+
+// Tick advances the core by one cycle. Stages run back-to-front so an
+// instruction moves at most one stage per cycle.
+func (c *Core) Tick() {
+	if c.halted {
+		return
+	}
+	c.Stats.Cycles++
+	c.Stats.ROBOccupancy += int64(c.robCount)
+	c.Stats.CheckOccupancy += int64(c.offerIdx)
+	c.loadsThisCycle, c.storesThisCycle = 0, 0
+
+	c.finalize()
+	c.offer()
+	c.completeExec()
+	c.issue()
+	c.drainSB()
+	c.dispatch()
+	c.fetch()
+}
+
+// --- fetch ----------------------------------------------------------------
+
+func (c *Core) fetch() {
+	if c.fetchHalted || c.icacheWait {
+		return
+	}
+	stepping := c.Gate.Stepping(c)
+	if stepping && (c.robCount > 0 || len(c.fq) > 0 || len(c.sb) > 0) {
+		// Single-step: one instruction in flight at a time, and the store
+		// buffer fully drained between steps. Draining keeps the two
+		// cores' forwarding state identical, so both members of the pair
+		// make the same synchronizing-request decision at the first load.
+		return
+	}
+	now := c.EQ.Now()
+	width := c.Cfg.FetchWidth
+	if stepping {
+		width = 1
+	}
+	for n := 0; n < width && len(c.fq) < c.Cfg.FetchQCap; n++ {
+		in, ok := c.Thread.Fetch(c.fetchPC)
+		if !ok {
+			return // wild PC (divergent speculation); stall until redirect
+		}
+		// Instruction cache access, one lookup per block transition.
+		block := mem.BlockAddr(c.Thread.PCAddr(c.fetchPC))
+		if !c.haveIBlock || block != c.curIBlock {
+			epoch := c.fetchEpoch
+			switch c.L1I.Ifetch(block, func() {
+				if c.fetchEpoch == epoch {
+					c.icacheWait = false
+				}
+			}) {
+			case cacheRetry:
+				return
+			case cacheMiss:
+				c.icacheWait = true
+				return
+			}
+			c.curIBlock = block
+			c.haveIBlock = true
+		}
+		slot := fqSlot{seq: c.fetchSeq, pc: c.fetchPC, in: in, readyAt: now + c.Cfg.FrontDepth}
+		taken := false
+		switch {
+		case in.IsCondBranch():
+			t, _, _ := c.BP.Predict(c.fetchPC)
+			slot.predTaken = t
+			slot.predTarget = in.Imm // direct target, known at decode
+			taken = t
+		case in.Op == isa.Jmp:
+			slot.predTaken = true
+			slot.predTarget = in.Imm
+			taken = true
+		case in.Op == isa.Jr:
+			_, tgt, ok := c.BP.Predict(c.fetchPC)
+			slot.predTaken = true
+			if ok {
+				slot.predTarget = tgt
+			} else {
+				slot.predTarget = -1 // unknown; resolves as mispredict
+			}
+			taken = true
+		}
+		c.fq = append(c.fq, slot)
+		c.fetchSeq++
+		if in.Op == isa.Halt {
+			c.fetchHalted = true
+			return
+		}
+		if taken {
+			if slot.predTarget < 0 {
+				// Unknown indirect target: stall fetch; the branch
+				// resolves as a mispredict and redirects.
+				c.fetchPC = -1
+				c.haveIBlock = false
+				return
+			}
+			c.fetchPC = slot.predTarget
+			c.haveIBlock = false
+			return // taken branch ends the fetch group
+		}
+		c.fetchPC++
+	}
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+func (c *Core) dispatch() {
+	now := c.EQ.Now()
+	for n := 0; n < c.Cfg.DispatchWidth; n++ {
+		if len(c.fq) == 0 || c.fq[0].readyAt > now {
+			return
+		}
+		if c.robCount >= len(c.rob) {
+			return
+		}
+		slot := c.fq[0]
+		if slot.in.IsStore() && !c.sbHasRoom() {
+			c.Stats.SBFullStalls++
+			return
+		}
+		copy(c.fq, c.fq[1:])
+		c.fq = c.fq[:len(c.fq)-1]
+
+		idx := c.robIdx(c.robCount)
+		e := &c.rob[idx]
+		*e = Entry{
+			Seq: slot.seq, PC: slot.pc, In: slot.in, Epoch: c.epoch,
+			state:      stDispatched,
+			predTaken:  slot.predTaken,
+			predTarget: slot.predTarget,
+			src1Rob:    -1, src2Rob: -1, src3Rob: -1,
+		}
+		c.robCount++
+
+		in := slot.in
+		if in.ReadsRs1() {
+			c.captureSource(e, in.Rs1, &e.src1, &e.src1Rob, &e.src1Seq, &e.src1Reg, &e.src1Ready)
+		} else {
+			e.src1Ready = true
+		}
+		if in.ReadsRs2() {
+			c.captureSource(e, in.Rs2, &e.src2, &e.src2Rob, &e.src2Seq, &e.src2Reg, &e.src2Ready)
+		} else {
+			e.src2Ready = true
+		}
+		if in.ReadsRdAsSource() {
+			c.captureSource(e, in.Rd, &e.src3, &e.src3Rob, &e.src3Seq, &e.src3Reg, &e.src3Ready)
+		} else {
+			e.src3Ready = true
+		}
+		if in.WritesReg() && in.Rd != 0 {
+			c.rename[in.Rd] = renameRef{valid: true, rob: idx, seq: e.Seq}
+		}
+		if in.IsStore() {
+			c.sb = append(c.sb, sbEntry{seq: e.Seq})
+		}
+		e.Serializing = in.IsSerializing() || (c.Cfg.Consistency == SC && in.IsStore())
+		if e.Serializing {
+			c.serQ = append(c.serQ, e.Seq)
+		}
+	}
+}
+
+func (c *Core) sbHasRoom() bool { return len(c.sb) < c.Cfg.SBSize }
+
+func (c *Core) captureSource(e *Entry, reg uint8, val *int64, rob *int, seq *int64, regOut *uint8, ready *bool) {
+	*regOut = reg
+	if reg == 0 {
+		*val, *ready = 0, true
+		return
+	}
+	ref := c.rename[reg]
+	if !ref.valid {
+		*val, *ready = c.arf[reg], true
+		return
+	}
+	p := &c.rob[ref.rob]
+	if p.Seq == ref.seq && (p.state == stDone || p.state == stOffered) {
+		*val, *ready = p.Result, true
+		return
+	}
+	if p.Seq != ref.seq || p.state == stFree {
+		// Producer already retired; the value is architectural.
+		*val, *ready = c.arf[reg], true
+		return
+	}
+	*rob, *seq, *ready = ref.rob, ref.seq, false
+}
+
+// pollSource refreshes a pending operand from its producer.
+func (c *Core) pollSource(val *int64, rob *int, seq *int64, reg uint8, ready *bool) {
+	if *ready {
+		return
+	}
+	p := &c.rob[*rob]
+	switch {
+	case p.Seq == *seq && (p.state == stDone || p.state == stOffered):
+		*val, *ready = p.Result, true
+	case p.Seq != *seq || p.state == stFree:
+		*val, *ready = c.arf[reg], true
+	}
+}
+
+// --- issue and execute ------------------------------------------------------
+
+// serializeFence returns the seq of the oldest in-flight serializing
+// instruction, or -1.
+func (c *Core) serializeFence() int64 {
+	if len(c.serQ) == 0 {
+		return -1
+	}
+	return c.serQ[0]
+}
+
+func (c *Core) issue() {
+	now := c.EQ.Now()
+	fence := c.serializeFence()
+	issued := 0
+	for i := 0; i < c.robCount && issued < c.Cfg.IssueWidth; i++ {
+		idx := c.robIdx(i)
+		e := &c.rob[idx]
+		if fence >= 0 && e.Seq > fence {
+			break // nothing younger than an unretired serializing instr executes
+		}
+		if e.state != stDispatched {
+			continue
+		}
+		c.pollSource(&e.src1, &e.src1Rob, &e.src1Seq, e.src1Reg, &e.src1Ready)
+		c.pollSource(&e.src2, &e.src2Rob, &e.src2Seq, e.src2Reg, &e.src2Ready)
+		c.pollSource(&e.src3, &e.src3Rob, &e.src3Seq, e.src3Reg, &e.src3Ready)
+		if !e.src1Ready || !e.src2Ready || !e.src3Ready {
+			continue
+		}
+		if e.Serializing {
+			// Serializing semantics: execute only at the head, after all
+			// older instructions have been compared and retired, with the
+			// non-speculative store buffer drained.
+			if e.Seq != c.commitSeq || c.sbNonspecCount() > 0 {
+				c.Stats.IssueStallSer++
+				continue
+			}
+		}
+		if c.execute(idx, e, now) {
+			issued++
+		}
+	}
+}
+
+func (c *Core) sbNonspecCount() int {
+	n := 0
+	for i := range c.sb {
+		if c.sb[i].nonspec {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Core) sbSpecCount() int { return len(c.sb) - c.sbNonspecCount() }
+
+// execute begins execution of a ready entry. Returns true if it consumed
+// an issue slot.
+func (c *Core) execute(idx int, e *Entry, now int64) bool {
+	in := e.In
+	switch {
+	case in.IsBranch():
+		e.Taken = in.BranchTaken(e.src1, e.src2)
+		switch in.Op {
+		case isa.Jmp:
+			e.Target = in.Imm
+		case isa.Jr:
+			e.Target = e.src1
+		default:
+			e.Target = in.Imm
+		}
+		if !e.Taken {
+			e.Target = e.PC + 1
+		}
+		c.BP.Update(e.PC, e.Taken, e.Target, in.IsCondBranch())
+		mispred := e.Taken != e.predTaken || (e.Taken && e.Target != e.predTarget)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+1, true
+		c.inExec = append(c.inExec, idx)
+		if mispred {
+			c.Stats.Mispredicts++
+			c.BP.Mispredicts++
+			c.squashYounger(e)
+		}
+		return true
+
+	case in.IsLoad():
+		return c.executeLoad(idx, e, now)
+
+	case in.IsStore():
+		if c.storesThisCycle >= c.Cfg.L1StorePorts {
+			return false
+		}
+		addr := uint64(e.src1 + in.Imm)
+		e.EA = addr
+		sbe := c.sbFind(e.Seq)
+		if sbe == nil {
+			panic("cpu: store without SB entry")
+		}
+		sbe.block = mem.BlockAddr(addr)
+		sbe.word = wordIndex(addr)
+		sbe.data = uint64(e.src2)
+		sbe.addrReady = true
+		e.Result = 0
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+1, true
+		c.inExec = append(c.inExec, idx)
+		return true
+
+	case in.IsAtomic():
+		return c.executeAtomic(idx, e, now)
+
+	case in.Op == isa.Trap:
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.TrapLatency, true
+		c.inExec = append(c.inExec, idx)
+		return true
+
+	case in.Op == isa.DevLd:
+		addr := uint64(e.src1 + in.Imm)
+		e.EA = addr
+		e.Result = c.Gate.DeviceRead(c, addr, c.devCount)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.DevLatency, true
+		c.inExec = append(c.inExec, idx)
+		return true
+
+	case in.Op == isa.DevSt:
+		e.EA = uint64(e.src1 + in.Imm)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.DevLatency, true
+		c.inExec = append(c.inExec, idx)
+		return true
+
+	case in.Op == isa.Membar, in.Op == isa.Nop, in.Op == isa.Halt:
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+1, true
+		c.inExec = append(c.inExec, idx)
+		return true
+
+	default: // ALU
+		e.Result = in.ALUResult(e.src1, e.src2)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+in.ExecLatency(), true
+		c.inExec = append(c.inExec, idx)
+		return true
+	}
+}
+
+func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
+	addr := uint64(e.src1 + e.In.Imm)
+	e.EA = addr
+	block := mem.BlockAddr(addr)
+	word := wordIndex(addr)
+
+	// Memory disambiguation (conservative): wait until every older store
+	// has computed its address, then forward from the youngest matching
+	// store-buffer entry if any.
+	youngest := -1
+	for i := range c.sb {
+		s := &c.sb[i]
+		if s.seq >= e.Seq {
+			break
+		}
+		if !s.addrReady {
+			return false
+		}
+		if s.block == block && s.word == word {
+			youngest = i
+		}
+	}
+	if youngest >= 0 {
+		e.Result = int64(c.sb[youngest].data)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+1, true
+		c.inExec = append(c.inExec, idx)
+		return true
+	}
+
+	if c.loadsThisCycle >= c.Cfg.L1LoadPorts {
+		return false
+	}
+
+	// Re-execution protocol: the first load after rollback issues a
+	// synchronizing request instead of a normal access (Definition 11).
+	if c.Gate.SyncArmed(c) && !e.syncIssued {
+		sseq, sepoch := e.Seq, e.Epoch
+		if !c.Gate.SyncIssue(c, block, word, false, func(v uint64) {
+			if ee := &c.rob[idx]; ee.Seq == sseq && ee.Epoch == sepoch && ee.state == stIssued {
+				ee.Result = int64(v)
+				ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
+			}
+		}) {
+			return false
+		}
+		e.syncIssued = true
+		e.state = stIssued
+		e.hasDoneAt = false
+		c.inExec = append(c.inExec, idx)
+		return true
+	}
+
+	c.loadsThisCycle++
+	seq, epoch := e.Seq, e.Epoch
+	status, val := c.L1D.Load(block, word, func(v uint64) {
+		if ee := &c.rob[idx]; ee.Seq == seq && ee.Epoch == epoch && ee.state == stIssued {
+			ee.Result = int64(v)
+			ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
+		}
+	})
+	switch status {
+	case cacheHit:
+		e.Result = int64(val)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.LoadToUse, true
+		c.inExec = append(c.inExec, idx)
+	case cacheMiss:
+		e.state = stIssued
+		e.hasDoneAt = false
+		c.inExec = append(c.inExec, idx)
+	case cacheRetry:
+		return false
+	}
+	return true
+}
+
+func (c *Core) executeAtomic(idx int, e *Entry, now int64) bool {
+	addr := uint64(e.src1)
+	e.EA = addr
+	block := mem.BlockAddr(addr)
+	word := wordIndex(addr)
+
+	seq, epoch := e.Seq, e.Epoch
+	finish := func(old uint64) {
+		ee := &c.rob[idx]
+		if ee.Seq != seq || ee.Epoch != epoch {
+			// Squashed mid-flight: release the lock the fill just took.
+			c.L1D.AtomicEnd(block, word, 0, false)
+			return
+		}
+		ee.Result = int64(old)
+		ee.casSuccess = int64(old) == ee.src3
+		ee.casNew = ee.src2
+		ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
+	}
+
+	// Re-execution protocol: an atomic as the first memory operation after
+	// rollback uses the synchronizing request (Definition 11).
+	if c.Gate.SyncArmed(c) && !e.syncIssued {
+		if !c.Gate.SyncIssue(c, block, word, true, finish) {
+			return false
+		}
+		e.syncIssued = true
+		e.state = stIssued
+		e.hasDoneAt = false
+		c.inExec = append(c.inExec, idx)
+		return true
+	}
+
+	status, old := c.L1D.AtomicBegin(block, word, finish)
+	switch status {
+	case cacheHit:
+		e.Result = int64(old)
+		e.casSuccess = int64(old) == e.src3
+		e.casNew = e.src2
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.LoadToUse, true
+		c.inExec = append(c.inExec, idx)
+	case cacheMiss:
+		e.state = stIssued
+		e.hasDoneAt = false
+		c.inExec = append(c.inExec, idx)
+	case cacheRetry:
+		return false
+	}
+	return true
+}
+
+// completeExec moves executing entries whose latency elapsed to Done.
+func (c *Core) completeExec() {
+	now := c.EQ.Now()
+	out := c.inExec[:0]
+	for _, idx := range c.inExec {
+		e := &c.rob[idx]
+		if e.state != stIssued {
+			continue // squashed
+		}
+		if e.hasDoneAt && e.doneAt <= now {
+			e.state = stDone
+			continue
+		}
+		out = append(out, idx)
+	}
+	c.inExec = out
+}
+
+// --- store buffer -----------------------------------------------------------
+
+func (c *Core) sbFind(seq int64) *sbEntry {
+	for i := range c.sb {
+		if c.sb[i].seq == seq {
+			return &c.sb[i]
+		}
+	}
+	return nil
+}
+
+// drainSB writes the oldest non-speculative store to the L1D (TSO: in
+// order, one outstanding).
+func (c *Core) drainSB() {
+	if c.sbDraining || len(c.sb) == 0 || c.storesThisCycle >= c.Cfg.L1StorePorts {
+		return
+	}
+	s := &c.sb[0]
+	if !s.nonspec || s.draining {
+		return
+	}
+	c.storesThisCycle++
+	seq := s.seq
+	complete := func() {
+		if len(c.sb) == 0 || c.sb[0].seq != seq {
+			panic("cpu: store buffer drained out of order")
+		}
+		copy(c.sb, c.sb[1:])
+		c.sb = c.sb[:len(c.sb)-1]
+		c.sbDraining = false
+	}
+	switch c.L1D.Store(s.block, s.word, s.data, complete) {
+	case cacheHit:
+		complete()
+	case cacheMiss:
+		s.draining = true
+		c.sbDraining = true
+	case cacheRetry:
+		// try again next cycle
+	}
+}
+
+// Aliases to keep cache package names short here.
+const (
+	cacheHit   = 0
+	cacheMiss  = 1
+	cacheRetry = 2
+)

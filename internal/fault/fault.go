@@ -1,0 +1,72 @@
+// Package fault provides soft-error injection campaigns against the
+// Reunion execution model.
+//
+// The paper's fault model (§2.1) targets transient bit flips in the
+// unprotected processor datapath between fetch and retirement. The
+// injector arms single-bit flips in instruction results before they enter
+// the check stage, on randomly chosen cores at randomly chosen cycles, and
+// verifies the detection/recovery pipeline end to end: every injected
+// fault must either be detected by output comparison (and recovered by
+// rollback + re-execution) or be architecturally masked (the flipped
+// result was never consumed — e.g., the instruction was squashed).
+// The paper does not inject faults in its evaluation; this package exists
+// to validate the machinery the evaluation assumes.
+package fault
+
+import (
+	"reunion/internal/cpu"
+	"reunion/internal/sim"
+)
+
+// Campaign drives fault injection into a set of cores.
+type Campaign struct {
+	rng   *sim.Rand
+	cores []*cpu.Core
+
+	// MeanInterval is the mean number of cycles between injections.
+	MeanInterval int64
+
+	nextAt int64
+
+	Injected int64
+	Fired    int64
+}
+
+// NewCampaign builds an injector over the given cores.
+func NewCampaign(seed uint64, meanInterval int64, cores []*cpu.Core) *Campaign {
+	c := &Campaign{rng: sim.NewRand(seed), cores: cores, MeanInterval: meanInterval}
+	for _, core := range cores {
+		prev := core.OnFaultFired
+		core.OnFaultFired = func() {
+			c.Fired++
+			if prev != nil {
+				prev()
+			}
+		}
+	}
+	c.schedule(0)
+	return c
+}
+
+func (c *Campaign) schedule(now int64) {
+	// Geometric-ish spacing around the mean, deterministic from the seed.
+	gap := c.MeanInterval/2 + int64(c.rng.Intn(int(c.MeanInterval)))
+	c.nextAt = now + gap
+}
+
+// Tick arms a fault when the next injection time arrives. Call once per
+// cycle alongside the system tick.
+func (c *Campaign) Tick(now int64) {
+	if now < c.nextAt {
+		return
+	}
+	core := c.cores[c.rng.Intn(len(c.cores))]
+	if !core.Halted() && !core.FaultPending() {
+		core.ArmFault(uint(c.rng.Intn(64)))
+		c.Injected++
+	}
+	c.schedule(now)
+}
+
+// Pending reports how many armed faults have not yet fired.
+func (c *Campaign) Pending() int64 { return c.Injected - c.Fired }

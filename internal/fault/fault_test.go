@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"testing"
+
+	"reunion/internal/cache"
+	"reunion/internal/core"
+	"reunion/internal/cpu"
+	"reunion/internal/fingerprint"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+	"reunion/internal/sim"
+	"reunion/internal/tlb"
+)
+
+// echoBelow instantly satisfies cache misses from a memory image.
+type echoBelow struct {
+	eq  *sim.EventQueue
+	mem *mem.Memory
+}
+
+func (b *echoBelow) Request(r *cache.Req) {
+	if r.Kind == cache.Writeback {
+		b.mem.WriteBlock(r.Block, r.Data)
+		return
+	}
+	block, done := r.Block, r.Done
+	b.eq.After(5, func() {
+		var d mem.Block
+		b.mem.ReadBlock(block, &d)
+		done(cache.Resp{Data: d, Exclusive: true})
+	})
+}
+
+func testCore(eq *sim.EventQueue) *cpu.Core {
+	b := program.NewBuilder("spin", 0)
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Jmp("loop")
+	th := b.Build()
+	below := &echoBelow{eq: eq, mem: mem.New()}
+	cfg := &cpu.Config{
+		FetchWidth: 2, DispatchWidth: 2, IssueWidth: 2, RetireWidth: 2,
+		ROBSize: 16, SBSize: 4, FetchQCap: 4, CheckQCap: 16,
+		LoadToUse: 2, FrontDepth: 2, L1LoadPorts: 1, L1StorePorts: 1,
+		TrapLatency: 5, DevLatency: 5,
+		FPMode: fingerprint.Direct, FPInterval: 1,
+		TLB: cpu.TLBPolicy{Mode: tlb.Hardware, WalkLatency: 5, HandlerBody: 5, HandlerSerializers: 5},
+	}
+	l1d := cache.NewL1("d", 0, 0, true, 1<<10, 2, 4, below, false)
+	l1i := cache.NewL1("i", 0, 0, true, 1<<10, 2, 4, below, true)
+	return cpu.New(0, 0, true, cfg, eq, th, l1d, l1i, tlb.New(16, 2), tlb.New(16, 2),
+		&core.NonRedundantGate{EQ: eq})
+}
+
+func TestCampaignArmsAndFires(t *testing.T) {
+	eq := sim.NewEventQueue()
+	c := testCore(eq)
+	camp := NewCampaign(3, 50, []*cpu.Core{c})
+	for cyc := int64(0); cyc < 5_000; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+		camp.Tick(cyc)
+	}
+	if camp.Injected == 0 {
+		t.Fatal("campaign armed nothing")
+	}
+	if camp.Fired == 0 {
+		t.Fatal("no armed fault fired on a register-writing stream")
+	}
+	if camp.Pending() < 0 {
+		t.Fatalf("pending underflow: %d", camp.Pending())
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		eq := sim.NewEventQueue()
+		c := testCore(eq)
+		camp := NewCampaign(9, 80, []*cpu.Core{c})
+		for cyc := int64(0); cyc < 4_000; cyc++ {
+			eq.Advance(eq.Now() + 1)
+			c.Tick()
+			camp.Tick(cyc)
+		}
+		return camp.Injected, camp.Fired
+	}
+	i1, f1 := run()
+	i2, f2 := run()
+	if i1 != i2 || f1 != f2 {
+		t.Fatalf("campaign not deterministic: (%d,%d) vs (%d,%d)", i1, f1, i2, f2)
+	}
+}
+
+func TestCampaignSkipsHaltedCores(t *testing.T) {
+	eq := sim.NewEventQueue()
+	b := program.NewBuilder("halt", 0)
+	b.Halt()
+	below := &echoBelow{eq: eq, mem: mem.New()}
+	cfg := &cpu.Config{
+		FetchWidth: 1, DispatchWidth: 1, IssueWidth: 1, RetireWidth: 1,
+		ROBSize: 8, SBSize: 2, FetchQCap: 2, CheckQCap: 8,
+		LoadToUse: 2, FrontDepth: 1, L1LoadPorts: 1, L1StorePorts: 1,
+		TrapLatency: 5, DevLatency: 5,
+		FPMode: fingerprint.Direct, FPInterval: 1,
+		TLB: cpu.TLBPolicy{Mode: tlb.Hardware, WalkLatency: 5, HandlerBody: 5, HandlerSerializers: 5},
+	}
+	l1d := cache.NewL1("d", 0, 0, true, 1<<10, 2, 4, below, false)
+	l1i := cache.NewL1("i", 0, 0, true, 1<<10, 2, 4, below, true)
+	c := cpu.New(0, 0, true, cfg, eq, b.Build(), l1d, l1i, tlb.New(16, 2), tlb.New(16, 2),
+		&core.NonRedundantGate{EQ: eq})
+	camp := NewCampaign(5, 10, []*cpu.Core{c})
+	for cyc := int64(0); cyc < 2_000; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+		camp.Tick(cyc)
+	}
+	if !c.Halted() {
+		t.Fatal("core did not halt")
+	}
+	if camp.Injected > 2 {
+		t.Fatalf("campaign kept arming a halted core: %d", camp.Injected)
+	}
+}
+
+func TestFiredHookChains(t *testing.T) {
+	eq := sim.NewEventQueue()
+	c := testCore(eq)
+	prevCalled := false
+	c.OnFaultFired = func() { prevCalled = true }
+	camp := NewCampaign(3, 50, []*cpu.Core{c})
+	for cyc := int64(0); cyc < 2_000 && camp.Fired == 0; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+		camp.Tick(cyc)
+	}
+	if camp.Fired == 0 {
+		t.Skip("no fault fired in window")
+	}
+	if !prevCalled {
+		t.Fatal("campaign must chain the pre-existing OnFaultFired hook")
+	}
+}

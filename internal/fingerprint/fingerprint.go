@@ -1,0 +1,143 @@
+// Package fingerprint implements the architectural-state fingerprints used
+// for output comparison (Smolens et al., ASPLOS 2004, extended by the
+// Reunion paper §4.3).
+//
+// A fingerprint is a hash — here CRC-16-CCITT — of the architectural
+// updates an instruction produces: register writes, branch targets, store
+// addresses and store values. Two cores exchanging a 16-bit fingerprint
+// per comparison interval compress output-comparison bandwidth by orders
+// of magnitude relative to comparing every result bit, at an aliasing
+// probability of at most 2^-16.
+//
+// For wide superscalar retirement the paper adds a two-stage compression
+// scheme: space-compressing parity trees fold the raw per-cycle update
+// bits (which can exceed what a parallel CRC can consume in one clock)
+// down to the CRC width in one stage, then the CRC compresses in time.
+// Parity trees double the aliasing probability, bounding it by 2^-(N-1)
+// for an N-bit CRC. Both the direct and the two-stage generators are
+// implemented; Hash selects between them, and the aliasing analysis is
+// validated by tests.
+package fingerprint
+
+// CCITT is the CRC-16-CCITT polynomial (x^16 + x^12 + x^5 + 1).
+const CCITT = 0x1021
+
+var crcTable = buildTable(CCITT)
+
+func buildTable(poly uint16) *[256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+func crcByte(crc uint16, b byte) uint16 { return crc<<8 ^ crcTable[byte(crc>>8)^b] }
+
+func crcWord(crc uint16, w uint64) uint16 {
+	for s := 56; s >= 0; s -= 8 {
+		crc = crcByte(crc, byte(w>>uint(s)))
+	}
+	return crc
+}
+
+// Mode selects the compression pipeline.
+type Mode uint8
+
+// Compression modes.
+const (
+	// Direct feeds every update word straight into the CRC (feasible only
+	// for narrow retirement; the reference for coverage).
+	Direct Mode = iota
+	// TwoStage folds each cycle's update words through a parity tree down
+	// to 16 bits before the CRC consumes them (feasible for wide
+	// retirement; at most doubles the aliasing probability).
+	TwoStage
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == TwoStage {
+		return "two-stage"
+	}
+	return "direct"
+}
+
+// Gen accumulates architectural updates into a fingerprint over a
+// comparison interval.
+type Gen struct {
+	mode Mode
+	crc  uint16
+}
+
+// NewGen returns a generator in the given mode.
+func NewGen(mode Mode) *Gen { return &Gen{mode: mode, crc: 0xffff} }
+
+// parityFold16 space-compresses a 64-bit word to 16 bits with XOR parity
+// trees (four 16-bit lanes folded together), the single-cycle stage the
+// paper borrows from circuit-test response compaction. Each update word is
+// folded separately and then consumed by the time-compressing CRC — the
+// parity stage must never XOR distinct update words together, or
+// correlated updates (a load's destination record and its value) would
+// cancel systematically rather than alias with probability 2^-(N-1).
+func parityFold16(w uint64) uint16 {
+	return uint16(w) ^ uint16(w>>16) ^ uint16(w>>32) ^ uint16(w>>48)
+}
+
+// Add absorbs one 64-bit architectural update word.
+func (g *Gen) Add(w uint64) {
+	switch g.mode {
+	case Direct:
+		g.crc = crcWord(g.crc, w)
+	case TwoStage:
+		f := parityFold16(w)
+		g.crc = crcByte(g.crc, byte(f>>8))
+		g.crc = crcByte(g.crc, byte(f))
+	}
+}
+
+// Instruction absorbs every architectural update of one retired
+// instruction: destination register index and result value for register
+// writers, taken/target for branches, and address/value for stores.
+func (g *Gen) Instruction(wroteReg bool, rd uint8, result int64,
+	isBranch, taken bool, target int64,
+	isStore bool, storeAddr uint64, storeData uint64) {
+	if wroteReg {
+		g.Add(uint64(rd)<<56 | uint64(result)&0x00ffffffffffffff)
+		g.Add(uint64(result))
+	}
+	if isBranch {
+		tk := uint64(0)
+		if taken {
+			tk = 1
+		}
+		g.Add(tk<<63 | uint64(target)&0x7fffffffffffffff)
+	}
+	if isStore {
+		g.Add(storeAddr)
+		g.Add(storeData)
+	}
+}
+
+// Value returns the fingerprint accumulated so far.
+func (g *Gen) Value() uint16 { return g.crc }
+
+// Reset begins a new comparison interval.
+func (g *Gen) Reset() { g.crc = 0xffff }
+
+// AliasBound returns the design aliasing-probability bound for the mode
+// with a 16-bit CRC: 2^-16 direct, 2^-15 two-stage (paper §4.3).
+func AliasBound(m Mode) float64 {
+	if m == TwoStage {
+		return 1.0 / (1 << 15)
+	}
+	return 1.0 / (1 << 16)
+}

@@ -1,0 +1,193 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, mode := range []Mode{Direct, TwoStage} {
+		a, b := NewGen(mode), NewGen(mode)
+		for i := uint64(0); i < 100; i++ {
+			a.Add(i * 0x9e37)
+			b.Add(i * 0x9e37)
+		}
+		if a.Value() != b.Value() {
+			t.Fatalf("%v: same stream, different fingerprints", mode)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewGen(Direct)
+	empty := g.Value()
+	g.Add(123)
+	if g.Value() == empty {
+		t.Fatal("Add had no effect")
+	}
+	g.Reset()
+	if g.Value() != empty {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestSingleBitSensitivityDirect(t *testing.T) {
+	// CRC-16 detects any single-bit difference in the stream.
+	for bit := uint(0); bit < 64; bit++ {
+		a, b := NewGen(Direct), NewGen(Direct)
+		a.Add(0x1234_5678_9abc_def0)
+		b.Add(0x1234_5678_9abc_def0 ^ 1<<bit)
+		if a.Value() == b.Value() {
+			t.Fatalf("direct mode aliased a single-bit flip at bit %d", bit)
+		}
+	}
+}
+
+func TestTwoStageSingleBitSensitivity(t *testing.T) {
+	// A single-bit flip survives one parity fold (odd number of flipped
+	// bits in the fold), so two-stage must also detect any single flip.
+	for bit := uint(0); bit < 64; bit++ {
+		a, b := NewGen(TwoStage), NewGen(TwoStage)
+		a.Add(0xdead_beef_cafe_f00d)
+		b.Add(0xdead_beef_cafe_f00d ^ 1<<bit)
+		if a.Value() == b.Value() {
+			t.Fatalf("two-stage aliased a single-bit flip at bit %d", bit)
+		}
+	}
+}
+
+// Regression: the two-stage parity fold must never XOR distinct update
+// words together — a load's (rd|result) word and its result word would
+// cancel systematically. This is the exact divergence-hiding bug the
+// simulator bring-up exposed.
+func TestTwoStageNoCrossWordCancellation(t *testing.T) {
+	mk := func(result int64) uint16 {
+		g := NewGen(TwoStage)
+		g.Instruction(true, 11, result, false, false, 0, false, 0, 0)
+		return g.Value()
+	}
+	if mk(0) == mk(1) {
+		t.Fatal("load results 0 and 1 produce identical two-stage fingerprints")
+	}
+	// A broad sample: distinct results should essentially never collide.
+	collisions := 0
+	base := mk(0)
+	for v := int64(1); v < 2000; v++ {
+		if mk(v) == base {
+			collisions++
+		}
+	}
+	if collisions > 1 {
+		t.Fatalf("%d collisions against result 0 in 2000 samples", collisions)
+	}
+}
+
+func TestInstructionFieldsAllMatter(t *testing.T) {
+	type args struct {
+		wrote  bool
+		rd     uint8
+		result int64
+		br     bool
+		taken  bool
+		target int64
+		st     bool
+		stAddr uint64
+		stData uint64
+	}
+	ref := args{true, 3, 42, true, true, 7, true, 0x1000, 99}
+	variants := []args{
+		{true, 4, 42, true, true, 7, true, 0x1000, 99},  // rd
+		{true, 3, 43, true, true, 7, true, 0x1000, 99},  // result
+		{true, 3, 42, true, false, 8, true, 0x1000, 99}, // taken+target
+		{true, 3, 42, true, true, 8, true, 0x1000, 99},  // target
+		{true, 3, 42, true, true, 7, true, 0x1008, 99},  // store addr
+		{true, 3, 42, true, true, 7, true, 0x1000, 100}, // store data
+		{false, 3, 42, true, true, 7, true, 0x1000, 99}, // wrote flag
+		{true, 3, 42, false, true, 7, true, 0x1000, 99}, // branch flag
+		{true, 3, 42, true, true, 7, false, 0x1000, 99}, // store flag
+	}
+	fp := func(m Mode, a args) uint16 {
+		g := NewGen(m)
+		g.Instruction(a.wrote, a.rd, a.result, a.br, a.taken, a.target, a.st, a.stAddr, a.stData)
+		return g.Value()
+	}
+	for _, m := range []Mode{Direct, TwoStage} {
+		base := fp(m, ref)
+		for i, v := range variants {
+			if fp(m, v) == base {
+				t.Errorf("%v: variant %d did not change the fingerprint", m, i)
+			}
+		}
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1 (init 0xFFFF, poly 0x1021).
+	crc := uint16(0xffff)
+	for _, b := range []byte("123456789") {
+		crc = crcByte(crc, b)
+	}
+	if crc != 0x29b1 {
+		t.Fatalf("CRC-16/CCITT-FALSE check value: got %#04x want 0x29b1", crc)
+	}
+}
+
+func TestAliasBound(t *testing.T) {
+	if AliasBound(Direct) != 1.0/(1<<16) {
+		t.Fatal("direct alias bound")
+	}
+	if AliasBound(TwoStage) != 1.0/(1<<15) {
+		t.Fatal("two-stage alias bound (parity trees double aliasing)")
+	}
+	if Direct.String() != "direct" || TwoStage.String() != "two-stage" {
+		t.Fatal("mode names")
+	}
+}
+
+// Property: equal update streams give equal fingerprints; a random
+// single-word perturbation gives a different fingerprint except with
+// roughly the design aliasing probability.
+func TestAliasRateEmpirical(t *testing.T) {
+	for _, m := range []Mode{Direct, TwoStage} {
+		aliases := 0
+		const trials = 20000
+		f := func(words []uint64, flipIdx uint16, flipBits uint64) bool {
+			if len(words) == 0 || flipBits == 0 {
+				return true
+			}
+			a, b := NewGen(m), NewGen(m)
+			idx := int(flipIdx) % len(words)
+			for i, w := range words {
+				a.Add(w)
+				if i == idx {
+					w ^= flipBits
+				}
+				b.Add(w)
+			}
+			if a.Value() == b.Value() {
+				aliases++
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: trials}); err != nil {
+			t.Fatal(err)
+		}
+		// Expected aliases ~ trials * 2^-16 (or 2^-15): single digits.
+		// Allow generous slack; catching systematic aliasing is the point.
+		if aliases > 40 {
+			t.Fatalf("%v: %d aliases in %d corrupted streams", m, aliases, trials)
+		}
+	}
+}
+
+func TestParityFold(t *testing.T) {
+	if parityFold16(0) != 0 {
+		t.Fatal("fold of zero")
+	}
+	if parityFold16(0x0001_0001_0001_0001) != 0 {
+		t.Fatal("even lane bits must cancel")
+	}
+	if parityFold16(0x0001_0001_0001_0000) != 1 {
+		t.Fatal("odd lane bits must survive")
+	}
+}

@@ -1,0 +1,87 @@
+// Package interconnect models the on-chip transport between private L1
+// caches and the shared L2: a crossbar with fixed traversal latency and
+// per-bank request queues with a configurable service rate.
+//
+// The queue is where shared-cache contention — one of the two sources of
+// Reunion's loose-coupling slack (paper §5.3) — comes from: when mute
+// phantom requests and vocal coherent requests pile onto the same bank,
+// effective memory latency rises. Bank service bandwidth scales with the
+// number of cores, matching the paper's "on-chip cache bandwidth scales in
+// proportion with the number of cores" assumption.
+package interconnect
+
+// Item is a queued unit of work.
+type Item any
+
+// BankQueue is a FIFO with a bounded per-cycle service rate. Arrivals
+// during cycle t are eligible for service at t+1 at the earliest.
+type BankQueue struct {
+	q        []queued
+	perCycle int
+	lastSrv  int64
+	served   int
+
+	// Stats
+	Arrivals  int64
+	TotalWait int64 // cycles items spent queued before service
+	MaxDepth  int
+}
+
+type queued struct {
+	item    Item
+	arrived int64
+}
+
+// NewBankQueue returns a queue serving at most perCycle items per cycle.
+func NewBankQueue(perCycle int) *BankQueue {
+	if perCycle < 1 {
+		perCycle = 1
+	}
+	return &BankQueue{perCycle: perCycle}
+}
+
+// SetRate changes the per-cycle service rate (used when scaling bandwidth
+// with core count).
+func (b *BankQueue) SetRate(perCycle int) {
+	if perCycle < 1 {
+		perCycle = 1
+	}
+	b.perCycle = perCycle
+}
+
+// Push enqueues an item at the given cycle.
+func (b *BankQueue) Push(now int64, it Item) {
+	b.q = append(b.q, queued{item: it, arrived: now})
+	b.Arrivals++
+	if len(b.q) > b.MaxDepth {
+		b.MaxDepth = len(b.q)
+	}
+}
+
+// Pop dequeues the next serviceable item at the given cycle, honouring the
+// service rate. It returns nil when the queue is empty or the bank has
+// exhausted its bandwidth this cycle.
+func (b *BankQueue) Pop(now int64) Item {
+	if len(b.q) == 0 {
+		return nil
+	}
+	if now != b.lastSrv {
+		b.lastSrv = now
+		b.served = 0
+	}
+	if b.served >= b.perCycle {
+		return nil
+	}
+	head := b.q[0]
+	if head.arrived >= now {
+		return nil // arrived this cycle; serviceable next cycle
+	}
+	copy(b.q, b.q[1:])
+	b.q = b.q[:len(b.q)-1]
+	b.served++
+	b.TotalWait += now - head.arrived
+	return head.item
+}
+
+// Len returns the current queue depth.
+func (b *BankQueue) Len() int { return len(b.q) }

@@ -1,0 +1,87 @@
+// Package interp is a plain functional interpreter for the simulator's
+// ISA: no pipeline, no caches, no timing. It serves as the golden model
+// for differential testing — a single-threaded program must produce
+// identical architectural results on the cycle-level core and here.
+package interp
+
+import (
+	"fmt"
+
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+)
+
+// Result summarizes one interpreted run.
+type Result struct {
+	Regs     [isa.NumRegs]int64
+	Steps    int64
+	Halted   bool
+	FinalPC  int64
+	DevReads int64
+}
+
+// DeviceRead mirrors the simulator's replicated device-read semantics.
+type DeviceRead func(addr uint64, n int64) int64
+
+// Run interprets the thread against the memory image for at most maxSteps
+// dynamic instructions. It returns an error on undefined behaviour
+// (invalid opcode, PC out of range before Halt).
+func Run(t *program.Thread, m *mem.Memory, maxSteps int64, dev DeviceRead) (Result, error) {
+	var r Result
+	r.Regs = t.InitRegs
+	pc := t.Entry
+	for r.Steps < maxSteps {
+		in, ok := t.Fetch(pc)
+		if !ok {
+			return r, fmt.Errorf("interp: pc %d out of range in %s", pc, t.Name)
+		}
+		r.Steps++
+		s1 := r.Regs[in.Rs1]
+		s2 := r.Regs[in.Rs2]
+		next := pc + 1
+		switch {
+		case in.Op == isa.Nop || in.Op == isa.Membar || in.Op == isa.Trap:
+			// no architectural effect in the golden model
+		case in.Op == isa.Halt:
+			r.Halted = true
+			r.FinalPC = pc
+			return r, nil
+		case in.IsLoad():
+			r.Regs[in.Rd] = int64(m.ReadWord(uint64(s1 + in.Imm)))
+		case in.IsStore():
+			m.WriteWord(uint64(s1+in.Imm), uint64(s2))
+		case in.IsAtomic():
+			addr := uint64(s1)
+			old := int64(m.ReadWord(addr))
+			if old == r.Regs[in.Rd] {
+				m.WriteWord(addr, uint64(s2))
+			}
+			r.Regs[in.Rd] = old
+		case in.Op == isa.DevLd:
+			if dev != nil {
+				r.Regs[in.Rd] = dev(uint64(s1+in.Imm), r.DevReads)
+			}
+			r.DevReads++
+		case in.Op == isa.DevSt:
+			// devices sink writes
+		case in.IsBranch():
+			if in.BranchTaken(s1, s2) {
+				switch in.Op {
+				case isa.Jr:
+					next = s1
+				default:
+					next = in.Imm
+				}
+			}
+		case in.WritesReg():
+			r.Regs[in.Rd] = in.ALUResult(s1, s2)
+		default:
+			return r, fmt.Errorf("interp: unhandled op %v", in.Op)
+		}
+		r.Regs[0] = 0
+		pc = next
+	}
+	r.FinalPC = pc
+	return r, nil
+}

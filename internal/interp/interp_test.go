@@ -1,0 +1,145 @@
+package interp
+
+import (
+	"testing"
+
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+)
+
+func TestStraightLine(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Li(1, 6)
+	b.Li(2, 7)
+	b.Op3(isa.Mul, 3, 1, 2)
+	b.Halt()
+	res, err := Run(b.Build(), mem.New(), 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Regs[3] != 42 {
+		t.Fatalf("r3=%d halted=%v", res.Regs[3], res.Halted)
+	}
+	if res.Steps != 4 {
+		t.Fatalf("steps=%d", res.Steps)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Li(1, 0)  // i
+	b.Li(2, 10) // n
+	b.Li(3, 0)  // sum
+	b.Label("loop")
+	b.Add(3, 3, 1)
+	b.Addi(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	res, err := Run(b.Build(), mem.New(), 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[3] != 45 {
+		t.Fatalf("sum=%d want 45", res.Regs[3])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := mem.New()
+	m.WriteWord(0x1000, 5)
+	b := program.NewBuilder("t", 0)
+	b.Li(1, 0x1000)
+	b.Ld(2, 1, 0)
+	b.Addi(2, 2, 1)
+	b.St(1, 8, 2)
+	b.Halt()
+	res, err := Run(b.Build(), m, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 6 || m.ReadWord(0x1008) != 6 {
+		t.Fatalf("r2=%d mem=%d", res.Regs[2], m.ReadWord(0x1008))
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := mem.New()
+	m.WriteWord(0x2000, 0)
+	b := program.NewBuilder("t", 0)
+	b.Li(1, 0x2000)
+	b.Li(2, 0) // expected
+	b.Li(3, 1) // new
+	b.Cas(2, 1, 3)
+	b.Li(4, 0) // expected (will fail: memory now 1)
+	b.Li(5, 9)
+	b.Cas(4, 1, 5)
+	b.Halt()
+	res, err := Run(b.Build(), m, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 0 { // first CAS returns old value 0 (success)
+		t.Fatalf("first cas old=%d", res.Regs[2])
+	}
+	if res.Regs[4] != 1 { // second returns 1 (failure)
+		t.Fatalf("second cas old=%d", res.Regs[4])
+	}
+	if m.ReadWord(0x2000) != 1 {
+		t.Fatalf("mem=%d; failed CAS must not write", m.ReadWord(0x2000))
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Li(0, 99)
+	b.Add(1, 0, 0)
+	b.Halt()
+	res, err := Run(b.Build(), mem.New(), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[0] != 0 || res.Regs[1] != 0 {
+		t.Fatalf("r0=%d r1=%d", res.Regs[0], res.Regs[1])
+	}
+}
+
+func TestDeviceReads(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Li(1, 0x5000)
+	b.DevLd(2, 1, 0)
+	b.DevLd(3, 1, 0)
+	b.Halt()
+	dev := func(addr uint64, n int64) int64 { return int64(addr) + n }
+	res, err := Run(b.Build(), mem.New(), 10, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 0x5000 || res.Regs[3] != 0x5001 {
+		t.Fatalf("dev reads %d %d", res.Regs[2], res.Regs[3])
+	}
+	if res.DevReads != 2 {
+		t.Fatalf("DevReads=%d", res.DevReads)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Label("spin")
+	b.Jmp("spin")
+	res, err := Run(b.Build(), mem.New(), 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || res.Steps != 50 {
+		t.Fatalf("halted=%v steps=%d", res.Halted, res.Steps)
+	}
+}
+
+func TestWildPCErrors(t *testing.T) {
+	b := program.NewBuilder("t", 0)
+	b.Nop() // falls off the end
+	if _, err := Run(b.Build(), mem.New(), 10, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}

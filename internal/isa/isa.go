@@ -1,0 +1,321 @@
+// Package isa defines the compact RISC instruction set executed by the
+// simulated cores.
+//
+// The paper evaluates Reunion on UltraSPARC III; we have no SPARC
+// front-end, so we substitute a small 64-bit load/store ISA that carries
+// every instruction class Reunion's timing behaviour depends on:
+//
+//   - plain ALU operations (single- and multi-cycle),
+//   - loads and stores (cacheable memory),
+//   - atomic compare-and-swap (serializing, both load and store semantics),
+//   - conditional branches and jumps (fingerprinted targets),
+//   - MEMBAR memory barriers (serializing; every store under SC),
+//   - TRAP (serializing; models syscalls and TLB-handler entry/exit),
+//   - non-idempotent device accesses (serializing; models MMU registers),
+//   - HALT for bounded test programs.
+//
+// Instructions are fixed records, not encoded bits: the simulator is a
+// timing and execution model, not a binary-compatibility exercise. Each
+// instruction occupies Bytes of the virtual address space so instruction
+// TLB and I-cache behaviour can be modelled on code footprints.
+package isa
+
+import "fmt"
+
+// Bytes is the architectural size of one instruction in the virtual
+// address space (used for I-cache and ITLB footprint modelling).
+const Bytes = 4
+
+// NumRegs is the number of architectural integer registers. Register 0 is
+// hardwired to zero, as in most RISC ISAs.
+const NumRegs = 32
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. The zero value is Nop so a zero Instr is harmless.
+const (
+	Nop Op = iota
+
+	// Register-register ALU.
+	Add
+	Sub
+	Mul
+	Div
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Slt // set rd=1 if rs1 < rs2 (signed)
+
+	// Register-immediate ALU.
+	Addi
+	Andi
+	Ori
+	Xori
+	Slti
+	Shli
+	Shri
+	Li // rd = imm
+
+	// Memory.
+	Ld  // rd = M[rs1+imm]
+	St  // M[rs1+imm] = rs2
+	Cas // atomic: if M[rs1] == rd then M[rs1] = rs2; rd = old M[rs1]
+
+	// Control flow. Branch targets are absolute instruction indices in Imm.
+	Beq // if rs1 == rs2 goto imm
+	Bne
+	Blt
+	Bge
+	Jmp // goto imm
+	Jr  // goto rs1 (indirect)
+
+	// Serializing system instructions.
+	Membar // TSO memory barrier: drains the store buffer
+	Trap   // system trap (syscall); Imm selects a service
+	DevLd  // rd = device[rs1+imm]; non-idempotent uncached read
+	DevSt  // device[rs1+imm] = rs2; non-idempotent uncached write
+
+	Halt // stop the thread (test programs only; workloads loop forever)
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Slt: "slt",
+	Addi: "addi", Andi: "andi", Ori: "ori", Xori: "xori",
+	Slti: "slti", Shli: "shli", Shri: "shri", Li: "li",
+	Ld: "ld", St: "st", Cas: "cas",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge", Jmp: "jmp", Jr: "jr",
+	Membar: "membar", Trap: "trap", DevLd: "devld", DevSt: "devst",
+	Halt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Instr is one decoded instruction. Rd/Rs1/Rs2 index architectural
+// registers; Imm is an immediate, displacement, or absolute branch target
+// (an instruction index) depending on the opcode.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (i Instr) String() string {
+	switch i.Op {
+	case Nop, Membar, Halt:
+		return i.Op.String()
+	case Trap:
+		return fmt.Sprintf("trap %d", i.Imm)
+	case Li:
+		return fmt.Sprintf("li r%d, %d", i.Rd, i.Imm)
+	case Ld:
+		return fmt.Sprintf("ld r%d, %d(r%d)", i.Rd, i.Imm, i.Rs1)
+	case DevLd:
+		return fmt.Sprintf("devld r%d, %d(r%d)", i.Rd, i.Imm, i.Rs1)
+	case St:
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Rs2, i.Imm, i.Rs1)
+	case DevSt:
+		return fmt.Sprintf("devst r%d, %d(r%d)", i.Rs2, i.Imm, i.Rs1)
+	case Cas:
+		return fmt.Sprintf("cas r%d, (r%d), r%d", i.Rd, i.Rs1, i.Rs2)
+	case Beq, Bne, Blt, Bge:
+		return fmt.Sprintf("%s r%d, r%d, @%d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", i.Imm)
+	case Jr:
+		return fmt.Sprintf("jr r%d", i.Rs1)
+	case Addi, Andi, Ori, Xori, Slti, Shli, Shri:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}
+
+// IsLoad reports whether the instruction reads cacheable memory.
+func (i Instr) IsLoad() bool { return i.Op == Ld }
+
+// IsStore reports whether the instruction writes cacheable memory.
+func (i Instr) IsStore() bool { return i.Op == St }
+
+// IsAtomic reports whether the instruction is an atomic read-modify-write.
+func (i Instr) IsAtomic() bool { return i.Op == Cas }
+
+// IsMem reports whether the instruction accesses cacheable memory at all.
+func (i Instr) IsMem() bool { return i.IsLoad() || i.IsStore() || i.IsAtomic() }
+
+// IsBranch reports whether the instruction may redirect control flow.
+func (i Instr) IsBranch() bool {
+	switch i.Op {
+	case Beq, Bne, Blt, Bge, Jmp, Jr:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Instr) IsCondBranch() bool {
+	switch i.Op {
+	case Beq, Bne, Blt, Bge:
+		return true
+	}
+	return false
+}
+
+// IsSerializing reports whether the instruction has serializing semantics
+// under the baseline (TSO) consistency model: traps, memory barriers,
+// atomic memory operations, and non-idempotent device accesses. Serializing
+// instructions execute only at the head of the reorder buffer after all
+// older instructions have been checked and retired, and no younger
+// instruction executes until they retire (paper §4.4).
+func (i Instr) IsSerializing() bool {
+	switch i.Op {
+	case Trap, Membar, Cas, DevLd, DevSt:
+		return true
+	}
+	return false
+}
+
+// IsNonIdempotent reports whether re-executing the instruction would have
+// side effects (device accesses).
+func (i Instr) IsNonIdempotent() bool { return i.Op == DevLd || i.Op == DevSt }
+
+// WritesReg reports whether the instruction produces a register result,
+// and which register it writes. Writes to r0 are discarded but still
+// flow through the pipeline (and the fingerprint) like any result.
+func (i Instr) WritesReg() bool {
+	switch i.Op {
+	case Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+		Addi, Andi, Ori, Xori, Slti, Shli, Shri, Li,
+		Ld, Cas, DevLd:
+		return true
+	}
+	return false
+}
+
+// ReadsRs1 reports whether the instruction reads Rs1.
+func (i Instr) ReadsRs1() bool {
+	switch i.Op {
+	case Nop, Li, Jmp, Membar, Trap, Halt:
+		return false
+	}
+	return true
+}
+
+// ReadsRs2 reports whether the instruction reads Rs2.
+func (i Instr) ReadsRs2() bool {
+	switch i.Op {
+	case Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+		St, Cas, Beq, Bne, Blt, Bge, DevSt:
+		return true
+	}
+	return false
+}
+
+// ReadsRdAsSource reports whether the instruction reads its Rd field as an
+// input operand (only CAS: Rd carries the expected value in and the old
+// value out).
+func (i Instr) ReadsRdAsSource() bool { return i.Op == Cas }
+
+// ExecLatency returns the execution latency of the instruction in cycles,
+// excluding any memory-system time. Loads add cache access time on top.
+func (i Instr) ExecLatency() int64 {
+	switch i.Op {
+	case Mul:
+		return 3
+	case Div:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// ALUResult computes the architectural result for non-memory,
+// register-writing instructions given the source operand values.
+// It panics for opcodes without a pure ALU result.
+func (i Instr) ALUResult(s1, s2 int64) int64 {
+	switch i.Op {
+	case Add:
+		return s1 + s2
+	case Sub:
+		return s1 - s2
+	case Mul:
+		return s1 * s2
+	case Div:
+		if s2 == 0 {
+			return -1 // architected divide-by-zero result; keeps workloads total
+		}
+		return s1 / s2
+	case And:
+		return s1 & s2
+	case Or:
+		return s1 | s2
+	case Xor:
+		return s1 ^ s2
+	case Shl:
+		return s1 << (uint64(s2) & 63)
+	case Shr:
+		return int64(uint64(s1) >> (uint64(s2) & 63))
+	case Slt:
+		if s1 < s2 {
+			return 1
+		}
+		return 0
+	case Addi:
+		return s1 + i.Imm
+	case Andi:
+		return s1 & i.Imm
+	case Ori:
+		return s1 | i.Imm
+	case Xori:
+		return s1 ^ i.Imm
+	case Slti:
+		if s1 < i.Imm {
+			return 1
+		}
+		return 0
+	case Shli:
+		return s1 << (uint64(i.Imm) & 63)
+	case Shri:
+		return int64(uint64(s1) >> (uint64(i.Imm) & 63))
+	case Li:
+		return i.Imm
+	default:
+		panic("isa: ALUResult on non-ALU op " + i.Op.String())
+	}
+}
+
+// BranchTaken evaluates a conditional branch given its operands.
+func (i Instr) BranchTaken(s1, s2 int64) bool {
+	switch i.Op {
+	case Beq:
+		return s1 == s2
+	case Bne:
+		return s1 != s2
+	case Blt:
+		return s1 < s2
+	case Bge:
+		return s1 >= s2
+	case Jmp, Jr:
+		return true
+	default:
+		return false
+	}
+}

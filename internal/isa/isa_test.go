@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var allOps = func() []Op {
+	var ops []Op
+	for o := Op(0); o < numOps; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}()
+
+func TestOpStringsAreUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for _, o := range allOps {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q used by %d and %d", s, prev, o)
+		}
+		seen[s] = o
+	}
+	if !strings.HasPrefix(Op(250).String(), "op(") {
+		t.Error("invalid op should format as op(n)")
+	}
+}
+
+func TestClassificationConsistency(t *testing.T) {
+	for _, o := range allOps {
+		in := Instr{Op: o}
+		if in.IsLoad() && in.IsStore() {
+			t.Errorf("%v is both load and store", o)
+		}
+		if in.IsMem() != (in.IsLoad() || in.IsStore() || in.IsAtomic()) {
+			t.Errorf("%v IsMem inconsistent", o)
+		}
+		if in.IsCondBranch() && !in.IsBranch() {
+			t.Errorf("%v cond branch but not branch", o)
+		}
+		if in.IsNonIdempotent() && !in.IsSerializing() {
+			t.Errorf("%v non-idempotent ops must serialize", o)
+		}
+	}
+}
+
+func TestSerializingSet(t *testing.T) {
+	want := map[Op]bool{Trap: true, Membar: true, Cas: true, DevLd: true, DevSt: true}
+	for _, o := range allOps {
+		if got := (Instr{Op: o}).IsSerializing(); got != want[o] {
+			t.Errorf("%v IsSerializing=%v want %v", o, got, want[o])
+		}
+	}
+}
+
+func TestWritesRegSet(t *testing.T) {
+	writers := []Op{Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+		Addi, Andi, Ori, Xori, Slti, Shli, Shri, Li, Ld, Cas, DevLd}
+	w := map[Op]bool{}
+	for _, o := range writers {
+		w[o] = true
+	}
+	for _, o := range allOps {
+		if got := (Instr{Op: o}).WritesReg(); got != w[o] {
+			t.Errorf("%v WritesReg=%v want %v", o, got, w[o])
+		}
+	}
+}
+
+func TestALUResults(t *testing.T) {
+	cases := []struct {
+		in     Instr
+		s1, s2 int64
+		want   int64
+	}{
+		{Instr{Op: Add}, 2, 3, 5},
+		{Instr{Op: Sub}, 2, 3, -1},
+		{Instr{Op: Mul}, 7, 6, 42},
+		{Instr{Op: Div}, 42, 6, 7},
+		{Instr{Op: Div}, 42, 0, -1}, // architected divide-by-zero
+		{Instr{Op: And}, 0b1100, 0b1010, 0b1000},
+		{Instr{Op: Or}, 0b1100, 0b1010, 0b1110},
+		{Instr{Op: Xor}, 0b1100, 0b1010, 0b0110},
+		{Instr{Op: Shl}, 1, 4, 16},
+		{Instr{Op: Shl}, 1, 68, 16}, // shift amount mod 64
+		{Instr{Op: Shr}, -1, 60, 15},
+		{Instr{Op: Slt}, -5, 3, 1},
+		{Instr{Op: Slt}, 3, -5, 0},
+		{Instr{Op: Addi, Imm: 10}, 5, 99, 15},
+		{Instr{Op: Andi, Imm: 6}, 7, 99, 6},
+		{Instr{Op: Ori, Imm: 8}, 7, 99, 15},
+		{Instr{Op: Xori, Imm: -1}, 0, 99, -1},
+		{Instr{Op: Slti, Imm: 10}, 5, 99, 1},
+		{Instr{Op: Shli, Imm: 3}, 2, 99, 16},
+		{Instr{Op: Shri, Imm: 3}, 16, 99, 2},
+		{Instr{Op: Li, Imm: -7}, 99, 99, -7},
+	}
+	for _, c := range cases {
+		if got := c.in.ALUResult(c.s1, c.s2); got != c.want {
+			t.Errorf("%v(%d,%d)=%d want %d", c.in.Op, c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestALUResultPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(Instr{Op: Ld}).ALUResult(0, 0)
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op     Op
+		s1, s2 int64
+		want   bool
+	}{
+		{Beq, 1, 1, true}, {Beq, 1, 2, false},
+		{Bne, 1, 2, true}, {Bne, 1, 1, false},
+		{Blt, -1, 0, true}, {Blt, 0, 0, false},
+		{Bge, 0, 0, true}, {Bge, -1, 0, false},
+		{Jmp, 0, 0, true}, {Jr, 5, 0, true},
+		{Add, 1, 1, false}, // non-branch
+	}
+	for _, c := range cases {
+		if got := (Instr{Op: c.op}).BranchTaken(c.s1, c.s2); got != c.want {
+			t.Errorf("%v(%d,%d)=%v want %v", c.op, c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+// Property: ALUResult never panics for any ALU opcode and any operands
+// (total function; the simulator executes speculative garbage).
+func TestALUTotality(t *testing.T) {
+	aluOps := []Op{Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+		Addi, Andi, Ori, Xori, Slti, Shli, Shri, Li}
+	f := func(opIdx uint8, s1, s2, imm int64) bool {
+		in := Instr{Op: aluOps[int(opIdx)%len(aluOps)], Imm: imm}
+		_ = in.ALUResult(s1, s2)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	if (Instr{Op: Mul}).ExecLatency() != 3 {
+		t.Error("mul latency")
+	}
+	if (Instr{Op: Div}).ExecLatency() != 12 {
+		t.Error("div latency")
+	}
+	if (Instr{Op: Add}).ExecLatency() != 1 {
+		t.Error("add latency")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Nop}, "nop"},
+		{Instr{Op: Ld, Rd: 3, Rs1: 2, Imm: 8}, "ld r3, 8(r2)"},
+		{Instr{Op: St, Rs1: 2, Rs2: 4, Imm: 16}, "st r4, 16(r2)"},
+		{Instr{Op: Cas, Rd: 1, Rs1: 2, Rs2: 3}, "cas r1, (r2), r3"},
+		{Instr{Op: Beq, Rs1: 1, Rs2: 2, Imm: 7}, "beq r1, r2, @7"},
+		{Instr{Op: Jmp, Imm: 3}, "jmp @3"},
+		{Instr{Op: Trap, Imm: 2}, "trap 2"},
+		{Instr{Op: Li, Rd: 5, Imm: -3}, "li r5, -3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String()=%q want %q", got, c.want)
+		}
+	}
+}

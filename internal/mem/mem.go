@@ -1,0 +1,90 @@
+// Package mem provides the flat physical memory image backing the
+// simulated CMP, with word and cache-block granularity access.
+//
+// The simulator executes real values: registers, memory and branches are
+// all functional, so input incoherence in the Reunion model arises from
+// genuine data races rather than an injected random process. This package
+// is the root of that value chain — cache lines are filled from here and
+// dirty lines written back here.
+//
+// Memory is sparse (page-allocated) so 3 GB address spaces from Table 1
+// cost only what workloads actually touch. Reads of unmapped memory return
+// zero without allocating, which keeps speculative wrong-path wild loads
+// cheap and harmless.
+package mem
+
+// Geometry constants shared across the cache hierarchy.
+const (
+	BlockBytes = 64             // cache line size (Table 1)
+	BlockWords = BlockBytes / 8 // 64-bit words per line
+	BlockShift = 6              // log2(BlockBytes)
+	PageBytes  = 8192           // 8 KB pages (Table 1)
+	PageShift  = 13             // log2(PageBytes)
+	pageWords  = PageBytes / 8  // words per page
+)
+
+// BlockAddr returns the block-aligned address containing addr.
+func BlockAddr(addr uint64) uint64 { return addr &^ (BlockBytes - 1) }
+
+// PageOf returns the page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// Block is one cache line of data.
+type Block [BlockWords]uint64
+
+// Memory is a sparse physical memory image.
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// New returns an empty memory image.
+func New() *Memory { return &Memory{pages: make(map[uint64]*[pageWords]uint64)} }
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageWords]uint64 {
+	pn := addr >> PageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageWords]uint64)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadWord returns the 64-bit word at the 8-byte-aligned address.
+// Unmapped memory reads as zero.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[(addr%PageBytes)/8]
+}
+
+// WriteWord stores a 64-bit word at the 8-byte-aligned address.
+func (m *Memory) WriteWord(addr uint64, v uint64) {
+	p := m.page(addr, true)
+	p[(addr%PageBytes)/8] = v
+}
+
+// ReadBlock copies the cache block containing addr into b.
+func (m *Memory) ReadBlock(addr uint64, b *Block) {
+	base := BlockAddr(addr)
+	p := m.page(base, false)
+	if p == nil {
+		*b = Block{}
+		return
+	}
+	off := (base % PageBytes) / 8
+	copy(b[:], p[off:off+BlockWords])
+}
+
+// WriteBlock stores the cache block containing addr from b.
+func (m *Memory) WriteBlock(addr uint64, b *Block) {
+	base := BlockAddr(addr)
+	p := m.page(base, true)
+	off := (base % PageBytes) / 8
+	copy(p[off:off+BlockWords], b[:])
+}
+
+// MappedPages returns the number of allocated pages (for footprint stats).
+func (m *Memory) MappedPages() int { return len(m.pages) }

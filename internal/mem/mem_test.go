@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWord(t *testing.T) {
+	m := New()
+	if m.ReadWord(0x1000) != 0 {
+		t.Fatal("unmapped read not zero")
+	}
+	m.WriteWord(0x1000, 42)
+	if m.ReadWord(0x1000) != 42 {
+		t.Fatal("readback failed")
+	}
+	m.WriteWord(0x1000, 43)
+	if m.ReadWord(0x1000) != 43 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestUnmappedReadDoesNotAllocate(t *testing.T) {
+	m := New()
+	for a := uint64(0); a < 100*PageBytes; a += PageBytes {
+		_ = m.ReadWord(a)
+	}
+	if m.MappedPages() != 0 {
+		t.Fatalf("reads allocated %d pages", m.MappedPages())
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	m := New()
+	var b Block
+	for i := range b {
+		b[i] = uint64(i) * 0x1111
+	}
+	m.WriteBlock(0x2040, &b) // unaligned addr inside block
+	var got Block
+	m.ReadBlock(0x2050, &got) // any addr in the same block
+	if got != b {
+		t.Fatalf("block mismatch: %v vs %v", got, b)
+	}
+	// Words individually visible.
+	if m.ReadWord(BlockAddr(0x2040)+8) != 0x1111 {
+		t.Fatal("word view of block write wrong")
+	}
+}
+
+func TestBlockWordConsistency(t *testing.T) {
+	// Property: writing words then reading the containing block sees them.
+	m := New()
+	f := func(addr uint64, v uint64) bool {
+		addr &^= 7 // align
+		addr %= 1 << 32
+		m.WriteWord(addr, v)
+		var b Block
+		m.ReadBlock(addr, &b)
+		return b[(addr%BlockBytes)/8] == v && m.ReadWord(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageBoundaryBlocks(t *testing.T) {
+	// Blocks never straddle pages (64B blocks, 8K pages), but exercise the
+	// last block of a page and the first of the next.
+	m := New()
+	lastBlock := uint64(PageBytes - BlockBytes)
+	var b Block
+	for i := range b {
+		b[i] = uint64(100 + i)
+	}
+	m.WriteBlock(lastBlock, &b)
+	m.WriteWord(PageBytes, 999) // first word of next page
+	var got Block
+	m.ReadBlock(lastBlock, &got)
+	if got != b {
+		t.Fatal("last block of page corrupted")
+	}
+	if m.ReadWord(PageBytes) != 999 {
+		t.Fatal("next page word corrupted")
+	}
+	if m.MappedPages() != 2 {
+		t.Fatalf("pages=%d want 2", m.MappedPages())
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	if BlockAddr(0x12345) != 0x12340 {
+		t.Fatalf("BlockAddr: %#x", BlockAddr(0x12345))
+	}
+	if PageOf(0x4000) != 2 {
+		t.Fatalf("PageOf(0x4000)=%d want 2", PageOf(0x4000))
+	}
+	if BlockBytes != 64 || PageBytes != 8192 || BlockWords != 8 {
+		t.Fatal("geometry constants changed; Table 1 expects 64B lines and 8K pages")
+	}
+	if 1<<BlockShift != BlockBytes || 1<<PageShift != PageBytes {
+		t.Fatal("shift constants inconsistent")
+	}
+}
+
+// Property: the memory behaves exactly like a map from aligned addresses
+// to words under random mixed word/block operations.
+func TestMemoryVsMapOracle(t *testing.T) {
+	m := New()
+	oracle := make(map[uint64]uint64)
+	f := func(ops []struct {
+		Addr  uint64
+		Val   uint64
+		Block bool
+		Write bool
+	}) bool {
+		for _, op := range ops {
+			addr := (op.Addr % (1 << 24)) &^ 7
+			if op.Block {
+				base := BlockAddr(addr)
+				if op.Write {
+					var b Block
+					for i := range b {
+						b[i] = op.Val + uint64(i)
+						oracle[base+uint64(i)*8] = b[i]
+					}
+					m.WriteBlock(base, &b)
+				} else {
+					var b Block
+					m.ReadBlock(base, &b)
+					for i := range b {
+						if b[i] != oracle[base+uint64(i)*8] {
+							return false
+						}
+					}
+				}
+			} else {
+				if op.Write {
+					m.WriteWord(addr, op.Val)
+					oracle[addr] = op.Val
+				} else if m.ReadWord(addr) != oracle[addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

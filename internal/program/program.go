@@ -1,0 +1,206 @@
+// Package program provides the thread representation executed by simulated
+// cores and a small assembler-style builder used by the workload
+// generators.
+//
+// A Thread is straight-line decoded code plus a base virtual address; the
+// cores fetch by instruction index and the base address gives each
+// instruction a location in the virtual address space so the I-cache and
+// instruction TLB see realistic code footprints.
+package program
+
+import (
+	"fmt"
+
+	"reunion/internal/isa"
+)
+
+// Thread is one software thread: the unit of work bound to a logical
+// processor. Workload threads loop forever; test programs end in Halt.
+type Thread struct {
+	Name     string
+	Code     []isa.Instr
+	CodeBase uint64 // virtual address of Code[0]
+	Entry    int64  // starting instruction index
+	InitRegs [isa.NumRegs]int64
+}
+
+// PCAddr returns the virtual byte address of the instruction at index pc.
+func (t *Thread) PCAddr(pc int64) uint64 {
+	return t.CodeBase + uint64(pc)*isa.Bytes
+}
+
+// Fetch returns the instruction at index pc and whether pc is in range.
+// Wrong-path speculation can drive the fetch PC wild (e.g., after a mute
+// core loads garbage through a weak phantom request); out-of-range fetches
+// are reported rather than panicking so the core can simply stall until
+// recovery redirects it.
+func (t *Thread) Fetch(pc int64) (isa.Instr, bool) {
+	if pc < 0 || pc >= int64(len(t.Code)) {
+		return isa.Instr{}, false
+	}
+	return t.Code[pc], true
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// Builder assembles a Thread. Branch targets may reference labels defined
+// before or after the branch; Build resolves them.
+type Builder struct {
+	name   string
+	base   uint64
+	code   []isa.Instr
+	labels map[string]int64
+	fixups []fixup
+	regs   [isa.NumRegs]int64
+}
+
+// NewBuilder returns a builder for a thread with the given name and code
+// base virtual address.
+func NewBuilder(name string, codeBase uint64) *Builder {
+	return &Builder{name: name, base: codeBase, labels: make(map[string]int64)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int64 { return int64(len(b.code)) }
+
+// Emit appends a raw instruction and returns its index.
+func (b *Builder) Emit(i isa.Instr) int64 {
+	b.code = append(b.code, i)
+	return int64(len(b.code) - 1)
+}
+
+// Label defines (or redefines is an error) a label at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program: duplicate label %q in %s", name, b.name))
+	}
+	b.labels[name] = b.PC()
+}
+
+// InitReg sets an initial architectural register value for the thread.
+func (b *Builder) InitReg(r uint8, v int64) { b.regs[r] = v }
+
+// --- instruction helpers -------------------------------------------------
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Op3 emits a three-register ALU operation.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 uint8) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits a register-immediate ALU operation.
+func (b *Builder) OpI(op isa.Op, rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads an immediate into rd.
+func (b *Builder) Li(rd uint8, imm int64) { b.Emit(isa.Instr{Op: isa.Li, Rd: rd, Imm: imm}) }
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.Addi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 uint8) { b.Op3(isa.Add, rd, rs1, rs2) }
+
+// Ld emits rd = M[rs1+imm].
+func (b *Builder) Ld(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.Ld, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits M[rs1+imm] = rs2.
+func (b *Builder) St(rs1 uint8, imm int64, rs2 uint8) {
+	b.Emit(isa.Instr{Op: isa.St, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Cas emits an atomic compare-and-swap on (rs1): if M[rs1]==rd then
+// M[rs1]=rs2; rd=old value.
+func (b *Builder) Cas(rd, rs1, rs2 uint8) { b.Emit(isa.Instr{Op: isa.Cas, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Membar emits a memory barrier.
+func (b *Builder) Membar() { b.Emit(isa.Instr{Op: isa.Membar}) }
+
+// Trap emits a system trap with the given service number.
+func (b *Builder) Trap(svc int64) { b.Emit(isa.Instr{Op: isa.Trap, Imm: svc}) }
+
+// DevLd emits a non-idempotent device read rd = dev[rs1+imm].
+func (b *Builder) DevLd(rd, rs1 uint8, imm int64) {
+	b.Emit(isa.Instr{Op: isa.DevLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// DevSt emits a non-idempotent device write dev[rs1+imm] = rs2.
+func (b *Builder) DevSt(rs1 uint8, imm int64, rs2 uint8) {
+	b.Emit(isa.Instr{Op: isa.DevSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Halt emits a thread stop.
+func (b *Builder) Halt() { b.Emit(isa.Instr{Op: isa.Halt}) }
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 uint8, label string) {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.Emit(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Beq branches to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 uint8, label string) { b.Branch(isa.Beq, rs1, rs2, label) }
+
+// Bne branches to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 uint8, label string) { b.Branch(isa.Bne, rs1, rs2, label) }
+
+// Blt branches to label when rs1 < rs2.
+func (b *Builder) Blt(rs1, rs2 uint8, label string) { b.Branch(isa.Blt, rs1, rs2, label) }
+
+// Bge branches to label when rs1 >= rs2.
+func (b *Builder) Bge(rs1, rs2 uint8, label string) { b.Branch(isa.Bge, rs1, rs2, label) }
+
+// Jmp jumps unconditionally to a label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	b.Emit(isa.Instr{Op: isa.Jmp})
+}
+
+// Build resolves labels and returns the finished thread.
+func (b *Builder) Build() *Thread {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("program: undefined label %q in %s", f.label, b.name))
+		}
+		b.code[f.at].Imm = target
+	}
+	t := &Thread{Name: b.name, Code: b.code, CodeBase: b.base, InitRegs: b.regs}
+	return t
+}
+
+// --- shared-memory idioms -------------------------------------------------
+
+// Spinlock emits a test-and-test-and-set acquire loop on the lock word
+// whose address is in lockReg, using tmp as scratch. The acquire ends with
+// the CAS (serializing, so it orders the critical section) — this is the
+// classic routine the paper calls out as ordinary code subject to input
+// incoherence.
+func (b *Builder) Spinlock(lockReg, tmp uint8) {
+	l := fmt.Sprintf(".lk%d", b.PC())
+	b.Label(l)
+	b.Ld(tmp, lockReg, 0) // spin on read
+	b.Bne(tmp, 0, l)      // busy -> retry
+	b.Li(tmp, 0)          // expected: unlocked
+	b.Emit(isa.Instr{Op: isa.Li, Rd: 31, Imm: 1})
+	b.Cas(tmp, lockReg, 31) // try to take it
+	b.Bne(tmp, 0, l)        // lost the race -> retry
+}
+
+// Unlock emits a release store of 0 to the lock word in lockReg, preceded
+// by a MEMBAR so critical-section stores drain first (TSO release).
+func (b *Builder) Unlock(lockReg uint8) {
+	b.Membar()
+	b.Li(30, 0)
+	b.St(lockReg, 0, 30)
+}

@@ -1,0 +1,135 @@
+package program
+
+import (
+	"testing"
+
+	"reunion/internal/isa"
+)
+
+func TestLabelsForwardAndBackward(t *testing.T) {
+	b := NewBuilder("t", 0x1000)
+	b.Label("top")
+	b.Addi(1, 1, 1)
+	b.Beq(1, 2, "end") // forward reference
+	b.Jmp("top")       // backward reference
+	b.Label("end")
+	b.Halt()
+	th := b.Build()
+	if th.Code[1].Imm != 3 {
+		t.Fatalf("forward label resolved to %d want 3", th.Code[1].Imm)
+	}
+	if th.Code[2].Imm != 0 {
+		t.Fatalf("backward label resolved to %d want 0", th.Code[2].Imm)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t", 0)
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t", 0)
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestPCAddrAndFetch(t *testing.T) {
+	b := NewBuilder("t", 0x4000)
+	b.Nop()
+	b.Halt()
+	th := b.Build()
+	if th.PCAddr(0) != 0x4000 || th.PCAddr(1) != 0x4000+isa.Bytes {
+		t.Fatal("PCAddr arithmetic")
+	}
+	if in, ok := th.Fetch(0); !ok || in.Op != isa.Nop {
+		t.Fatal("fetch 0")
+	}
+	if _, ok := th.Fetch(2); ok {
+		t.Fatal("fetch past end must fail")
+	}
+	if _, ok := th.Fetch(-1); ok {
+		t.Fatal("fetch negative must fail")
+	}
+}
+
+func TestInitRegs(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.InitReg(5, -42)
+	b.Halt()
+	th := b.Build()
+	if th.InitRegs[5] != -42 {
+		t.Fatal("InitReg lost")
+	}
+}
+
+func TestSpinlockShape(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Spinlock(1, 11)
+	b.Unlock(1)
+	b.Halt()
+	th := b.Build()
+	// Acquire: ld, bne, li, li, cas, bne. Release: membar, li, st.
+	wantOps := []isa.Op{isa.Ld, isa.Bne, isa.Li, isa.Li, isa.Cas, isa.Bne,
+		isa.Membar, isa.Li, isa.St, isa.Halt}
+	if len(th.Code) != len(wantOps) {
+		t.Fatalf("spinlock+unlock emitted %d instrs", len(th.Code))
+	}
+	for i, op := range wantOps {
+		if th.Code[i].Op != op {
+			t.Fatalf("instr %d is %v want %v", i, th.Code[i].Op, op)
+		}
+	}
+	// Both branches must target the acquire loop head.
+	if th.Code[1].Imm != 0 || th.Code[5].Imm != 0 {
+		t.Fatal("spinlock retry targets wrong")
+	}
+}
+
+func TestEmitHelpersEncode(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Li(3, 7)
+	b.Ld(4, 3, 16)
+	b.St(3, 24, 4)
+	b.Cas(5, 3, 4)
+	b.DevLd(6, 3, 0)
+	b.DevSt(3, 8, 6)
+	b.Trap(2)
+	b.Membar()
+	th := b.Build()
+	checks := []struct {
+		i   int
+		op  isa.Op
+		rd  uint8
+		rs1 uint8
+		rs2 uint8
+		imm int64
+	}{
+		{0, isa.Li, 3, 0, 0, 7},
+		{1, isa.Ld, 4, 3, 0, 16},
+		{2, isa.St, 0, 3, 4, 24},
+		{3, isa.Cas, 5, 3, 4, 0},
+		{4, isa.DevLd, 6, 3, 0, 0},
+		{5, isa.DevSt, 0, 3, 6, 8},
+		{6, isa.Trap, 0, 0, 0, 2},
+		{7, isa.Membar, 0, 0, 0, 0},
+	}
+	for _, c := range checks {
+		in := th.Code[c.i]
+		if in.Op != c.op || in.Rd != c.rd || in.Rs1 != c.rs1 || in.Rs2 != c.rs2 || in.Imm != c.imm {
+			t.Errorf("instr %d: %+v want op=%v rd=%d rs1=%d rs2=%d imm=%d",
+				c.i, in, c.op, c.rd, c.rs1, c.rs2, c.imm)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim provides the deterministic cycle-driven simulation engine
+// shared by every timing model in this repository: a cycle clock, an event
+// queue for scheduling future work (memory responses, bank service
+// completions), and a seeded PRNG.
+//
+// Determinism is a hard requirement of the whole simulator: the Reunion
+// execution model is validated by running a vocal and a mute core over the
+// same program and detecting divergence, so the simulation itself must
+// never be a source of nondeterminism. Everything here is single-threaded
+// and ordered; given the same seed, a run is cycle-exact reproducible.
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to fire at a specific cycle.
+type Event struct {
+	At    int64
+	Order int64 // tie-break: schedule order, preserves FIFO among same-cycle events
+	Fn    func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Order < h[j].Order
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// EventQueue schedules callbacks at future cycles and fires them in
+// deterministic order (cycle, then insertion order).
+type EventQueue struct {
+	h     eventHeap
+	order int64
+	now   int64
+}
+
+// NewEventQueue returns an empty queue positioned at cycle 0.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Now returns the current cycle.
+func (q *EventQueue) Now() int64 { return q.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the
+// past (or present) fires on the next Advance to that cycle; the queue
+// clamps to now so callers may schedule "immediately".
+func (q *EventQueue) At(cycle int64, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.order++
+	heap.Push(&q.h, &Event{At: cycle, Order: q.order, Fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *EventQueue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
+
+// Advance moves the clock to the given cycle and fires every event due at
+// or before it, in order.
+func (q *EventQueue) Advance(cycle int64) {
+	for len(q.h) > 0 && q.h[0].At <= cycle {
+		ev := heap.Pop(&q.h).(*Event)
+		if ev.At > q.now {
+			q.now = ev.At
+		}
+		ev.Fn()
+	}
+	if cycle > q.now {
+		q.now = cycle
+	}
+}
+
+// Pending reports the number of scheduled events not yet fired.
+func (q *EventQueue) Pending() int { return len(q.h) }
+
+// Rand is a SplitMix64 PRNG: tiny, fast, seedable, and fully deterministic.
+// It backs workload generation and any randomized choice in the simulator.
+type Rand struct{ state uint64 }
+
+// NewRand returns a PRNG seeded with the given value.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64-bit pseudorandom value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudorandom value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative pseudorandom int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a pseudorandom value in [0, 1).
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Mix64 is a stateless 64-bit mixing function (the SplitMix64 finalizer).
+// It generates the deterministic "arbitrary data" returned by null and
+// shared phantom requests on misses: garbage that is reproducible for a
+// given (address, salt) so simulations replay exactly.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

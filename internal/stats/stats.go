@@ -1,0 +1,118 @@
+// Package stats provides the measurement machinery of the evaluation
+// (paper §5): matched-pair comparison of performance across seeds with
+// 95% confidence intervals, and small numeric helpers for the result
+// tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// two-sided 95% Student t critical values for df = 1..30; beyond that the
+// normal approximation 1.96 is close enough.
+var t95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// T95 returns the two-sided 95% t critical value for the given degrees of
+// freedom.
+func T95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return T95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// MatchedPair is the paper's sampling methodology (per SimFlex [24]):
+// performance changes are estimated per matched sample (same seed, same
+// checkpoint) and aggregated, which cancels sample-to-sample workload
+// variation.
+type MatchedPair struct {
+	Ratios []float64 // test/baseline per seed
+}
+
+// Add records one matched observation.
+func (m *MatchedPair) Add(baseline, test float64) {
+	if baseline > 0 {
+		m.Ratios = append(m.Ratios, test/baseline)
+	}
+}
+
+// Mean returns the mean performance ratio.
+func (m *MatchedPair) Mean() float64 { return Mean(m.Ratios) }
+
+// CI returns the 95% confidence half-width of the ratio.
+func (m *MatchedPair) CI() float64 { return CI95(m.Ratios) }
+
+// String renders "0.95 ±0.01".
+func (m *MatchedPair) String() string {
+	if len(m.Ratios) < 2 {
+		return fmt.Sprintf("%.3f", m.Mean())
+	}
+	return fmt.Sprintf("%.3f ±%.3f", m.Mean(), m.CI())
+}
+
+// GeoMean returns the geometric mean (used for class averages of
+// normalized IPC).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// PerMillion scales an event count to events per million instructions.
+func PerMillion(events, instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(events) * 1e6 / float64(instructions)
+}

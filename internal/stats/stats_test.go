@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(xs), 5, 1e-12) {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if !approx(StdDev(xs), 2.138, 0.001) {
+		t.Fatalf("std %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestT95Table(t *testing.T) {
+	if !approx(T95(1), 12.706, 1e-9) || !approx(T95(10), 2.228, 1e-9) {
+		t.Fatal("t-table values")
+	}
+	if T95(100) != 1.96 {
+		t.Fatal("large-df approximation")
+	}
+	if !math.IsInf(T95(0), 1) {
+		t.Fatal("df=0 must be infinite")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 10, 10, 10}
+	if CI95(xs) != 0 {
+		t.Fatal("zero-variance CI must be 0")
+	}
+	if !math.IsInf(CI95([]float64{1}), 1) {
+		t.Fatal("single sample CI must be infinite")
+	}
+	// n=4, std=1: CI = 3.182 * 1/2
+	ys := []float64{-1, 1, -1, 1}
+	sd := StdDev(ys)
+	if !approx(CI95(ys), 3.182*sd/2, 1e-9) {
+		t.Fatalf("CI %v", CI95(ys))
+	}
+}
+
+func TestMatchedPair(t *testing.T) {
+	var mp MatchedPair
+	mp.Add(2, 1)   // 0.5
+	mp.Add(4, 3)   // 0.75
+	mp.Add(0, 100) // ignored (zero baseline)
+	if len(mp.Ratios) != 2 {
+		t.Fatalf("ratios %v", mp.Ratios)
+	}
+	if !approx(mp.Mean(), 0.625, 1e-12) {
+		t.Fatalf("mean %v", mp.Mean())
+	}
+	if mp.String() == "" {
+		t.Fatal("string")
+	}
+	var single MatchedPair
+	single.Add(1, 1)
+	if single.String() != "1.000" {
+		t.Fatalf("single-sample string %q", single.String())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !approx(GeoMean([]float64{1, 4}), 2, 1e-12) {
+		t.Fatal("geomean")
+	}
+	if GeoMean([]float64{1, 0}) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+	// Property: geomean of equal values is that value; geomean <= arith mean.
+	f := func(v float64, n uint8) bool {
+		v = math.Abs(v)
+		if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) || v > 1e100 {
+			return true
+		}
+		xs := make([]float64, int(n%10)+1)
+		for i := range xs {
+			xs[i] = v
+		}
+		return approx(GeoMean(xs), v, v*1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerMillion(t *testing.T) {
+	if PerMillion(5, 1_000_000) != 5 {
+		t.Fatal("per million")
+	}
+	if PerMillion(5, 0) != 0 {
+		t.Fatal("zero instructions")
+	}
+	if !approx(PerMillion(1, 2_000_000), 0.5, 1e-12) {
+		t.Fatal("fractional rate")
+	}
+}

@@ -1,0 +1,129 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(8, 2)
+	if tb.Access(5) {
+		t.Fatal("hit in empty TLB")
+	}
+	if !tb.Access(5) {
+		t.Fatal("miss after fill")
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := New(2, 2) // 1 set, 2 ways
+	tb.Access(1)
+	tb.Access(2)
+	tb.Access(1) // 2 becomes LRU
+	tb.Access(3) // evicts 2
+	if !tb.Probe(1) || tb.Probe(2) || !tb.Probe(3) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	tb := New(8, 2)
+	if tb.Probe(9) {
+		t.Fatal("probe hit in empty TLB")
+	}
+	if tb.Misses != 0 || tb.Hits != 0 {
+		t.Fatal("probe counted")
+	}
+	tb.Access(9)
+	h, m := tb.Hits, tb.Misses
+	tb.Probe(9)
+	if tb.Hits != h || tb.Misses != m {
+		t.Fatal("probe mutated counters")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	tb := New(8, 2)
+	tb.Preload(4)
+	if tb.Misses != 0 {
+		t.Fatal("preload counted a miss")
+	}
+	if !tb.Access(4) {
+		t.Fatal("preloaded page missed")
+	}
+}
+
+func TestPreloadEvictsLRU(t *testing.T) {
+	tb := New(2, 2)
+	tb.Preload(1)
+	tb.Preload(2)
+	tb.Access(1)
+	tb.Preload(3) // evicts 2
+	if tb.Probe(2) || !tb.Probe(1) || !tb.Probe(3) {
+		t.Fatal("preload eviction wrong")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tb := New(8, 2)
+	tb.Access(1)
+	tb.Access(1)
+	tb.ResetStats()
+	if tb.Hits != 0 || tb.Misses != 0 {
+		t.Fatal("reset failed")
+	}
+	if !tb.Probe(1) {
+		t.Fatal("reset must not drop entries")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(24, 8) // 3 sets: not a power of two
+}
+
+func TestModeString(t *testing.T) {
+	if Hardware.String() != "hardware" || Software.String() != "software" {
+		t.Fatal("mode names")
+	}
+}
+
+// Property: two TLBs fed the identical access stream have identical
+// hit/miss outcomes — the determinism the software-handler model relies on
+// to keep vocal and mute cores architecturally aligned.
+func TestDeterministicTwins(t *testing.T) {
+	f := func(pages []uint16) bool {
+		a, b := New(64, 2), New(64, 2)
+		for _, p := range pages {
+			if a.Access(uint64(p)) != b.Access(uint64(p)) {
+				return false
+			}
+		}
+		return a.Hits == b.Hits && a.Misses == b.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fully-associative-sized stream within capacity never misses
+// twice for the same page.
+func TestNoRepeatMissWithinReach(t *testing.T) {
+	tb := New(128, 2)
+	for round := 0; round < 3; round++ {
+		for p := uint64(0); p < 64; p++ {
+			tb.Access(p)
+		}
+	}
+	// 64 pages over 64 sets: one per set; only the first round misses.
+	if tb.Misses != 64 {
+		t.Fatalf("misses=%d want 64", tb.Misses)
+	}
+}

@@ -1,0 +1,139 @@
+// Package trace provides a bounded, allocation-light event recorder for
+// simulator debugging: a ring buffer of timestamped events that can be
+// dumped when something goes wrong (a wedge, a failed assertion, an
+// unexpected recovery storm). Tracing costs nothing when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category classifies events for filtering.
+type Category uint8
+
+// Event categories.
+const (
+	Commit Category = iota
+	Recovery
+	Compare
+	Memory
+	Custom
+	numCategories
+)
+
+var catNames = [numCategories]string{"commit", "recovery", "compare", "memory", "custom"}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return "?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle int64
+	Core  int
+	Cat   Category
+	Msg   string
+}
+
+// Ring is a fixed-capacity event recorder. The zero value is disabled;
+// use New to create an enabled ring.
+type Ring struct {
+	events  []Event
+	next    int
+	wrapped bool
+	filter  uint32 // bitmask of enabled categories
+
+	Recorded int64
+	Dropped  int64
+}
+
+// New returns a ring holding the most recent capacity events, recording
+// every category.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{events: make([]Event, capacity), filter: ^uint32(0)}
+}
+
+// SetFilter restricts recording to the given categories.
+func (r *Ring) SetFilter(cats ...Category) {
+	r.filter = 0
+	for _, c := range cats {
+		r.filter |= 1 << c
+	}
+}
+
+// Enabled reports whether the ring records the category (nil-safe).
+func (r *Ring) Enabled(c Category) bool {
+	return r != nil && len(r.events) > 0 && r.filter&(1<<c) != 0
+}
+
+// Add records an event (nil-safe no-op when disabled).
+func (r *Ring) Add(cycle int64, core int, cat Category, msg string) {
+	if !r.Enabled(cat) {
+		if r != nil {
+			r.Dropped++
+		}
+		return
+	}
+	r.events[r.next] = Event{Cycle: cycle, Core: core, Cat: cat, Msg: msg}
+	r.next++
+	r.Recorded++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Addf records a formatted event, formatting only when enabled.
+func (r *Ring) Addf(cycle int64, core int, cat Category, format string, args ...any) {
+	if !r.Enabled(cat) {
+		if r != nil {
+			r.Dropped++
+		}
+		return
+	}
+	r.Add(cycle, core, cat, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in chronological order.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump formats the ring's contents, newest last.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "[%10d] core%-2d %-8s %s\n", e.Cycle, e.Core, e.Cat, e.Msg)
+	}
+	return b.String()
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.wrapped {
+		return len(r.events)
+	}
+	return r.next
+}

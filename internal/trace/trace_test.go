@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndDump(t *testing.T) {
+	r := New(8)
+	r.Add(1, 0, Commit, "a")
+	r.Add(2, 1, Recovery, "b")
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Msg != "a" || ev[1].Msg != "b" {
+		t.Fatalf("events %v", ev)
+	}
+	d := r.Dump()
+	if !strings.Contains(d, "recovery") || !strings.Contains(d, "core1") {
+		t.Fatalf("dump: %s", d)
+	}
+	if r.Len() != 2 || r.Recorded != 2 {
+		t.Fatal("counters")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(4)
+	for i := int64(0); i < 10; i++ {
+		r.Add(i, 0, Commit, "x")
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len %d", len(ev))
+	}
+	// Chronological order: cycles 6,7,8,9.
+	for i, e := range ev {
+		if e.Cycle != int64(6+i) {
+			t.Fatalf("order: %v", ev)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatal("len after wrap")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(8)
+	r.SetFilter(Recovery)
+	r.Add(1, 0, Commit, "dropped")
+	r.Addf(2, 0, Recovery, "kept %d", 42)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Msg != "kept 42" {
+		t.Fatalf("filter: %v", ev)
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("dropped=%d", r.Dropped)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Ring
+	if r.Enabled(Commit) {
+		t.Fatal("nil ring enabled")
+	}
+	r.Add(1, 0, Commit, "x") // must not panic
+	r.Addf(1, 0, Commit, "x")
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil ring contents")
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := New(0)
+	r.Add(1, 0, Custom, "x")
+	if r.Len() != 1 {
+		t.Fatal("capacity clamp")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	if Commit.String() != "commit" || Category(99).String() != "?" {
+		t.Fatal("names")
+	}
+}

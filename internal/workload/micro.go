@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+)
+
+// Microbenchmarks: small, bounded programs used by integration tests and
+// examples to verify end-to-end correctness of the execution models
+// (shared-memory results, forward progress under races, recovery).
+
+// CounterAddr is the shared counter used by the lock-based micros.
+const CounterAddr = SharedBase
+
+// MicroCounter builds n threads that each acquire a spinlock and increment
+// a shared counter iters times, then halt. Any correct execution model
+// must leave CounterAddr == n*iters: this is the canonical race-free
+// critical-section test (and, under Reunion, a natural generator of input
+// incoherence on the lock and counter blocks).
+func MicroCounter(n, iters int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("micro-counter(%dx%d)", n, iters), Class: "micro"}
+	for t := 0; t < n; t++ {
+		b := program.NewBuilder(fmt.Sprintf("counter.t%d", t), uint64(CodeBase+t*CodeStride))
+		b.Li(1, LockBase)     // r1 = lock address
+		b.Li(2, CounterAddr)  // r2 = counter address
+		b.Li(7, 0)            // r7 = i
+		b.Li(8, int64(iters)) // r8 = iters
+		b.Label("loop")
+		b.Spinlock(1, 11)
+		b.Ld(3, 2, 0)
+		b.Addi(3, 3, 1)
+		b.St(2, 0, 3)
+		b.Unlock(1)
+		b.Addi(7, 7, 1)
+		b.Blt(7, 8, "loop")
+		b.Membar()
+		b.Halt()
+		w.Threads = append(w.Threads, b.Build())
+	}
+	w.Init = func(m *mem.Memory) {
+		m.WriteWord(LockBase, 0)
+		m.WriteWord(CounterAddr, 0)
+	}
+	return w
+}
+
+// MicroRacyFlags builds n threads that repeatedly write their id to a
+// shared word and read it back — a deliberately racy program. It has no
+// single correct final value, but safe execution (Definition 3) requires
+// that every committed load observed *some* coherently written value.
+// Each thread records the set of values it saw by OR-ing a bitmask into
+// its private result word at ResultAddr(t).
+func MicroRacyFlags(n, iters int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("micro-racy(%dx%d)", n, iters), Class: "micro"}
+	for t := 0; t < n; t++ {
+		b := program.NewBuilder(fmt.Sprintf("racy.t%d", t), uint64(CodeBase+t*CodeStride))
+		b.Li(1, SharedBase+1024) // contended word
+		b.Li(2, int64(t)+1)      // my id
+		b.Li(4, 0)               // seen mask
+		b.Li(7, 0)
+		b.Li(8, int64(iters))
+		b.Label("loop")
+		b.St(1, 0, 2) // racy store
+		b.Ld(3, 1, 0) // racy load
+		// seen |= 1 << value  (values are small ids)
+		b.Li(11, 1)
+		b.Op3(isa.Shl, 11, 11, 3)
+		b.Op3(isa.Or, 4, 4, 11)
+		b.Addi(7, 7, 1)
+		b.Blt(7, 8, "loop")
+		b.Li(5, int64(ResultAddr(t)))
+		b.St(5, 0, 4)
+		b.Membar()
+		b.Halt()
+		w.Threads = append(w.Threads, b.Build())
+	}
+	w.Init = func(m *mem.Memory) { m.WriteWord(SharedBase+1024, 0) }
+	return w
+}
+
+// ResultAddr is where micro thread t deposits its result word.
+func ResultAddr(t int) uint64 { return SharedBase + 4096 + uint64(t)*mem.BlockBytes }
+
+// MicroCompute builds a single-thread, memory-light program computing a
+// deterministic function into r4, then storing it to ResultAddr(0). Used
+// to cross-check the pipeline against the reference interpreter.
+func MicroCompute(iters int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("micro-compute(%d)", iters), Class: "micro"}
+	b := program.NewBuilder("compute.t0", CodeBase)
+	b.Li(1, 0x9e3779b9)
+	b.Li(4, 0)
+	b.Li(7, 0)
+	b.Li(8, int64(iters))
+	b.Label("loop")
+	b.Op3(isa.Mul, 1, 1, 1)
+	b.Addi(1, 1, 12345)
+	b.OpI(isa.Shri, 2, 1, 7)
+	b.Op3(isa.Xor, 4, 4, 2)
+	b.OpI(isa.Andi, 3, 1, 63)
+	b.Op3(isa.Add, 4, 4, 3)
+	b.OpI(isa.Slti, 5, 4, 0)
+	b.Beq(5, 0, "pos")
+	b.OpI(isa.Xori, 4, 4, -1)
+	b.Label("pos")
+	b.Addi(7, 7, 1)
+	b.Blt(7, 8, "loop")
+	b.Li(5, int64(ResultAddr(0)))
+	b.St(5, 0, 4)
+	b.Membar()
+	b.Halt()
+	w.Threads = append(w.Threads, b.Build())
+	w.Init = func(m *mem.Memory) {}
+	return w
+}
+
+// MicroProducerConsumer builds two threads communicating through a
+// flag-guarded mailbox: thread 0 writes values and sets a flag; thread 1
+// spins on the flag, reads the value, accumulates it, and acknowledges.
+// Exercises cross-pair invalidations and (under Reunion) mute staleness on
+// actively ping-ponging blocks. Thread 1 stores the sum to ResultAddr(1).
+func MicroProducerConsumer(iters int) *Workload {
+	w := &Workload{Name: fmt.Sprintf("micro-prodcons(%d)", iters), Class: "micro"}
+	const (
+		flag = SharedBase + 8192
+		data = SharedBase + 8192 + mem.BlockBytes
+	)
+
+	p := program.NewBuilder("prod.t0", CodeBase)
+	p.Li(1, flag)
+	p.Li(2, data)
+	p.Li(7, 1)
+	p.Li(8, int64(iters))
+	p.Label("loop")
+	p.Label("wait") // wait for flag == 0 (consumer done)
+	p.Ld(3, 1, 0)
+	p.Bne(3, 0, "wait")
+	p.St(2, 0, 7) // data = i
+	p.Membar()
+	p.Li(11, 1)
+	p.St(1, 0, 11) // flag = 1
+	p.Addi(7, 7, 1)
+	p.Bge(8, 7, "loop")
+	p.Membar()
+	p.Halt()
+	w.Threads = append(w.Threads, p.Build())
+
+	c := program.NewBuilder("cons.t1", CodeBase+CodeStride)
+	c.Li(1, flag)
+	c.Li(2, data)
+	c.Li(4, 0) // sum
+	c.Li(7, 1)
+	c.Li(8, int64(iters))
+	c.Label("loop")
+	c.Label("wait") // wait for flag == 1
+	c.Ld(3, 1, 0)
+	c.Beq(3, 0, "wait")
+	c.Ld(5, 2, 0)
+	c.Op3(isa.Add, 4, 4, 5)
+	c.Membar()
+	c.St(1, 0, 0) // flag = 0 (store r0)
+	c.Addi(7, 7, 1)
+	c.Bge(8, 7, "loop")
+	c.Li(5, int64(ResultAddr(1)))
+	c.St(5, 0, 4)
+	c.Membar()
+	c.Halt()
+	w.Threads = append(w.Threads, c.Build())
+
+	w.Init = func(m *mem.Memory) {
+		m.WriteWord(flag, 0)
+		m.WriteWord(data, 0)
+	}
+	return w
+}

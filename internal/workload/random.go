@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+	"reunion/internal/sim"
+)
+
+// RandomProgram generates a terminating random program for differential
+// testing: the cycle-level pipeline must produce exactly the golden
+// interpreter's architectural results for any of these. The generator
+// emits random ALU dataflow, loads and stores over a small private
+// region, forward skip branches, counted loops, CAS, membars and traps —
+// everything except device ops (whose values depend on the gate) — and
+// ends in Halt.
+//
+// Registers r1-r12 are random dataflow; r13 holds the region base; r14/r15
+// are loop counters; r16+ scratch.
+func RandomProgram(seed uint64, length int, threadID int) *Workload {
+	r := sim.NewRand(seed)
+	base := uint64(PrivateBase + threadID*PrivStride)
+	const regionBytes = 4096
+
+	b := program.NewBuilder(fmt.Sprintf("random-%d", seed), uint64(CodeBase+threadID*CodeStride))
+	b.InitReg(13, int64(base))
+	for reg := uint8(1); reg <= 12; reg++ {
+		b.InitReg(reg, r.Int63()>>8)
+	}
+
+	reg := func() uint8 { return uint8(1 + r.Intn(12)) }
+	// addrInto leaves a valid region word address in register 16.
+	addrInto := func(src uint8) {
+		b.OpI(isa.Andi, 16, src, regionBytes-8)
+		b.Add(16, 16, 13)
+	}
+
+	labels := 0
+	for i := 0; i < length; i++ {
+		switch r.Intn(20) {
+		case 0, 1, 2, 3, 4, 5: // reg-reg ALU
+			ops := []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.Div, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr, isa.Slt}
+			b.Op3(ops[r.Intn(len(ops))], reg(), reg(), reg())
+		case 6, 7, 8: // reg-imm ALU
+			ops := []isa.Op{isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Slti, isa.Shli, isa.Shri}
+			imm := r.Int63() % 4096
+			op := ops[r.Intn(len(ops))]
+			if op == isa.Shli || op == isa.Shri {
+				imm = int64(r.Intn(63))
+			}
+			b.OpI(op, reg(), reg(), imm)
+		case 9:
+			b.Li(reg(), r.Int63()>>16)
+		case 10, 11, 12: // load
+			addrInto(reg())
+			b.Ld(reg(), 16, 0)
+		case 13, 14: // store
+			addrInto(reg())
+			b.St(16, 0, reg())
+		case 15: // CAS
+			addrInto(reg())
+			b.Cas(reg(), 16, reg())
+		case 16: // forward skip branch over 1-2 instructions
+			skip := fmt.Sprintf(".s%d", labels)
+			labels++
+			b.Branch([]isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge}[r.Intn(4)], reg(), reg(), skip)
+			b.Op3(isa.Add, reg(), reg(), reg())
+			if r.Intn(2) == 0 {
+				b.OpI(isa.Xori, reg(), reg(), 0x55)
+			}
+			b.Label(skip)
+		case 17: // small counted loop (3-6 iterations) of 1-2 body ops
+			loop := fmt.Sprintf(".l%d", labels)
+			labels++
+			n := 3 + r.Intn(4)
+			b.Li(14, 0)
+			b.Li(15, int64(n))
+			b.Label(loop)
+			b.Op3(isa.Add, reg(), reg(), reg())
+			if r.Intn(2) == 0 {
+				addrInto(reg())
+				b.Ld(reg(), 16, 0)
+			}
+			b.Addi(14, 14, 1)
+			b.Blt(14, 15, loop)
+		case 18:
+			b.Membar()
+		case 19:
+			if r.Intn(3) == 0 {
+				b.Trap(1)
+			} else {
+				b.Nop()
+			}
+		}
+	}
+	b.Membar()
+	b.Halt()
+
+	w := &Workload{Name: fmt.Sprintf("random-%d", seed), Class: "fuzz"}
+	w.Threads = append(w.Threads, b.Build())
+	w.Init = func(m *mem.Memory) {
+		ri := sim.NewRand(seed ^ 0xfeed)
+		for off := uint64(0); off < regionBytes; off += 8 {
+			m.WriteWord(base+off, ri.Uint64())
+		}
+	}
+	return w
+}

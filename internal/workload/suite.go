@@ -1,0 +1,193 @@
+package workload
+
+// The application suite of Table 2, as synthetic profiles. Each profile is
+// tuned toward the published characteristics that drive the paper's
+// results: footprint vs. cache/TLB reach, serializing-event rate,
+// write-sharing, and memory-level parallelism. See DESIGN.md for the
+// substitution rationale and EXPERIMENTS.md for the calibration outcome.
+
+// Suite returns the 11 named workload profiles in the paper's order.
+func Suite() []Params {
+	return []Params{
+		Apache(), Zeus(),
+		DB2OLTP(), OracleOLTP(),
+		DSSQ1(), DSSQ2(), DSSQ17(),
+		EM3D(), Moldyn(), Ocean(), Sparse(),
+	}
+}
+
+// ByName returns the named profile, or false.
+func ByName(name string) (Params, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
+
+// Names lists the suite's workload names in order.
+func Names() []string {
+	var ns []string
+	for _, p := range Suite() {
+		ns = append(ns, p.Name)
+	}
+	return ns
+}
+
+// Classes lists the distinct workload classes in figure order.
+func Classes() []Class { return []Class{Web, OLTP, DSS, Scientific} }
+
+// Apache models SPECweb99 on Apache: many small lock-protected critical
+// sections (connection/queue handling), frequent syscalls, a working set
+// well beyond the L1 but mostly inside the L2.
+func Apache() Params {
+	return Params{
+		Name: "apache", Class: Web,
+		PrivateBytes: 8 << 20, HotBytes: 256 << 10, ColdEvery: 24,
+		SharedCtrs: 256, Locks: 256,
+		LoadsPerIter: 12, StoresPerIter: 4, ALUPerIter: 24,
+		CritEvery: 4, CritLen: 2, SharedReadEvery: 16, TrapEvery: 8,
+		UnrollCode: 4,
+	}
+}
+
+// Zeus models SPECweb99 on Zeus: similar to Apache with a leaner event
+// loop (fewer traps, slightly fewer loads).
+func Zeus() Params {
+	return Params{
+		Name: "zeus", Class: Web,
+		PrivateBytes: 8 << 20, HotBytes: 512 << 10, ColdEvery: 32,
+		SharedCtrs: 256, Locks: 256,
+		LoadsPerIter: 10, StoresPerIter: 3, ALUPerIter: 24,
+		CritEvery: 4, CritLen: 1, SharedReadEvery: 32, TrapEvery: 8,
+		UnrollCode: 4,
+	}
+}
+
+// DB2OLTP models TPC-C on DB2: pointer-chasing B-tree descent over a large
+// buffer pool, heavy locking, frequent syscalls, and a data TLB footprint
+// beyond the 4 MB TLB reach.
+func DB2OLTP() Params {
+	return Params{
+		Name: "db2-oltp", Class: OLTP,
+		PrivateBytes: 16 << 20, HotBytes: 1 << 20, ColdEvery: 24,
+		SharedCtrs: 512, Locks: 512,
+		LoadsPerIter: 10, StoresPerIter: 4, ALUPerIter: 16, PointerChase: true,
+		CritEvery: 8, CritLen: 2, SharedReadEvery: 32, TrapEvery: 8,
+		UnrollCode: 4,
+	}
+}
+
+// OracleOLTP models TPC-C on Oracle: like DB2 with a larger SGA-style hot
+// region and even more TLB pressure.
+func OracleOLTP() Params {
+	return Params{
+		Name: "oracle-oltp", Class: OLTP,
+		PrivateBytes: 16 << 20, HotBytes: 2 << 20, ColdEvery: 16,
+		SharedCtrs: 512, Locks: 512,
+		LoadsPerIter: 10, StoresPerIter: 4, ALUPerIter: 14, PointerChase: true,
+		CritEvery: 8, CritLen: 2, SharedReadEvery: 32, TrapEvery: 8,
+		UnrollCode: 4,
+	}
+}
+
+// DSSQ1 models TPC-H query 1 (scan-dominated): a streaming aggregate over
+// a table that far exceeds the shared cache, with shared aggregation
+// buckets updated under locks — the source of its comparatively high
+// input-incoherence rate in Table 3.
+func DSSQ1() Params {
+	return Params{
+		Name: "dss-q1", Class: DSS,
+		PrivateBytes: 1 << 20, HotBytes: 256 << 10, ColdEvery: 0,
+		SharedCtrs: 16, Locks: 16,
+		LoadsPerIter: 2, StoresPerIter: 1, ALUPerIter: 20,
+		ScanBytes: 32 << 20, ScanPerIter: 16, ScanStride: 8,
+		CritEvery: 8, CritLen: 1, SharedReadEvery: 2, TrapEvery: 32,
+		UnrollCode: 2,
+	}
+}
+
+// DSSQ2 models TPC-H query 2 (join-dominated): random hash-table probes
+// over a multi-megabyte build side.
+func DSSQ2() Params {
+	return Params{
+		Name: "dss-q2", Class: DSS,
+		PrivateBytes: 8 << 20, HotBytes: 1 << 20, ColdEvery: 12,
+		SharedCtrs: 128, Locks: 128,
+		LoadsPerIter: 14, StoresPerIter: 2, ALUPerIter: 18,
+		CritEvery: 16, CritLen: 1, SharedReadEvery: 64, TrapEvery: 16,
+		UnrollCode: 4,
+	}
+}
+
+// DSSQ17 models TPC-H query 17 (balanced): a scan feeding random probes.
+func DSSQ17() Params {
+	return Params{
+		Name: "dss-q17", Class: DSS,
+		PrivateBytes: 8 << 20, HotBytes: 1 << 20, ColdEvery: 12,
+		SharedCtrs: 128, Locks: 128,
+		LoadsPerIter: 8, StoresPerIter: 2, ALUPerIter: 16,
+		ScanBytes: 16 << 20, ScanPerIter: 8, ScanStride: 8,
+		CritEvery: 16, CritLen: 1, SharedReadEvery: 32, TrapEvery: 16,
+		UnrollCode: 2,
+	}
+}
+
+// EM3D models the em3d electromagnetic kernel: streaming node sweeps whose
+// aggregate working set exceeds the 16 MB shared cache (the property that
+// makes shared-strength phantom requests collapse in Figure 7a), with 15%
+// of reads hitting a neighbour thread's partition.
+func EM3D() Params {
+	return Params{
+		Name: "em3d", Class: Scientific,
+		PrivateBytes: 1 << 20, HotBytes: 1 << 20, ColdEvery: 0,
+		SharedCtrs: 64, Locks: 64,
+		LoadsPerIter: 3, StoresPerIter: 2, ALUPerIter: 8, RemoteSixteenths: 2,
+		ScanBytes: 24 << 20, ScanPerIter: 12, ScanStride: 8,
+		CritEvery: 64, CritLen: 1, BarEvery: 64,
+		UnrollCode: 2,
+	}
+}
+
+// Moldyn models the moldyn molecular-dynamics kernel: neighbour-list force
+// computation with high memory-level parallelism, read-mostly sharing of
+// positions, and lock-protected force reductions at phase ends.
+func Moldyn() Params {
+	return Params{
+		Name: "moldyn", Class: Scientific,
+		PrivateBytes: 2 << 20, HotBytes: 2 << 20, ColdEvery: 0,
+		SharedCtrs: 64, Locks: 64,
+		LoadsPerIter: 12, StoresPerIter: 4, ALUPerIter: 20, RemoteSixteenths: 1,
+		CritEvery: 64, CritLen: 1, BarEvery: 32,
+		UnrollCode: 2,
+	}
+}
+
+// Ocean models the SPLASH-2 ocean kernel: grid stencil sweeps (streaming)
+// with boundary-row sharing between neighbouring threads.
+func Ocean() Params {
+	return Params{
+		Name: "ocean", Class: Scientific,
+		PrivateBytes: 1 << 20, HotBytes: 1 << 20, ColdEvery: 0,
+		SharedCtrs: 64, Locks: 64,
+		LoadsPerIter: 4, StoresPerIter: 3, ALUPerIter: 16, RemoteSixteenths: 1,
+		ScanBytes: 8 << 20, ScanPerIter: 12, ScanStride: 8,
+		CritEvery: 32, CritLen: 1, BarEvery: 16,
+		UnrollCode: 2,
+	}
+}
+
+// Sparse models sparse matrix-vector multiply: streaming matrix data with
+// indirect gathers from a small, cache-resident x vector.
+func Sparse() Params {
+	return Params{
+		Name: "sparse", Class: Scientific,
+		PrivateBytes: 256 << 10, HotBytes: 64 << 10, ColdEvery: 8,
+		SharedCtrs: 16, Locks: 16,
+		LoadsPerIter: 6, StoresPerIter: 2, ALUPerIter: 12,
+		ScanBytes: 16 << 20, ScanPerIter: 12, ScanStride: 8,
+		CritEvery: 32, CritLen: 1, BarEvery: 16,
+		UnrollCode: 2,
+	}
+}

@@ -1,0 +1,368 @@
+// Package workload generates the multithreaded shared-memory programs the
+// simulator runs: synthetic stand-ins for the paper's Table 2 application
+// suite (TPC-C OLTP on DB2 and Oracle, TPC-H DSS queries, SPECweb on
+// Apache and Zeus, and the em3d/moldyn/ocean/sparse scientific kernels).
+//
+// We cannot run Solaris database binaries, so each generator reproduces
+// the *statistical shape* that drives Reunion's results instead: working-
+// set size relative to the L1/L2/TLB reach, the rate of serializing
+// instructions (traps, memory barriers, atomics), the amount of write-
+// shared data (which creates the data races behind input incoherence),
+// memory-level parallelism (independent vs. pointer-chasing loads), and
+// streaming vs. random access. Every program is built deterministically
+// from a seed; the vocal and mute core of a pair run the same thread.
+//
+// Address-space layout (identity-mapped virtual = physical):
+//
+//	0x0040_0000 + t*0x0020_0000  code, per thread
+//	0x0800_0000                  lock words, one per cache block
+//	0x0900_0000                  shared data (counters, tables)
+//	0x2000_0000 + t*0x0400_0000  private working set, per thread (64MB apart)
+//	0xf000_0000                  device registers (uncached)
+package workload
+
+import (
+	"fmt"
+
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+	"reunion/internal/program"
+	"reunion/internal/sim"
+)
+
+// Layout constants.
+const (
+	CodeBase    = 0x0040_0000
+	CodeStride  = 0x0020_0000
+	LockBase    = 0x0800_0000
+	SharedBase  = 0x0900_0000
+	PrivateBase = 0x2000_0000
+	PrivStride  = 0x0400_0000
+	DeviceBase  = 0xf000_0000
+)
+
+// Class groups workloads the way the paper's figures do.
+type Class string
+
+// Workload classes.
+const (
+	Web        Class = "Web"
+	OLTP       Class = "OLTP"
+	DSS        Class = "DSS"
+	Scientific Class = "Scientific"
+)
+
+// Range is a byte range of the address space (cache/TLB warmup).
+type Range struct {
+	Base uint64
+	Len  uint64
+}
+
+// Workload is a ready-to-run multithreaded program.
+type Workload struct {
+	Name    string
+	Class   Class
+	Threads []*program.Thread
+	// Init populates initial memory contents (pointer-chase tables, scan
+	// arrays, zeroed locks).
+	Init func(m *mem.Memory)
+	// WarmRanges lists data to prefill into the shared cache, emulating
+	// measurement from a warmed checkpoint as the paper does.
+	WarmRanges []Range
+	// HotPages lists per-thread pages to preload into the DTLB.
+	HotPages [][]uint64
+}
+
+// Params tunes the parameterized transaction generator. All sizes are
+// powers of two.
+type Params struct {
+	Name  string
+	Class Class
+
+	PrivateBytes uint64 // per-thread working set
+	HotBytes     uint64 // hot subset of the private set
+	ColdEvery    int    // one cold (full-working-set) load per this many hot loads
+	SharedCtrs   int    // shared counter blocks (write-shared data)
+	Locks        int    // lock words (each protects one counter block)
+
+	LoadsPerIter  int  // random-access loads per transaction
+	StoresPerIter int  // private stores per transaction (SB and writeback traffic)
+	ALUPerIter    int  // ALU ops per transaction
+	PointerChase  bool // dependent loads (low MLP) vs independent (high MLP)
+
+	ScanBytes   uint64 // streaming region (0 = none); shared read-only
+	ScanPerIter int    // sequential loads per transaction
+	ScanStride  int64  // bytes between scan loads (0 = one cache block)
+
+	RemoteSixteenths int // fraction (x/16) of loads targeting another thread's region
+
+	CritEvery int // transactions between critical sections (power of two)
+	CritLen   int // shared stores inside the critical section
+	// SharedReadEvery makes every n-th critical section also read-modify-
+	// write its shared counter. Reading data another logical processor
+	// recently wrote is what exposes a mute's stale copy, so this knob
+	// controls the workload's input-incoherence rate (Table 3).
+	SharedReadEvery int
+	TrapEvery       int // transactions between traps (power of two; 0 = never)
+	BarEvery        int // transactions between membar "barriers" (power of two; 0 = never)
+
+	UnrollCode int // extra code replication (I-footprint); >= 1
+}
+
+// Registers used by the generator. r28-r31 are reserved scratch for
+// program idioms (Spinlock/Unlock).
+const (
+	rLCG   = 1  // PRNG state
+	rAddr  = 2  // address scratch
+	rVal   = 3  // load destination / chase pointer
+	rAcc   = 4  // accumulator
+	rScanP = 5  // scan pointer
+	rScanE = 6  // scan end
+	rIter  = 7  // transaction counter
+	rPriv  = 8  // private base
+	rShare = 9  // shared base
+	rLockB = 10 // lock base
+	rT1    = 11
+	rT2    = 12
+	rRem   = 13 // remote base
+	rCtr   = 14 // counter block address
+	rScanB = 15 // scan base
+)
+
+// Build generates the workload for n threads from the given seed.
+func (p Params) Build(seed uint64, n int) *Workload {
+	if p.UnrollCode < 1 {
+		p.UnrollCode = 1
+	}
+	w := &Workload{Name: p.Name, Class: p.Class}
+	rng := sim.NewRand(seed ^ 0x3019_77d4_6b3c_55aa)
+	for t := 0; t < n; t++ {
+		w.Threads = append(w.Threads, p.buildThread(t, n, rng.Uint64()|1))
+	}
+	w.Init = func(m *mem.Memory) { p.initMemory(m, n, seed) }
+	// Warm ranges in priority order: the prefill budget is one L2's worth
+	// of blocks, so the actively shared data and per-thread hot regions
+	// come first, then streaming/cold regions until the budget runs out.
+	w.WarmRanges = append(w.WarmRanges,
+		Range{LockBase, uint64(p.Locks) * mem.BlockBytes},
+		Range{SharedBase, uint64(p.SharedCtrs) * mem.BlockBytes},
+	)
+	for t := 0; t < n; t++ {
+		base := uint64(PrivateBase + t*PrivStride)
+		w.WarmRanges = append(w.WarmRanges, Range{base, p.HotBytes})
+		var hot []uint64
+		hotPages := p.HotBytes / mem.PageBytes
+		for pg := uint64(0); pg < hotPages && pg < 384; pg++ {
+			hot = append(hot, mem.PageOf(base)+pg)
+		}
+		w.HotPages = append(w.HotPages, hot)
+	}
+	if p.ScanBytes > 0 {
+		w.WarmRanges = append(w.WarmRanges, Range{scanBase(), p.ScanBytes})
+	}
+	if p.PrivateBytes > p.HotBytes {
+		for t := 0; t < n; t++ {
+			base := uint64(PrivateBase+t*PrivStride) + p.HotBytes
+			w.WarmRanges = append(w.WarmRanges, Range{base, p.PrivateBytes - p.HotBytes})
+		}
+	}
+	return w
+}
+
+func scanBase() uint64 { return SharedBase + 0x0100_0000 }
+
+func (p Params) initMemory(m *mem.Memory, n int, seed uint64) {
+	r := sim.NewRand(seed ^ 0x1717_beef)
+	for t := 0; t < n; t++ {
+		base := uint64(PrivateBase + t*PrivStride)
+		// Pointer-chase-safe contents: any word, masked into the working
+		// set, lands on a valid word address.
+		for off := uint64(0); off < p.PrivateBytes; off += 8 {
+			m.WriteWord(base+off, r.Uint64())
+		}
+	}
+	if p.ScanBytes > 0 {
+		for off := uint64(0); off < p.ScanBytes; off += 8 {
+			m.WriteWord(scanBase()+off, r.Uint64())
+		}
+	}
+	// Locks and counters start zeroed; mem reads unmapped as zero, but map
+	// them so they are warmable.
+	for i := 0; i < p.Locks; i++ {
+		m.WriteWord(LockBase+uint64(i)*mem.BlockBytes, 0)
+	}
+	for i := 0; i < p.SharedCtrs; i++ {
+		m.WriteWord(SharedBase+uint64(i)*mem.BlockBytes, 0)
+	}
+}
+
+func (p Params) buildThread(t, n int, seed uint64) *program.Thread {
+	b := program.NewBuilder(fmt.Sprintf("%s.t%d", p.Name, t), uint64(CodeBase+t*CodeStride))
+	b.InitReg(rLCG, int64(seed))
+	b.InitReg(rPriv, PrivateBase+int64(t)*PrivStride)
+	b.InitReg(rShare, SharedBase)
+	b.InitReg(rLockB, LockBase)
+	b.InitReg(rScanB, int64(scanBase()))
+	b.InitReg(rScanP, int64(scanBase())+int64(t)*int64(p.ScanBytes)/int64(max(n, 1)))
+	b.InitReg(rScanE, int64(scanBase()+p.ScanBytes))
+	b.InitReg(rRem, PrivateBase+int64((t+1)%n)*PrivStride)
+	b.InitReg(rVal, int64(seed)*3)
+
+	b.Label("loop")
+	for u := 0; u < p.UnrollCode; u++ {
+		p.emitTransaction(b, u)
+	}
+	b.Jmp("loop")
+	return b.Build()
+}
+
+// emitTransaction emits one transaction body (one "iteration").
+func (p Params) emitTransaction(b *program.Builder, u int) {
+	hotMask := int64(p.HotBytes - 8)
+	coldMask := int64(p.PrivateBytes - 8)
+
+	// Transaction counter.
+	b.Addi(rIter, rIter, 1)
+
+	loads := 0
+	emitLoad := func(base uint8, mask int64) {
+		if p.PointerChase {
+			// Dependent chain: next address derives from the last value.
+			b.OpI(isa.Andi, rAddr, rVal, mask)
+			b.Add(rAddr, rAddr, base)
+			b.Ld(rVal, rAddr, 0)
+			b.Add(rAcc, rAcc, rVal)
+		} else {
+			// Independent: a cheap LCG step per load keeps MLP high.
+			b.OpI(isa.Xori, rLCG, rLCG, 0x5bd1)
+			b.OpI(isa.Shli, rT1, rLCG, 13)
+			b.Op3(isa.Xor, rLCG, rLCG, rT1)
+			b.OpI(isa.Shri, rT1, rLCG, 7)
+			b.Op3(isa.Xor, rLCG, rLCG, rT1)
+			b.OpI(isa.Andi, rAddr, rLCG, mask)
+			b.Add(rAddr, rAddr, base)
+			b.Ld(rT2, rAddr, 0)
+			b.Add(rAcc, rAcc, rT2)
+		}
+		loads++
+	}
+
+	for i := 0; i < p.LoadsPerIter; i++ {
+		base := uint8(rPriv)
+		mask := hotMask
+		// Bresenham spread across the whole unrolled body: RemoteSixteenths
+		// of every 16 loads go to the neighbour thread's region. Bodies
+		// with fewer than 16/R loads still get one remote load so the
+		// sharing pattern exists at all.
+		g := u*p.LoadsPerIter + i
+		total := p.UnrollCode * p.LoadsPerIter
+		remote := p.RemoteSixteenths > 0 &&
+			((g+1)*p.RemoteSixteenths/16 > g*p.RemoteSixteenths/16 ||
+				(g == 0 && total*p.RemoteSixteenths < 16))
+		if remote {
+			base, mask = rRem, coldMask
+		} else if p.ColdEvery > 0 && i%p.ColdEvery == p.ColdEvery-1 {
+			mask = coldMask
+		}
+		emitLoad(base, mask)
+	}
+
+	// Streaming scan (DSS, em3d flavor): independent sequential loads.
+	if p.ScanPerIter > 0 {
+		stride := p.ScanStride
+		if stride == 0 {
+			stride = mem.BlockBytes
+		}
+		for i := 0; i < p.ScanPerIter; i++ {
+			b.Ld(rT2, rScanP, int64(i)*stride)
+			b.Add(rAcc, rAcc, rT2)
+		}
+		b.Addi(rScanP, rScanP, int64(p.ScanPerIter)*stride)
+		skip := fmt.Sprintf(".sc%d_%d", u, b.PC())
+		b.Blt(rScanP, rScanE, skip)
+		b.Op3(isa.Add, rScanP, rScanB, 0) // wrap to scan base
+		b.Label(skip)
+	}
+
+	// Private stores (write-back and store-buffer traffic; under SC every
+	// one of these serializes retirement — §5.5).
+	for i := 0; i < p.StoresPerIter; i++ {
+		b.OpI(isa.Xori, rLCG, rLCG, 0x7a11)
+		b.OpI(isa.Shli, rT1, rLCG, 11)
+		b.Op3(isa.Xor, rLCG, rLCG, rT1)
+		b.OpI(isa.Andi, rAddr, rLCG, hotMask)
+		b.Add(rAddr, rAddr, rPriv)
+		b.St(rAddr, 0, rIter)
+	}
+
+	// Compute.
+	for i := 0; i < p.ALUPerIter; i++ {
+		switch i % 4 {
+		case 0:
+			b.Add(rAcc, rAcc, rIter)
+		case 1:
+			b.OpI(isa.Xori, rAcc, rAcc, 0x2d)
+		case 2:
+			b.OpI(isa.Shri, rT1, rAcc, 3)
+		case 3:
+			b.Add(rAcc, rAcc, rT1)
+		}
+	}
+
+	// Critical section: lock -> shared read-modify-writes -> unlock.
+	// This is the write-sharing that makes input incoherence possible.
+	if p.CritEvery > 0 {
+		skip := fmt.Sprintf(".cs%d_%d", u, b.PC())
+		b.OpI(isa.Andi, rT1, rIter, int64(p.CritEvery-1))
+		b.Bne(rT1, 0, skip)
+		// lock index from the accumulator (varies across transactions)
+		b.OpI(isa.Shri, rT1, rLCG, 9)
+		b.OpI(isa.Andi, rT1, rT1, int64(p.Locks-1))
+		b.OpI(isa.Shli, rT1, rT1, 6) // one lock per block
+		b.Add(rT1, rT1, rLockB)
+		b.Spinlock(rT1, rT2)
+		// counter block shares the lock's index
+		b.Op3(isa.Sub, rCtr, rT1, rLockB)
+		b.Add(rCtr, rCtr, rShare)
+		for i := 0; i < p.CritLen; i++ {
+			off := int64(i%7+1) * 8
+			b.St(rCtr, off, rIter)
+		}
+		if p.SharedReadEvery > 0 {
+			skipRd := fmt.Sprintf(".sr%d_%d", u, b.PC())
+			b.OpI(isa.Andi, rT2, rIter, int64(p.SharedReadEvery-1))
+			b.Bne(rT2, 0, skipRd)
+			b.Ld(rT2, rCtr, 0)
+			b.Addi(rT2, rT2, 1)
+			b.St(rCtr, 0, rT2)
+			b.Label(skipRd)
+		}
+		b.Unlock(rT1)
+		b.Label(skip)
+	}
+
+	// Traps (syscalls).
+	if p.TrapEvery > 0 {
+		skip := fmt.Sprintf(".tr%d_%d", u, b.PC())
+		b.OpI(isa.Andi, rT1, rIter, int64(p.TrapEvery-1))
+		b.Bne(rT1, 0, skip)
+		b.Trap(1)
+		b.Label(skip)
+	}
+
+	// Barrier-ish phase boundary (scientific): drain the store buffer.
+	if p.BarEvery > 0 {
+		skip := fmt.Sprintf(".ba%d_%d", u, b.PC())
+		b.OpI(isa.Andi, rT1, rIter, int64(p.BarEvery-1))
+		b.Bne(rT1, 0, skip)
+		b.Membar()
+		b.Label(skip)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

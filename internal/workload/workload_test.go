@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"testing"
+
+	"reunion/internal/interp"
+	"reunion/internal/isa"
+	"reunion/internal/mem"
+)
+
+func TestSuiteCompleteness(t *testing.T) {
+	s := Suite()
+	if len(s) != 11 {
+		t.Fatalf("suite has %d workloads, Table 2 lists 11", len(s))
+	}
+	classes := map[Class]int{}
+	for _, p := range s {
+		classes[p.Class]++
+	}
+	if classes[Web] != 2 || classes[OLTP] != 2 || classes[DSS] != 3 || classes[Scientific] != 4 {
+		t.Fatalf("class distribution %v", classes)
+	}
+	if _, ok := ByName("apache"); !ok {
+		t.Fatal("ByName apache")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted unknown name")
+	}
+	if len(Names()) != 11 || len(Classes()) != 4 {
+		t.Fatal("Names/Classes")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	for _, p := range Suite() {
+		a := p.Build(7, 4)
+		b := p.Build(7, 4)
+		if len(a.Threads) != 4 {
+			t.Fatalf("%s: %d threads", p.Name, len(a.Threads))
+		}
+		for i := range a.Threads {
+			ta, tb := a.Threads[i], b.Threads[i]
+			if len(ta.Code) != len(tb.Code) {
+				t.Fatalf("%s t%d code lengths differ", p.Name, i)
+			}
+			for j := range ta.Code {
+				if ta.Code[j] != tb.Code[j] {
+					t.Fatalf("%s t%d instr %d differs", p.Name, i, j)
+				}
+			}
+			if ta.InitRegs != tb.InitRegs {
+				t.Fatalf("%s t%d init regs differ", p.Name, i)
+			}
+		}
+		c := p.Build(8, 4)
+		same := true
+		for i := range a.Threads {
+			if a.Threads[i].InitRegs != c.Threads[i].InitRegs {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical register seeds", p.Name)
+		}
+	}
+}
+
+func TestThreadsRunOnInterpreter(t *testing.T) {
+	// Every generated thread must execute indefinitely without undefined
+	// behaviour (wild PCs, invalid ops) on the golden interpreter.
+	for _, p := range Suite() {
+		w := p.Build(3, 4)
+		m := mem.New()
+		w.Init(m)
+		for i, th := range w.Threads {
+			res, err := interp.Run(th, m, 20_000, func(addr uint64, n int64) int64 { return 0 })
+			if err != nil {
+				t.Fatalf("%s thread %d: %v", p.Name, i, err)
+			}
+			if res.Halted {
+				t.Fatalf("%s thread %d halted; workload threads must loop forever", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestAddressDiscipline(t *testing.T) {
+	// Interpret each thread and verify every load/store address stays in
+	// the declared regions (private, shared, lock, scan) — the workload
+	// layout contract.
+	for _, p := range Suite() {
+		w := p.Build(5, 4)
+		m := mem.New()
+		w.Init(m)
+		th := w.Threads[1]
+		privLo := uint64(PrivateBase + 1*PrivStride)
+		remoteLo := uint64(PrivateBase + 2*PrivStride)
+		// Run an instrumented interpreter loop.
+		regs := th.InitRegs
+		pc := th.Entry
+		for step := 0; step < 30_000; step++ {
+			in, ok := th.Fetch(pc)
+			if !ok {
+				t.Fatalf("%s: wild pc", p.Name)
+			}
+			next := pc + 1
+			s1, s2 := regs[in.Rs1], regs[in.Rs2]
+			switch {
+			case in.IsMem():
+				addr := uint64(s1 + in.Imm)
+				if in.IsAtomic() {
+					addr = uint64(s1)
+				}
+				inPriv := addr >= privLo && addr < privLo+p.PrivateBytes
+				inRemote := addr >= remoteLo && addr < remoteLo+p.PrivateBytes
+				inLock := addr >= LockBase && addr < LockBase+uint64(p.Locks)*mem.BlockBytes
+				inShared := addr >= SharedBase && addr < SharedBase+uint64(p.SharedCtrs)*mem.BlockBytes
+				inScan := p.ScanBytes > 0 && addr >= scanBase() && addr < scanBase()+p.ScanBytes+uint64(p.ScanPerIter)*64
+				if !inPriv && !inRemote && !inLock && !inShared && !inScan {
+					t.Fatalf("%s: access to %#x outside declared regions (op %v)", p.Name, addr, in.Op)
+				}
+				switch {
+				case in.IsLoad():
+					regs[in.Rd] = int64(m.ReadWord(addr))
+				case in.IsStore():
+					m.WriteWord(addr, uint64(s2))
+				case in.IsAtomic():
+					old := int64(m.ReadWord(addr))
+					if old == regs[in.Rd] {
+						m.WriteWord(addr, uint64(s2))
+					}
+					regs[in.Rd] = old
+				}
+			case in.IsBranch():
+				if in.BranchTaken(s1, s2) {
+					if in.Op == isa.Jr {
+						next = s1
+					} else {
+						next = in.Imm
+					}
+				}
+			case in.WritesReg():
+				regs[in.Rd] = in.ALUResult(s1, s2)
+			}
+			regs[0] = 0
+			pc = next
+		}
+	}
+}
+
+func TestWarmRangesAndHotPages(t *testing.T) {
+	p := Apache()
+	w := p.Build(1, 4)
+	if len(w.WarmRanges) == 0 {
+		t.Fatal("no warm ranges")
+	}
+	// Locks and shared data come first (prefill priority).
+	if w.WarmRanges[0].Base != LockBase || w.WarmRanges[1].Base != SharedBase {
+		t.Fatal("warm priority order wrong")
+	}
+	if len(w.HotPages) != 4 {
+		t.Fatalf("hot pages for %d threads", len(w.HotPages))
+	}
+	for tid, pages := range w.HotPages {
+		base := uint64(PrivateBase + tid*PrivStride)
+		if len(pages) == 0 || pages[0] != mem.PageOf(base) {
+			t.Fatalf("thread %d hot pages start wrong", tid)
+		}
+	}
+}
+
+func TestMicroCounterShape(t *testing.T) {
+	w := MicroCounter(4, 10)
+	if len(w.Threads) != 4 {
+		t.Fatal("threads")
+	}
+	m := mem.New()
+	w.Init(m)
+	// Single-threaded run must deliver exactly iters increments.
+	res, err := interp.Run(w.Threads[0], m, 10_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := m.ReadWord(CounterAddr); got != 10 {
+		t.Fatalf("counter=%d want 10", got)
+	}
+}
+
+func TestMicroComputeMatchesInterpreterTwice(t *testing.T) {
+	w := MicroCompute(50)
+	m1, m2 := mem.New(), mem.New()
+	w.Init(m1)
+	w.Init(m2)
+	r1, err := interp.Run(w.Threads[0], m1, 100_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(w.Threads[0], m2, 100_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Regs != r2.Regs || !r1.Halted {
+		t.Fatal("MicroCompute not deterministic")
+	}
+	if m1.ReadWord(ResultAddr(0)) != m2.ReadWord(ResultAddr(0)) {
+		t.Fatal("results differ")
+	}
+}
+
+func TestProducerConsumerSingleThreadedPieces(t *testing.T) {
+	// The producer alone (consumer never acks) must stall on the flag,
+	// not run away.
+	w := MicroProducerConsumer(5)
+	m := mem.New()
+	w.Init(m)
+	m.WriteWord(SharedBase+8192, 1) // flag stuck at 1: producer must spin
+	res, err := interp.Run(w.Threads[0], m, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("producer ignored the flag")
+	}
+}
+
+func TestRemoteFraction(t *testing.T) {
+	p := EM3D() // RemoteSixteenths: 2
+	w := p.Build(1, 4)
+	th := w.Threads[0]
+	remoteBase := int64(PrivateBase + 1*PrivStride)
+	// Count loads whose base register is the remote base by scanning for
+	// the address-add of rRem.
+	remoteAdds, totalAdds := 0, 0
+	for _, in := range th.Code {
+		if in.Op == isa.Add && in.Rd == rAddr {
+			totalAdds++
+			if in.Rs2 == rRem {
+				remoteAdds++
+			}
+		}
+	}
+	if remoteAdds == 0 {
+		t.Fatal("no remote loads emitted")
+	}
+	frac := float64(remoteAdds) / float64(totalAdds)
+	if frac < 0.05 || frac > 0.30 {
+		t.Fatalf("remote fraction %.2f, want ~2/16", frac)
+	}
+	_ = remoteBase
+}
+
+func TestStoresEmitted(t *testing.T) {
+	for _, p := range Suite() {
+		w := p.Build(1, 4)
+		stores := 0
+		for _, in := range w.Threads[0].Code {
+			if in.IsStore() {
+				stores++
+			}
+		}
+		if stores == 0 {
+			t.Errorf("%s emits no stores (SC experiment needs store traffic)", p.Name)
+		}
+	}
+}
+
+func TestRandomProgramDeterministicAndBounded(t *testing.T) {
+	a := RandomProgram(42, 150, 0)
+	b := RandomProgram(42, 150, 0)
+	if len(a.Threads[0].Code) != len(b.Threads[0].Code) {
+		t.Fatal("random program not deterministic")
+	}
+	for i := range a.Threads[0].Code {
+		if a.Threads[0].Code[i] != b.Threads[0].Code[i] {
+			t.Fatal("random program instruction differs")
+		}
+	}
+	// Must halt on the interpreter within a generous budget.
+	m := mem.New()
+	a.Init(m)
+	res, err := interp.Run(a.Threads[0], m, 5_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("random program did not halt")
+	}
+	// Distinct seeds produce distinct programs.
+	c := RandomProgram(43, 150, 0)
+	same := len(c.Threads[0].Code) == len(a.Threads[0].Code)
+	if same {
+		diff := false
+		for i := range a.Threads[0].Code {
+			if a.Threads[0].Code[i] != c.Threads[0].Code[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

@@ -1,0 +1,36 @@
+package reunion
+
+import (
+	"reunion/internal/interp"
+	"reunion/internal/mem"
+	"reunion/internal/workload"
+)
+
+// memWrap gives tests a fresh initialized memory image.
+type memWrap = mem.Memory
+
+func newMemWrap(w *workload.Workload) *mem.Memory {
+	m := mem.New()
+	w.Init(m)
+	return m
+}
+
+// interpRun executes a single-thread workload on the golden interpreter
+// and returns the word it stored to ResultAddr(0).
+func interpRun(w *workload.Workload, m *mem.Memory) (int64, error) {
+	_, err := interp.Run(w.Threads[0], m, 10_000_000, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(m.ReadWord(workload.ResultAddr(0))), nil
+}
+
+// interpRunRegs executes a single-thread workload on the golden
+// interpreter and returns the final architectural registers.
+func interpRunRegs(w *workload.Workload, m *mem.Memory) ([32]int64, error) {
+	res, err := interp.Run(w.Threads[0], m, 10_000_000, nil)
+	if err != nil {
+		return [32]int64{}, err
+	}
+	return res.Regs, nil
+}

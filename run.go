@@ -1,0 +1,239 @@
+package reunion
+
+import (
+	"fmt"
+
+	"reunion/internal/stats"
+	"reunion/internal/workload"
+)
+
+// Options configures one measured simulation run.
+type Options struct {
+	// Mode selects the execution model (default ModeNonRedundant).
+	Mode Mode
+	// Workload is the program profile to run (see internal/workload.Suite).
+	Workload workload.Params
+	// Threads is the number of logical processors (default 4, Table 1).
+	Threads int
+	// Seed drives workload generation; matched-pair comparisons run the
+	// same seed under different modes.
+	Seed uint64
+	// CompareLatency overrides the one-way comparison latency. The zero
+	// value means the default of 10 cycles (Figure 5); pass ZeroLatency
+	// for a literal zero-cycle latency (Figure 6's leftmost points).
+	CompareLatency int64
+	// Phantom selects the phantom request strength (default global).
+	Phantom Phantom
+	// TLB selects hardware- or software-managed TLBs (default hardware,
+	// as in the paper's headline results).
+	TLB TLBMode
+	// Consistency selects TSO (default) or SC.
+	Consistency Consistency
+	// FPInterval sets the fingerprint comparison interval in instructions
+	// (default 1: compare every instruction, as the paper does).
+	FPInterval int
+	// WarmCycles and MeasureCycles size the sampling window (defaults
+	// 100k/50k, the paper's §5 methodology).
+	WarmCycles    int64
+	MeasureCycles int64
+	// NoPrefill skips the warmed-checkpoint cache/TLB prefill.
+	NoPrefill bool
+	// Config optionally overrides the whole machine configuration.
+	Config *Config
+}
+
+// ZeroLatency requests a literal zero-cycle comparison latency (the zero
+// value of Options.CompareLatency means "default").
+const ZeroLatency int64 = -1
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	switch {
+	case o.CompareLatency == 0:
+		o.CompareLatency = 10
+	case o.CompareLatency == ZeroLatency:
+		o.CompareLatency = 0
+	}
+	if o.FPInterval == 0 {
+		o.FPInterval = 1
+	}
+	if o.WarmCycles == 0 {
+		o.WarmCycles = 100_000
+	}
+	if o.MeasureCycles == 0 {
+		o.MeasureCycles = 50_000
+	}
+	return o
+}
+
+// Result reports the measured statistics of one run.
+type Result struct {
+	Mode                            Mode
+	Workload                        string
+	Cycles                          int64
+	Committed                       int64   // user instructions retired (vocal cores)
+	UserIPC                         float64 // aggregate user instructions per cycle (the paper's metric)
+	CommittedLoads, CommittedStores int64
+
+	// Redundancy events (ModeReunion).
+	Recoveries        int64
+	IncoherenceEvents int64
+	FaultEvents       int64
+	SyncRequests      int64
+	Phase2            int64
+	Failures          int64
+	Compares          int64
+	Timeouts          int64
+
+	// Memory system.
+	TLBMisses      int64 // I+D, vocal cores
+	L1DMisses      int64
+	L1DHits        int64
+	L2Misses       int64
+	L2Hits         int64
+	PhantomGarbage int64
+	MemAccesses    int64
+
+	// Per-million rates (relative to Committed).
+	IncoherencePerM float64
+	TLBMissPerM     float64
+
+	Serializing int64
+	Mispredicts int64
+
+	// Overhead attribution (vocal cores, per-cycle averages / totals).
+	AvgROBOccupancy   float64 // mean occupied RUU entries per cycle
+	AvgCheckOccupancy float64 // mean offered-but-unretired entries per cycle
+	SerIssueStalls    int64   // issue-slot stalls behind serializing fences
+	CompareWaitVocal  int64   // cycles the vocal's fingerprints waited for the mute
+	CompareWaitMute   int64   // cycles the mute's fingerprints waited for the vocal
+}
+
+// Run executes one measured simulation: build, prefill, warm, measure.
+func Run(o Options) (Result, error) {
+	o = o.withDefaults()
+	cfg := DefaultConfig()
+	if o.Config != nil {
+		cfg = *o.Config
+	}
+	cfg.CompareLatency = o.CompareLatency
+	cfg.L2.Phantom = o.Phantom
+	cfg.Core.TLB.Mode = o.TLB
+	cfg.Core.Consistency = o.Consistency
+	cfg.Core.FPInterval = o.FPInterval
+
+	w := o.Workload.Build(o.Seed, o.Threads)
+	sys := NewSystem(cfg, o.Mode, w, o.Seed)
+	if !o.NoPrefill {
+		sys.Prefill()
+	}
+	sys.Run(o.WarmCycles)
+	sys.ResetStats()
+	sys.Run(o.MeasureCycles)
+	if sys.Failed() {
+		return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", w.Name, o.Mode)
+	}
+	return Collect(sys, o.MeasureCycles), nil
+}
+
+// Collect gathers a Result from a system after a measurement window.
+func Collect(sys *System, cycles int64) Result {
+	r := Result{Mode: sys.Mode, Workload: sys.W.Name, Cycles: cycles}
+	var occ, checkOcc, coreCycles int64
+	for _, c := range sys.VocalCores() {
+		r.Committed += c.Stats.Committed
+		r.CommittedLoads += c.Stats.CommittedLoads
+		r.CommittedStores += c.Stats.CommittedStores
+		r.TLBMisses += c.Stats.ITLBMisses + c.Stats.DTLBMisses
+		r.Serializing += c.Stats.Serializing
+		r.Mispredicts += c.Stats.Mispredicts
+		r.L1DMisses += c.L1D.Misses
+		r.L1DHits += c.L1D.Hits
+		r.SerIssueStalls += c.Stats.IssueStallSer
+		occ += c.Stats.ROBOccupancy
+		checkOcc += c.Stats.CheckOccupancy
+		coreCycles += c.Stats.Cycles
+	}
+	if coreCycles > 0 {
+		r.AvgROBOccupancy = float64(occ) / float64(coreCycles)
+		r.AvgCheckOccupancy = float64(checkOcc) / float64(coreCycles)
+	}
+	for _, p := range sys.Pairs {
+		r.Recoveries += p.Stats.Recoveries
+		r.IncoherenceEvents += p.Stats.IncoherenceEvents
+		r.FaultEvents += p.Stats.FaultEvents
+		r.SyncRequests += p.Stats.SyncRequests
+		r.Phase2 += p.Stats.Phase2
+		r.Failures += p.Stats.Failures
+		r.Compares += p.Stats.Compares
+		r.Timeouts += p.Stats.Timeouts
+		r.CompareWaitVocal += p.Stats.CompareWaitVocal
+		r.CompareWaitMute += p.Stats.CompareWaitMute
+	}
+	if sys.L2 != nil {
+		r.L2Hits = sys.L2.HitsL2
+		r.L2Misses = sys.L2.MissesL2
+		r.PhantomGarbage = sys.L2.PhantomGarbage
+		r.MemAccesses = sys.L2.MemAccesses
+	} else if sys.Bus != nil {
+		r.PhantomGarbage = sys.Bus.PhantomGarbage
+		r.MemAccesses = sys.Bus.MemAccesses
+	}
+	if cycles > 0 {
+		r.UserIPC = float64(r.Committed) / float64(cycles)
+	}
+	r.IncoherencePerM = stats.PerMillion(r.IncoherenceEvents, r.Committed)
+	r.TLBMissPerM = stats.PerMillion(r.TLBMisses, r.Committed)
+	return r
+}
+
+// Comparison is the outcome of a matched-pair normalized-performance
+// measurement: the test mode's IPC relative to a baseline across seeds.
+type Comparison struct {
+	Workload   string
+	Normalized float64 // mean test/baseline IPC ratio
+	CI         float64 // 95% confidence half-width
+	Base, Test []Result
+}
+
+// Compare measures test-vs-baseline normalized IPC over the given seeds
+// using matched pairs (same seed, same workload in both runs), the
+// paper's methodology.
+func Compare(base, test Options, seeds []uint64) (Comparison, error) {
+	var mp stats.MatchedPair
+	cmp := Comparison{Workload: base.Workload.Name}
+	for _, seed := range seeds {
+		b := base
+		b.Seed = seed
+		t := test
+		t.Seed = seed
+		br, err := Run(b)
+		if err != nil {
+			return cmp, err
+		}
+		tr, err := Run(t)
+		if err != nil {
+			return cmp, err
+		}
+		mp.Add(br.UserIPC, tr.UserIPC)
+		cmp.Base = append(cmp.Base, br)
+		cmp.Test = append(cmp.Test, tr)
+	}
+	cmp.Normalized = mp.Mean()
+	cmp.CI = mp.CI()
+	return cmp, nil
+}
+
+// DefaultSeeds returns n distinct measurement seeds.
+func DefaultSeeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = 0x1234_5678_9abc_def0 + uint64(i)*0x1111
+	}
+	return s
+}

@@ -1,0 +1,318 @@
+package reunion
+
+import (
+	"fmt"
+
+	"reunion/internal/cache"
+	"reunion/internal/coherence"
+	"reunion/internal/core"
+	"reunion/internal/cpu"
+	"reunion/internal/mem"
+	"reunion/internal/sim"
+	"reunion/internal/snoop"
+	"reunion/internal/tlb"
+	"reunion/internal/trace"
+	"reunion/internal/workload"
+)
+
+// memorySystem is the surface both topologies (directory L2 and snoopy
+// bus) provide to the system.
+type memorySystem interface {
+	cache.Below
+	Tick()
+	RegisterL1D(core int, c *cache.L1)
+	CancelSync(pair int, minToken int64)
+	DebugRead(block uint64) mem.Block
+}
+
+// System is one assembled CMP simulation: memory image, memory-system
+// topology (directory L2 or snoopy bus), cores (one per logical processor,
+// or a vocal/mute pair each under ModeReunion), and the execution-model
+// gates wiring them together.
+type System struct {
+	Cfg  Config
+	Mode Mode
+
+	EQ    *sim.EventQueue
+	Mem   *mem.Memory
+	L2    *coherence.L2 // directory topology (nil under TopologySnoopy)
+	Bus   *snoop.Bus    // snoopy topology (nil under TopologyDirectory)
+	msys  memorySystem
+	Cores []*cpu.Core
+	Pairs []*core.Pair // ModeReunion only
+	W     *workload.Workload
+
+	gates []core.InterruptSink
+
+	// InterruptEvery delivers an external interrupt to every logical
+	// processor each time this many cycles elapse (0 = off). Interrupts
+	// are replicated to both members of a pair and serviced at the same
+	// comparison boundary (§4.3).
+	InterruptEvery int64
+	// InterruptCost is the handler service time in cycles.
+	InterruptCost int64
+
+	watchLast  int64
+	watchCount int64
+}
+
+// NewSystem builds a system running the given workload under the given
+// execution model. The workload's thread count defines the number of
+// logical processors.
+func NewSystem(cfg Config, mode Mode, w *workload.Workload, seed uint64) *System {
+	n := len(w.Threads)
+	if n == 0 {
+		panic("reunion: workload has no threads")
+	}
+	cfg.LogicalProcessors = n
+	numCores := n
+	if mode == ModeReunion {
+		numCores = 2 * n
+	}
+	s := &System{Cfg: cfg, Mode: mode, EQ: sim.NewEventQueue(), Mem: mem.New(), W: w}
+	w.Init(s.Mem)
+	switch cfg.Topology {
+	case TopologySnoopy:
+		s.Bus = snoop.NewBus(snoop.Config{
+			SnoopLatency: cfg.SnoopLatency,
+			BusPerCycle:  maxInt(1, numCores/4),
+			MemLatency:   cfg.L2.MemLatency,
+			MemBanks:     cfg.L2.MemBanks,
+			MemBankBusy:  cfg.L2.MemBankBusy,
+			MemMSHRs:     cfg.L2.MemMSHRs,
+			Phantom:      int(cfg.L2.Phantom),
+		}, s.EQ, s.Mem, numCores)
+		s.msys = s.Bus
+	default:
+		// On-chip cache bandwidth scales in proportion with the number of
+		// cores (paper §5).
+		l2cfg := cfg.L2
+		l2cfg.PortsPerBank = maxInt(1, numCores/l2cfg.Banks)
+		s.L2 = coherence.NewL2(l2cfg, s.EQ, s.Mem, numCores)
+		s.msys = s.L2
+	}
+
+	devSalt := sim.Mix64(seed ^ 0xdec1de)
+
+	newCore := func(id, pair int, vocal bool, gate cpu.Gate) *cpu.Core {
+		ccfg := cfg.Core // copy
+		l1d := cache.NewL1(fmt.Sprintf("l1d%d", id), id, pair, vocal, cfg.L1Bytes, cfg.L1Ways, cfg.L1MSHRs, s.msys, false)
+		l1i := cache.NewL1(fmt.Sprintf("l1i%d", id), id, pair, vocal, cfg.L1Bytes, cfg.L1Ways, cfg.L1MSHRs, s.msys, true)
+		itlb := tlb.New(cfg.ITLBEntries, cfg.ITLBWays)
+		dtlb := tlb.New(cfg.DTLBEntries, cfg.DTLBWays)
+		c := cpu.New(id, pair, vocal, &ccfg, s.EQ, w.Threads[pair], l1d, l1i, itlb, dtlb, gate)
+		s.msys.RegisterL1D(id, l1d)
+		s.Cores = append(s.Cores, c)
+		return c
+	}
+
+	switch mode {
+	case ModeNonRedundant:
+		for t := 0; t < n; t++ {
+			g := &core.NonRedundantGate{EQ: s.EQ, DevSalt: devSalt}
+			newCore(t, t, true, g)
+			s.gates = append(s.gates, g)
+		}
+	case ModeStrict:
+		for t := 0; t < n; t++ {
+			g := &core.StrictGate{EQ: s.EQ, CompareLat: cfg.CompareLatency, DevSalt: devSalt}
+			newCore(t, t, true, g)
+			s.gates = append(s.gates, g)
+		}
+	case ModeReunion:
+		for t := 0; t < n; t++ {
+			p := core.NewPair(t, s.EQ, s.msys, cfg.CompareLatency, cfg.PairTimeout, devSalt)
+			vocal := newCore(2*t, t, true, p)
+			mute := newCore(2*t+1, t, false, p)
+			p.Bind(vocal, mute)
+			s.Pairs = append(s.Pairs, p)
+			s.gates = append(s.gates, p)
+		}
+	default:
+		panic("reunion: unknown mode")
+	}
+	return s
+}
+
+// EnableTracing attaches a shared event ring of the given capacity to
+// every pair (recovery and mismatch events) and returns it.
+func (s *System) EnableTracing(capacity int) *trace.Ring {
+	r := trace.New(capacity)
+	for _, p := range s.Pairs {
+		p.Trace = r
+	}
+	return r
+}
+
+// InterruptsServiced totals serviced external interrupts across logical
+// processors.
+func (s *System) InterruptsServiced() int64 {
+	var n int64
+	for _, g := range s.gates {
+		n += g.InterruptsServiced()
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Prefill emulates launching from a checkpoint with warmed caches: the
+// workload's warm ranges are installed into the shared cache (bounded by
+// its capacity) and each core's hot pages are preloaded into its DTLB and
+// the first code pages into its ITLB.
+func (s *System) Prefill() {
+	if s.L2 != nil {
+		budget := s.L2.Capacity()
+		for _, r := range s.W.WarmRanges {
+			for off := uint64(0); off < r.Len && budget > 0; off += mem.BlockBytes {
+				if s.L2.Prefill(r.Base + off) {
+					budget--
+				}
+			}
+		}
+	}
+	for _, c := range s.Cores {
+		if hp := s.W.HotPages; c.Pair < len(hp) {
+			for _, pg := range hp[c.Pair] {
+				c.DTLB.Preload(pg)
+			}
+		}
+		th := s.W.Threads[c.Pair]
+		codePages := uint64(len(th.Code)*4)/mem.PageBytes + 1
+		for pg := uint64(0); pg < codePages && pg < 64; pg++ {
+			c.ITLB.Preload(mem.PageOf(th.CodeBase) + pg)
+		}
+	}
+}
+
+// Step advances the simulation by one cycle.
+func (s *System) Step() {
+	next := s.EQ.Now() + 1
+	s.EQ.Advance(next)
+	if s.InterruptEvery > 0 && next%s.InterruptEvery == 0 {
+		cost := s.InterruptCost
+		if cost <= 0 {
+			cost = 150
+		}
+		for _, g := range s.gates {
+			g.RaiseInterrupt(cost)
+		}
+	}
+	s.msys.Tick()
+	for _, p := range s.Pairs {
+		p.Tick()
+	}
+	for _, c := range s.Cores {
+		c.Tick()
+	}
+}
+
+// Run advances the simulation by n cycles (with a liveness watchdog: the
+// forward-progress guarantee of Lemma 2 means a correct model never stops
+// committing; a stall of 500k cycles indicates a simulator bug and
+// panics with the pipeline state).
+func (s *System) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Step()
+		s.checkLiveness()
+	}
+}
+
+func (s *System) checkLiveness() {
+	const window = 500_000
+	var total int64
+	halted := true
+	for _, c := range s.Cores {
+		total += c.Stats.Committed
+		if !c.Halted() {
+			halted = false
+		}
+	}
+	if halted {
+		return
+	}
+	if total != s.watchLast {
+		s.watchLast = total
+		s.watchCount = 0
+		return
+	}
+	s.watchCount++
+	if s.watchCount > window {
+		msg := fmt.Sprintf("reunion: no commit in %d cycles at cycle %d\n", int64(window), s.EQ.Now())
+		for _, c := range s.Cores {
+			msg += c.DumpState() + "\n"
+		}
+		panic(msg)
+	}
+}
+
+// RunUntilHalted runs until every core halts or maxCycles elapse. It
+// returns the cycle count and whether all cores halted.
+func (s *System) RunUntilHalted(maxCycles int64) (int64, bool) {
+	start := s.EQ.Now()
+	for s.EQ.Now()-start < maxCycles {
+		s.Step()
+		s.checkLiveness()
+		halted := true
+		for _, c := range s.Cores {
+			if !c.Halted() {
+				halted = false
+				break
+			}
+		}
+		if halted {
+			return s.EQ.Now() - start, true
+		}
+	}
+	return s.EQ.Now() - start, false
+}
+
+// Failed reports whether any pair signalled an unrecoverable error.
+func (s *System) Failed() bool {
+	for _, c := range s.Cores {
+		if c.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes every statistic counter (measurement boundary).
+func (s *System) ResetStats() {
+	for _, c := range s.Cores {
+		c.Stats = cpu.Stats{}
+		c.ITLB.ResetStats()
+		c.DTLB.ResetStats()
+		c.L1D.Hits, c.L1D.Misses, c.L1D.MergedMisses, c.L1D.Fills = 0, 0, 0, 0
+		c.L1I.Hits, c.L1I.Misses, c.L1I.MergedMisses, c.L1I.Fills = 0, 0, 0, 0
+	}
+	for _, p := range s.Pairs {
+		p.Stats = core.PairStats{}
+	}
+}
+
+// CoherentWord returns the coherent architectural value of the 8-byte
+// word at addr, reading through the cache hierarchy (owner's copy first).
+// The bool is always true; it keeps call sites explicit about the
+// non-timing debug path.
+func (s *System) CoherentWord(addr uint64) (int64, bool) {
+	b := s.msys.DebugRead(mem.BlockAddr(addr))
+	return int64(b[(addr%mem.BlockBytes)/8]), true
+}
+
+// VocalCores returns the cores whose retirement defines each logical
+// processor's architectural progress (all cores outside ModeReunion).
+func (s *System) VocalCores() []*cpu.Core {
+	var v []*cpu.Core
+	for _, c := range s.Cores {
+		if c.Vocal {
+			v = append(v, c)
+		}
+	}
+	return v
+}

@@ -1,0 +1,21 @@
+package reunion
+
+import (
+	"testing"
+
+	"reunion/internal/workload"
+)
+
+func TestLatSweep(t *testing.T) {
+	for _, p := range []workload.Params{workload.Apache(), workload.OracleOLTP(), workload.EM3D(), workload.Moldyn()} {
+		base, _ := Run(Options{Mode: ModeNonRedundant, Workload: p, Seed: 7})
+		for _, lat := range []int64{ZeroLatency, 10, 40} {
+			s, _ := Run(Options{Mode: ModeStrict, Workload: p, Seed: 7, CompareLatency: lat})
+			r, err := Run(Options{Mode: ModeReunion, Workload: p, Seed: 7, CompareLatency: lat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-12s L=%2d strict=%.3f reunion=%.3f (inc/M=%.1f)", p.Name, lat, s.UserIPC/base.UserIPC, r.UserIPC/base.UserIPC, r.IncoherencePerM)
+		}
+	}
+}
