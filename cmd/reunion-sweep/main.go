@@ -1,0 +1,304 @@
+// Command reunion-sweep runs the paper's experiment matrix — or any
+// filtered subset — in parallel on a worker pool and writes a
+// machine-readable results file.
+//
+// The matrix is the cross product of every axis flag:
+//
+//	reunion-sweep -modes reunion,strict -parallel 4
+//	reunion-sweep -workloads apache,ocean -latencies 0,10,40 -out lat.jsonl
+//	reunion-sweep -modes reunion -phantoms global,shared,null -format csv -out table3.csv
+//
+// Results stream to the output file as JSON Lines (default) or CSV, one
+// record per run, in matrix order: for a fixed seed the output is
+// byte-identical at -parallel 1 and -parallel N, so results files are
+// diffable and suitable for BENCH_*.json-style trajectory tracking. Live
+// progress goes to stderr; pass -quiet to silence it. A summary with the
+// matched-pair IPC aggregate is printed at the end.
+//
+// Run with -list to enumerate workloads, and see EXPERIMENTS.md for the
+// invocation reproducing each paper table and figure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"reunion"
+	"reunion/internal/stats"
+	"reunion/internal/sweep"
+	"reunion/internal/workload"
+)
+
+func main() {
+	modes := flag.String("modes", "non-redundant,strict,reunion", "execution models to sweep (csv)")
+	workloads := flag.String("workloads", "all", "workloads to sweep (csv of names, or 'all')")
+	latencies := flag.String("latencies", "10", "comparison latencies in cycles (csv; 0 = zero-cycle)")
+	phantoms := flag.String("phantoms", "global", "phantom strengths (csv: global,shared,null)")
+	tlbs := flag.String("tlbs", "hardware", "TLB disciplines (csv: hardware,software)")
+	consistencies := flag.String("consistencies", "tso", "memory consistency models (csv: tso,sc)")
+	intervals := flag.String("intervals", "1", "fingerprint comparison intervals (csv)")
+	seeds := flag.String("seeds", "1", "workload seeds (csv of uint64)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
+	warm := flag.Int64("warm", 100_000, "warmup cycles per run")
+	measure := flag.Int64("measure", 50_000, "measurement cycles per run")
+	out := flag.String("out", "sweep.jsonl", "results file ('-' = stdout)")
+	format := flag.String("format", "jsonl", "results format: jsonl | csv")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Suite() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+
+	spec, err := buildSpec(*modes, *workloads, *latencies, *phantoms, *tlbs,
+		*consistencies, *intervals, *seeds, *warm, *measure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *format != "jsonl" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (jsonl | csv)\n", *format)
+		os.Exit(2)
+	}
+	w := os.Stdout
+	var outFile *os.File
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outFile = f
+		w = f
+	}
+	var sink sweep.Sink
+	if *format == "csv" {
+		sink = sweep.NewCSV(w)
+	} else {
+		sink = sweep.NewJSONL(w)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var ipc stats.Online
+	failures := 0
+	start := time.Now()
+	runner := sweep.Runner[reunion.Options, reunion.Result]{
+		Parallelism: *parallel,
+		Run: func(_ context.Context, p sweep.Point[reunion.Options]) (reunion.Result, error) {
+			return reunion.Run(p.Config)
+		},
+		Progress: func(done, total int, r sweep.Result[reunion.Options, reunion.Result]) {
+			if r.Err != nil {
+				failures++
+			} else {
+				ipc.Add(r.Out.UserIPC)
+			}
+			if *quiet {
+				return
+			}
+			status := "ok"
+			if r.Err != nil {
+				status = r.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %s: %s\n",
+				len(strconv.Itoa(total)), done, total, r.Point.Name(), status)
+		},
+		Emit: func(r sweep.Result[reunion.Options, reunion.Result]) error {
+			var metrics map[string]float64
+			if r.Err == nil {
+				metrics = r.Out.Metrics()
+			}
+			return sink.Write(sweep.NewRecord(spec.Name, r.Point.Index, r.Point.LabelMap(), metrics, r.Err))
+		},
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workers)\n", spec.Size(), *parallel)
+	_, err = runner.Sweep(ctx, spec)
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	if outFile != nil {
+		// A close error can carry a deferred write failure; it must fail
+		// the sweep rather than vanish.
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs in %s, user IPC %s, %d failed\n",
+		spec.Size(), time.Since(start).Round(time.Millisecond), ipc.String(), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildSpec assembles the matrix from the axis flags. Axis order fixes
+// the enumeration (and output) order: workload, mode, latency, phantom,
+// tlb, consistency, interval, seed.
+func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, intervals, seeds string, warm, measure int64) (sweep.Spec[reunion.Options], error) {
+	spec := sweep.Spec[reunion.Options]{
+		Name: "paper-matrix",
+		Base: reunion.Options{WarmCycles: warm, MeasureCycles: measure},
+	}
+
+	var ps []workload.Params
+	if workloads == "all" {
+		ps = workload.Suite()
+	} else {
+		for _, name := range splitCSV(workloads) {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return spec, fmt.Errorf("unknown workload %q (use -list)", name)
+			}
+			ps = append(ps, p)
+		}
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("workload", ps,
+		func(p workload.Params) string { return p.Name },
+		func(o *reunion.Options, p workload.Params) { o.Workload = p }))
+
+	var ms []reunion.Mode
+	for _, name := range splitCSV(modes) {
+		switch name {
+		case "non-redundant":
+			ms = append(ms, reunion.ModeNonRedundant)
+		case "strict":
+			ms = append(ms, reunion.ModeStrict)
+		case "reunion":
+			ms = append(ms, reunion.ModeReunion)
+		default:
+			return spec, fmt.Errorf("unknown mode %q", name)
+		}
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
+		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
+
+	lats, err := parseInt64s(latencies)
+	if err != nil {
+		return spec, fmt.Errorf("latencies: %w", err)
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("latency", lats,
+		func(l int64) string { return strconv.FormatInt(l, 10) },
+		func(o *reunion.Options, l int64) {
+			if l == 0 {
+				l = reunion.ZeroLatency
+			}
+			o.CompareLatency = l
+		}))
+
+	var phs []reunion.Phantom
+	for _, name := range splitCSV(phantoms) {
+		switch name {
+		case "global":
+			phs = append(phs, reunion.PhantomGlobal)
+		case "shared":
+			phs = append(phs, reunion.PhantomShared)
+		case "null":
+			phs = append(phs, reunion.PhantomNull)
+		default:
+			return spec, fmt.Errorf("unknown phantom strength %q", name)
+		}
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
+		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
+
+	var ts []reunion.TLBMode
+	for _, name := range splitCSV(tlbs) {
+		switch name {
+		case "hardware":
+			ts = append(ts, reunion.TLBHardware)
+		case "software":
+			ts = append(ts, reunion.TLBSoftware)
+		default:
+			return spec, fmt.Errorf("unknown TLB discipline %q", name)
+		}
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("tlb", ts, reunion.TLBMode.String,
+		func(o *reunion.Options, m reunion.TLBMode) { o.TLB = m }))
+
+	var cs []reunion.Consistency
+	for _, name := range splitCSV(consistencies) {
+		switch name {
+		case "tso":
+			cs = append(cs, reunion.TSO)
+		case "sc":
+			cs = append(cs, reunion.SC)
+		default:
+			return spec, fmt.Errorf("unknown consistency model %q", name)
+		}
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("consistency", cs, reunion.ConsistencyName,
+		func(o *reunion.Options, m reunion.Consistency) { o.Consistency = m }))
+
+	ivs, err := parseInt64s(intervals)
+	if err != nil {
+		return spec, fmt.Errorf("intervals: %w", err)
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("interval", ivs,
+		func(iv int64) string { return strconv.FormatInt(iv, 10) },
+		func(o *reunion.Options, iv int64) { o.FPInterval = int(iv) }))
+
+	sds, err := parseUint64s(seeds)
+	if err != nil {
+		return spec, fmt.Errorf("seeds: %w", err)
+	}
+	spec.Axes = append(spec.Axes, sweep.NewAxis("seed", sds,
+		func(s uint64) string { return strconv.FormatUint(s, 10) },
+		func(o *reunion.Options, s uint64) { o.Seed = s }))
+
+	if spec.Size() == 0 {
+		return spec, fmt.Errorf("empty matrix: every axis needs at least one value")
+	}
+	return spec, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range splitCSV(s) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUint64s(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range splitCSV(s) {
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,16 +1,27 @@
 package reunion
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
 
 	"reunion/internal/stats"
+	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
 
 // ExpConfig sizes an experiment campaign. Quick settings keep `go test
 // -bench` affordable; Full settings match the paper's methodology more
 // closely (longer windows, several matched seeds).
+//
+// Every table/figure reproduction is declared as a sweep spec (a cross
+// product of workload × variant axes) and executed through the
+// internal/sweep worker-pool engine, so a campaign saturates the machine
+// instead of running one simulation at a time. Results are assembled in
+// point-index order, which keeps every figure deterministic for any
+// Parallelism.
 type ExpConfig struct {
 	Seeds         []uint64
 	WarmCycles    int64
@@ -21,9 +32,14 @@ type ExpConfig struct {
 	Table3Cycles int64
 	Out          io.Writer
 
-	// baseCache memoizes non-redundant baseline runs: sweeps reuse the
-	// same baseline across latencies and modes.
-	baseCache map[string]Result
+	// Parallelism bounds the sweep engine's worker pool for each
+	// experiment matrix (0 = GOMAXPROCS).
+	Parallelism int
+
+	// base memoizes non-redundant baseline runs: sweeps reuse the same
+	// baseline across latencies and modes, and the singleflight entries
+	// keep concurrent cells from running the same baseline twice.
+	base *baseCache
 }
 
 // QuickExp returns a campaign sized for CI and `go test -bench`.
@@ -34,7 +50,7 @@ func QuickExp(out io.Writer) ExpConfig {
 		MeasureCycles: 30_000,
 		Table3Cycles:  120_000,
 		Out:           out,
-		baseCache:     make(map[string]Result),
+		base:          newBaseCache(),
 	}
 }
 
@@ -46,8 +62,57 @@ func FullExp(out io.Writer) ExpConfig {
 		MeasureCycles: 50_000,
 		Table3Cycles:  400_000,
 		Out:           out,
-		baseCache:     make(map[string]Result),
+		base:          newBaseCache(),
 	}
+}
+
+// baseCache memoizes baseline runs with per-key singleflight: the first
+// cell needing a baseline runs it, concurrent cells with the same key
+// block on the same entry instead of duplicating the simulation.
+type baseCache struct {
+	mu sync.Mutex
+	m  map[string]*baseEntry
+}
+
+type baseEntry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+func newBaseCache() *baseCache {
+	return &baseCache{m: make(map[string]*baseEntry)}
+}
+
+func (bc *baseCache) entry(key string) *baseEntry {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	e, ok := bc.m[key]
+	if !ok {
+		e = &baseEntry{}
+		bc.m[key] = e
+	}
+	return e
+}
+
+// baseline runs (or reuses) the non-redundant baseline for o. The cache
+// key deliberately omits CompareLatency and Phantom: neither affects a
+// run without redundant pairs, which is what lets one baseline serve a
+// whole latency sweep.
+func (c ExpConfig) baseline(o Options) (Result, error) {
+	if c.base == nil {
+		return Run(o)
+	}
+	cfgKey := ""
+	if o.Config != nil {
+		cfgKey = fmt.Sprintf("%+v", *o.Config)
+	}
+	key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%s",
+		o.Workload.Name, o.Seed, o.WarmCycles, o.MeasureCycles,
+		o.FPInterval, o.TLB, o.Consistency, o.Threads, cfgKey)
+	e := c.base.entry(key)
+	e.once.Do(func() { e.res, e.err = Run(o) })
+	return e.res, e.err
 }
 
 func (c ExpConfig) printf(format string, args ...any) {
@@ -80,22 +145,9 @@ func (c ExpConfig) normalized(p workload.Params, mode Mode, common func(*Options
 	for _, seed := range c.Seeds {
 		b := base
 		b.Seed = seed
-		cfgKey := ""
-		if b.Config != nil {
-			cfgKey = fmt.Sprintf("%+v", *b.Config)
-		}
-		key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%s",
-			p.Name, seed, b.WarmCycles, b.MeasureCycles, b.FPInterval, b.TLB, b.Consistency, b.Threads, cfgKey)
-		br, ok := c.baseCache[key]
-		if !ok {
-			var err error
-			br, err = Run(b)
-			if err != nil {
-				return 0, err
-			}
-			if c.baseCache != nil {
-				c.baseCache[key] = br
-			}
+		br, err := c.baseline(b)
+		if err != nil {
+			return 0, err
 		}
 		tt := test
 		tt.Seed = seed
@@ -106,6 +158,98 @@ func (c ExpConfig) normalized(p workload.Params, mode Mode, common func(*Options
 		mp.Add(br.UserIPC, tr.UserIPC)
 	}
 	return mp.Mean(), nil
+}
+
+// normCell is one normalized-IPC measurement: a workload, a test mode,
+// and the option mutations both sides of the matched-pair comparison
+// share. It is the configuration type of every normalized-IPC sweep spec.
+type normCell struct {
+	p    workload.Params
+	mode Mode
+	muts []func(*Options)
+}
+
+// addMut appends copy-on-write, so axis values composing on a shared base
+// cell never alias each other's mutator slices across points.
+func (c *normCell) addMut(m func(*Options)) {
+	muts := make([]func(*Options), len(c.muts), len(c.muts)+1)
+	copy(muts, c.muts)
+	c.muts = append(muts, m)
+}
+
+func (c normCell) apply(o *Options) {
+	for _, m := range c.muts {
+		m(o)
+	}
+}
+
+// workloadAxis sweeps the cell's workload over the given profiles.
+func workloadAxis(ps []workload.Params) sweep.Axis[normCell] {
+	return sweep.NewAxis("workload", ps,
+		func(p workload.Params) string { return p.Name },
+		func(c *normCell, p workload.Params) { c.p = p })
+}
+
+// modeAxis sweeps the cell's execution model.
+func modeAxis(modes ...Mode) sweep.Axis[normCell] {
+	return sweep.NewAxis("mode", modes, Mode.String,
+		func(c *normCell, m Mode) { c.mode = m })
+}
+
+// latencyAxis sweeps the comparison latency (0 means a literal zero-cycle
+// latency, as on the Figure 6 x-axis).
+func latencyAxis(lats []int64) sweep.Axis[normCell] {
+	return sweep.NewAxis("latency", lats,
+		func(l int64) string { return strconv.FormatInt(l, 10) },
+		func(c *normCell, l int64) {
+			if l == 0 {
+				l = ZeroLatency
+			}
+			c.addMut(func(o *Options) { o.CompareLatency = l })
+		})
+}
+
+// phantomAxis sweeps the phantom request strength.
+func phantomAxis(phs []Phantom) sweep.Axis[normCell] {
+	return sweep.NewAxis("phantom", phs, Phantom.String,
+		func(c *normCell, ph Phantom) {
+			c.addMut(func(o *Options) { o.Phantom = ph })
+		})
+}
+
+// runNormalized executes a normalized-IPC sweep spec and returns one
+// value per point in point-index order (deterministic at any
+// parallelism).
+func (c ExpConfig) runNormalized(name string, base normCell, axes ...sweep.Axis[normCell]) ([]float64, error) {
+	spec := sweep.Spec[normCell]{Name: name, Base: base, Axes: axes}
+	r := sweep.Runner[normCell, float64]{
+		Parallelism: c.Parallelism,
+		Run: func(_ context.Context, pt sweep.Point[normCell]) (float64, error) {
+			return c.normalized(pt.Config.p, pt.Config.mode, pt.Config.apply)
+		},
+	}
+	results, err := r.Sweep(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Outputs(results)
+}
+
+// runDirect executes a sweep of raw simulation runs (no baseline
+// normalization), as the event-rate experiments need.
+func (c ExpConfig) runDirect(name string, base Options, axes ...sweep.Axis[Options]) ([]Result, error) {
+	spec := sweep.Spec[Options]{Name: name, Base: base, Axes: axes}
+	r := sweep.Runner[Options, Result]{
+		Parallelism: c.Parallelism,
+		Run: func(_ context.Context, pt sweep.Point[Options]) (Result, error) {
+			return Run(pt.Config)
+		},
+	}
+	results, err := r.Sweep(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Outputs(results)
 }
 
 // WorkloadRow is one workload's entry in a figure.
@@ -121,24 +265,29 @@ type Figure5Result struct {
 	Rows []WorkloadRow
 }
 
-// Figure5 runs the Figure 5 experiment.
+// Figure5 runs the Figure 5 experiment: workload × {strict, reunion} at a
+// fixed 10-cycle comparison latency.
 func (c ExpConfig) Figure5() (*Figure5Result, error) {
 	c.printf("Figure 5: baseline performance of redundant execution (normalized IPC, 10-cycle comparison latency)\n")
 	c.printf("%-12s %-10s %8s %8s\n", "workload", "class", "strict", "reunion")
+	suite := workload.Suite()
+	modes := []Mode{ModeStrict, ModeReunion}
+	var base normCell
+	base.addMut(func(o *Options) { o.CompareLatency = 10 })
+	vals, err := c.runNormalized("figure5", base, workloadAxis(suite), modeAxis(modes...))
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure5Result{}
-	for _, p := range workload.Suite() {
-		s, err := c.normalized(p, ModeStrict, func(o *Options) { o.CompareLatency = 10 })
-		if err != nil {
-			return nil, err
-		}
-		r, err := c.normalized(p, ModeReunion, func(o *Options) { o.CompareLatency = 10 })
-		if err != nil {
-			return nil, err
-		}
+	for wi, p := range suite {
 		row := WorkloadRow{Workload: p.Name, Class: p.Class,
-			Values: map[string]float64{"strict": s, "reunion": r}}
+			Values: map[string]float64{
+				"strict":  vals[wi*len(modes)+0],
+				"reunion": vals[wi*len(modes)+1],
+			}}
 		res.Rows = append(res.Rows, row)
-		c.printf("%-12s %-10s %8.3f %8.3f\n", p.Name, p.Class, s, r)
+		c.printf("%-12s %-10s %8.3f %8.3f\n", p.Name, p.Class,
+			row.Values["strict"], row.Values["reunion"])
 	}
 	for _, cls := range workload.Classes() {
 		c.printf("%-12s %-10s %8.3f %8.3f\n", "avg", cls,
@@ -172,27 +321,27 @@ type LatencySweepResult struct {
 var Figure6Latencies = []int64{0, 10, 20, 30, 40}
 
 // Figure6 runs the comparison-latency sensitivity sweep for one execution
-// model: Figure 6(a) with ModeStrict, Figure 6(b) with ModeReunion.
+// model: Figure 6(a) with ModeStrict, Figure 6(b) with ModeReunion. The
+// spec is workload × latency.
 func (c ExpConfig) Figure6(mode Mode) (*LatencySweepResult, error) {
 	c.printf("Figure 6(%s): %v normalized IPC vs comparison latency\n",
 		map[Mode]string{ModeStrict: "a", ModeReunion: "b"}[mode], mode)
+	suite := workload.Suite()
 	res := &LatencySweepResult{Mode: mode, Latencies: Figure6Latencies,
 		Series: make(map[workload.Class][]float64)}
+	vals, err := c.runNormalized("figure6-"+mode.String(), normCell{mode: mode},
+		workloadAxis(suite), latencyAxis(res.Latencies))
+	if err != nil {
+		return nil, err
+	}
+	nl := len(res.Latencies)
 	perClass := make(map[workload.Class][][]float64) // class -> lat idx -> values
-	for _, p := range workload.Suite() {
-		for i, lat := range res.Latencies {
-			l := lat
-			if l == 0 {
-				l = ZeroLatency
-			}
-			v, err := c.normalized(p, mode, func(o *Options) { o.CompareLatency = l })
-			if err != nil {
-				return nil, err
-			}
-			if perClass[p.Class] == nil {
-				perClass[p.Class] = make([][]float64, len(res.Latencies))
-			}
-			perClass[p.Class][i] = append(perClass[p.Class][i], v)
+	for wi, p := range suite {
+		if perClass[p.Class] == nil {
+			perClass[p.Class] = make([][]float64, nl)
+		}
+		for li := 0; li < nl; li++ {
+			perClass[p.Class][li] = append(perClass[p.Class][li], vals[wi*nl+li])
 		}
 	}
 	c.printf("%-10s", "class")
@@ -201,8 +350,8 @@ func (c ExpConfig) Figure6(mode Mode) (*LatencySweepResult, error) {
 	}
 	c.printf("\n")
 	for _, cls := range workload.Classes() {
-		series := make([]float64, len(res.Latencies))
-		for i := range res.Latencies {
+		series := make([]float64, nl)
+		for i := range series {
 			series[i] = stats.GeoMean(perClass[cls][i])
 		}
 		res.Series[cls] = series
@@ -232,23 +381,32 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 runs the input-incoherence frequency experiment.
+// Table3 runs the input-incoherence frequency experiment: a direct-run
+// sweep of workload × phantom strength over the extended event window.
 func (c ExpConfig) Table3() (*Table3Result, error) {
 	c.printf("Table 3: input incoherence events per 1M instructions (10-cycle comparison latency)\n")
 	c.printf("%-12s %10s %10s %10s %12s\n", "workload", "global", "shared", "null", "TLB misses")
+	suite := workload.Suite()
+	phantoms := []Phantom{PhantomGlobal, PhantomShared, PhantomNull}
+	base := c.runOpts(ModeReunion, workload.Params{}, c.Seeds[0])
+	base.CompareLatency = 10
+	base.MeasureCycles = c.Table3Cycles
+	runs, err := c.runDirect("table3", base,
+		sweep.NewAxis("workload", suite,
+			func(p workload.Params) string { return p.Name },
+			func(o *Options, p workload.Params) { o.Workload = p }),
+		sweep.NewAxis("phantom", phantoms, Phantom.String,
+			func(o *Options, ph Phantom) { o.Phantom = ph }),
+	)
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{}
-	for _, p := range workload.Suite() {
+	for wi, p := range suite {
 		row := Table3Row{Workload: p.Name, Class: p.Class,
 			IncoherencePerM: make(map[string]float64)}
-		for _, ph := range []Phantom{PhantomGlobal, PhantomShared, PhantomNull} {
-			o := c.runOpts(ModeReunion, p, c.Seeds[0])
-			o.Phantom = ph
-			o.CompareLatency = 10
-			o.MeasureCycles = c.Table3Cycles
-			r, err := Run(o)
-			if err != nil {
-				return nil, err
-			}
+		for pi, ph := range phantoms {
+			r := runs[wi*len(phantoms)+pi]
 			row.IncoherencePerM[ph.String()] = r.IncoherencePerM
 			if ph == PhantomGlobal {
 				row.TLBMissPerM = r.TLBMissPerM
@@ -268,23 +426,25 @@ type Figure7aResult struct {
 	Rows []WorkloadRow // Values keyed by phantom strength name
 }
 
-// Figure7a runs the phantom-strength performance experiment.
+// Figure7a runs the phantom-strength performance experiment: workload ×
+// phantom strength under ModeReunion.
 func (c ExpConfig) Figure7a() (*Figure7aResult, error) {
 	c.printf("Figure 7(a): Reunion normalized IPC per phantom request strength (10-cycle comparison latency)\n")
 	c.printf("%-12s %8s %8s %8s\n", "workload", "global", "shared", "null")
+	suite := workload.Suite()
+	phantoms := []Phantom{PhantomGlobal, PhantomShared, PhantomNull}
+	base := normCell{mode: ModeReunion}
+	base.addMut(func(o *Options) { o.CompareLatency = 10 })
+	vals, err := c.runNormalized("figure7a", base,
+		workloadAxis(suite), phantomAxis(phantoms))
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure7aResult{}
-	for _, p := range workload.Suite() {
+	for wi, p := range suite {
 		row := WorkloadRow{Workload: p.Name, Class: p.Class, Values: make(map[string]float64)}
-		for _, ph := range []Phantom{PhantomGlobal, PhantomShared, PhantomNull} {
-			phc := ph
-			v, err := c.normalized(p, ModeReunion, func(o *Options) {
-				o.CompareLatency = 10
-				o.Phantom = phc
-			})
-			if err != nil {
-				return nil, err
-			}
-			row.Values[ph.String()] = v
+		for pi, ph := range phantoms {
+			row.Values[ph.String()] = vals[wi*len(phantoms)+pi]
 		}
 		res.Rows = append(res.Rows, row)
 		c.printf("%-12s %8.3f %8.3f %8.3f\n", p.Name,
@@ -302,33 +462,35 @@ type Figure7bResult struct {
 	Software  []float64
 }
 
-// Figure7b runs the TLB-discipline experiment over commercial workloads.
+// Figure7b runs the TLB-discipline experiment over commercial workloads:
+// TLB mode × latency × workload, class-averaged per (mode, latency).
 func (c ExpConfig) Figure7b() (*Figure7bResult, error) {
 	c.printf("Figure 7(b): Reunion commercial average, hardware vs software-managed TLB\n")
 	res := &Figure7bResult{Latencies: Figure6Latencies}
 	commercial := commercialSuite()
-	for _, tlbMode := range []TLBMode{TLBHardware, TLBSoftware} {
-		var series []float64
-		for _, lat := range res.Latencies {
-			l := lat
-			if l == 0 {
-				l = ZeroLatency
+	tlbs := []TLBMode{TLBHardware, TLBSoftware}
+	vals, err := c.runNormalized("figure7b", normCell{mode: ModeReunion},
+		sweep.NewAxis("tlb", tlbs, TLBMode.String,
+			func(cell *normCell, m TLBMode) {
+				cell.addMut(func(o *Options) { o.TLB = m })
+			}),
+		latencyAxis(res.Latencies),
+		workloadAxis(commercial),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nl, nw := len(res.Latencies), len(commercial)
+	for ti := range tlbs {
+		series := make([]float64, nl)
+		for li := 0; li < nl; li++ {
+			var ws []float64
+			for wi := 0; wi < nw; wi++ {
+				ws = append(ws, vals[(ti*nl+li)*nw+wi])
 			}
-			var vals []float64
-			for _, p := range commercial {
-				tm := tlbMode
-				v, err := c.normalized(p, ModeReunion, func(o *Options) {
-					o.CompareLatency = l
-					o.TLB = tm
-				})
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, v)
-			}
-			series = append(series, stats.GeoMean(vals))
+			series[li] = stats.GeoMean(ws)
 		}
-		if tlbMode == TLBHardware {
+		if tlbs[ti] == TLBHardware {
 			res.Hardware = series
 		} else {
 			res.Software = series
@@ -359,33 +521,34 @@ type SCResult struct {
 }
 
 // SCExperiment measures the store-serialization cost of SC on commercial
-// workloads under Reunion.
+// workloads under Reunion: consistency × latency × workload.
 func (c ExpConfig) SCExperiment() (*SCResult, error) {
 	c.printf("§5.5: Reunion commercial average under TSO vs sequential consistency\n")
 	res := &SCResult{Latencies: []int64{0, 10, 20, 30, 40}}
 	commercial := commercialSuite()
-	for _, cons := range []Consistency{TSO, SC} {
-		var series []float64
-		for _, lat := range res.Latencies {
-			l := lat
-			if l == 0 {
-				l = ZeroLatency
+	models := []Consistency{TSO, SC}
+	vals, err := c.runNormalized("sc", normCell{mode: ModeReunion},
+		sweep.NewAxis("consistency", models, ConsistencyName,
+			func(cell *normCell, m Consistency) {
+				cell.addMut(func(o *Options) { o.Consistency = m })
+			}),
+		latencyAxis(res.Latencies),
+		workloadAxis(commercial),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nl, nw := len(res.Latencies), len(commercial)
+	for mi := range models {
+		series := make([]float64, nl)
+		for li := 0; li < nl; li++ {
+			var ws []float64
+			for wi := 0; wi < nw; wi++ {
+				ws = append(ws, vals[(mi*nl+li)*nw+wi])
 			}
-			var vals []float64
-			for _, p := range commercial {
-				cc := cons
-				v, err := c.normalized(p, ModeReunion, func(o *Options) {
-					o.CompareLatency = l
-					o.Consistency = cc
-				})
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, v)
-			}
-			series = append(series, stats.GeoMean(vals))
+			series[li] = stats.GeoMean(ws)
 		}
-		if cons == TSO {
+		if models[mi] == TSO {
 			res.TSO = series
 		} else {
 			res.SC = series
@@ -414,25 +577,27 @@ type FPIntervalResult struct {
 	Reunion   []float64 // commercial-average normalized IPC per interval
 }
 
-// FPIntervalAblation sweeps the fingerprint comparison interval.
+// FPIntervalAblation sweeps the fingerprint comparison interval:
+// interval × commercial workload.
 func (c ExpConfig) FPIntervalAblation() (*FPIntervalResult, error) {
 	c.printf("Ablation (§4.3): fingerprint interval sensitivity, Reunion commercial average\n")
 	res := &FPIntervalResult{Intervals: []int{1, 5, 10, 50}}
 	commercial := commercialSuite()
-	for _, iv := range res.Intervals {
-		var vals []float64
-		for _, p := range commercial {
-			ivc := iv
-			v, err := c.normalized(p, ModeReunion, func(o *Options) {
-				o.CompareLatency = 10
-				o.FPInterval = ivc
-			})
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, v)
-		}
-		res.Reunion = append(res.Reunion, stats.GeoMean(vals))
+	base := normCell{mode: ModeReunion}
+	base.addMut(func(o *Options) { o.CompareLatency = 10 })
+	vals, err := c.runNormalized("fp-interval", base,
+		sweep.NewAxis("interval", res.Intervals, strconv.Itoa,
+			func(cell *normCell, iv int) {
+				cell.addMut(func(o *Options) { o.FPInterval = iv })
+			}),
+		workloadAxis(commercial),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nw := len(commercial)
+	for ii, iv := range res.Intervals {
+		res.Reunion = append(res.Reunion, stats.GeoMean(vals[ii*nw:(ii+1)*nw]))
 		c.printf("interval %3d: %7.3f\n", iv, res.Reunion[len(res.Reunion)-1])
 	}
 	return res, nil
@@ -450,24 +615,33 @@ type ROBSweepResult struct {
 	Scientific []float64
 }
 
-// ROBSweep runs the speculation-window ablation.
+// ROBSweep runs the speculation-window ablation: window size × workload.
 func (c ExpConfig) ROBSweep() (*ROBSweepResult, error) {
 	c.printf("Ablation (§5.2): speculation window size, Strict @40-cycle latency\n")
 	res := &ROBSweepResult{Sizes: []int{128, 256, 1024, 4096}}
-	for _, size := range res.Sizes {
+	suite := workload.Suite()
+	base := normCell{mode: ModeStrict}
+	base.addMut(func(o *Options) { o.CompareLatency = 40 })
+	vals, err := c.runNormalized("rob-sweep", base,
+		sweep.NewAxis("window", res.Sizes, strconv.Itoa,
+			func(cell *normCell, sz int) {
+				cell.addMut(func(o *Options) {
+					cfg := DefaultConfig()
+					cfg.Core.ROBSize = sz
+					cfg.Core.CheckQCap = sz
+					o.Config = &cfg
+				})
+			}),
+		workloadAxis(suite),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nw := len(suite)
+	for si, size := range res.Sizes {
 		var comm, sci []float64
-		for _, p := range workload.Suite() {
-			sz := size
-			v, err := c.normalized(p, ModeStrict, func(o *Options) {
-				o.CompareLatency = 40
-				cfg := DefaultConfig()
-				cfg.Core.ROBSize = sz
-				cfg.Core.CheckQCap = sz
-				o.Config = &cfg
-			})
-			if err != nil {
-				return nil, err
-			}
+		for wi, p := range suite {
+			v := vals[si*nw+wi]
 			if p.Class == workload.Scientific {
 				sci = append(sci, v)
 			} else {
@@ -493,23 +667,32 @@ type TopologyResult struct {
 }
 
 // TopologyAblation measures Reunion's overhead under both memory-system
-// organizations.
+// organizations: topology × workload.
 func (c ExpConfig) TopologyAblation() (*TopologyResult, error) {
 	c.printf("Ablation (§4.1): Reunion normalized IPC by memory-system topology (10-cycle latency)\n")
 	res := &TopologyResult{Topologies: []Topology{TopologyDirectory, TopologySnoopy}}
-	for _, topo := range res.Topologies {
+	suite := workload.Suite()
+	base := normCell{mode: ModeReunion}
+	base.addMut(func(o *Options) { o.CompareLatency = 10 })
+	vals, err := c.runNormalized("topology", base,
+		sweep.NewAxis("topology", res.Topologies, Topology.String,
+			func(cell *normCell, tp Topology) {
+				cell.addMut(func(o *Options) {
+					cfg := DefaultConfig()
+					cfg.Topology = tp
+					o.Config = &cfg
+				})
+			}),
+		workloadAxis(suite),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nw := len(suite)
+	for ti, topo := range res.Topologies {
 		var comm, sci []float64
-		for _, p := range workload.Suite() {
-			tp := topo
-			v, err := c.normalized(p, ModeReunion, func(o *Options) {
-				o.CompareLatency = 10
-				cfg := DefaultConfig()
-				cfg.Topology = tp
-				o.Config = &cfg
-			})
-			if err != nil {
-				return nil, err
-			}
+		for wi, p := range suite {
+			v := vals[ti*nw+wi]
 			if p.Class == workload.Scientific {
 				sci = append(sci, v)
 			} else {

@@ -31,7 +31,7 @@ func TestExperimentShapes(t *testing.T) {
 		MeasureCycles: 20_000,
 		Table3Cycles:  60_000,
 		Out:           io.Discard,
-		baseCache:     make(map[string]Result),
+		base:          newBaseCache(),
 	}
 
 	t.Run("figure6-latency-sensitivity", func(t *testing.T) {

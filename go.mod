@@ -1,0 +1,3 @@
+module reunion
+
+go 1.24

@@ -109,6 +109,53 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
+// Online accumulates a stream's count, mean, and variance in one pass
+// (Welford's algorithm), so sweep consumers can summarize thousands of
+// streamed results without buffering them.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (o *Online) Mean() float64 { return o.mean }
+
+// StdDev returns the running sample standard deviation (n-1 denominator).
+func (o *Online) StdDev() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return math.Sqrt(o.m2 / float64(o.n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (o *Online) CI95() float64 {
+	if o.n < 2 {
+		return math.Inf(1)
+	}
+	return T95(o.n-1) * o.StdDev() / math.Sqrt(float64(o.n))
+}
+
+// String renders "0.950 ±0.010 (n=12)".
+func (o *Online) String() string {
+	if o.n < 2 {
+		return fmt.Sprintf("%.3f (n=%d)", o.mean, o.n)
+	}
+	return fmt.Sprintf("%.3f ±%.3f (n=%d)", o.Mean(), o.CI95(), o.n)
+}
+
 // PerMillion scales an event count to events per million instructions.
 func PerMillion(events, instructions int64) float64 {
 	if instructions == 0 {

@@ -94,6 +94,63 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !approx(o.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !approx(o.StdDev(), StdDev(xs), 1e-12) {
+		t.Fatalf("online std %v vs batch %v", o.StdDev(), StdDev(xs))
+	}
+	if !approx(o.CI95(), CI95(xs), 1e-12) {
+		t.Fatalf("online CI %v vs batch %v", o.CI95(), CI95(xs))
+	}
+	// Property: agreement holds for arbitrary streams.
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if math.IsInf(v, 0) || math.IsNaN(v) || math.Abs(v) > 1e50 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var on Online
+		for _, v := range clean {
+			on.Add(v)
+		}
+		scale := math.Max(1, math.Abs(Mean(clean)))
+		return approx(on.Mean(), Mean(clean), 1e-9*scale) &&
+			approx(on.StdDev(), StdDev(clean), 1e-6*math.Max(scale, StdDev(clean)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineDegenerate(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.StdDev() != 0 || !math.IsInf(o.CI95(), 1) {
+		t.Fatal("empty accumulator")
+	}
+	o.Add(3)
+	if o.Mean() != 3 || o.StdDev() != 0 || !math.IsInf(o.CI95(), 1) {
+		t.Fatal("single observation")
+	}
+	if o.String() != "3.000 (n=1)" {
+		t.Fatalf("string %q", o.String())
+	}
+}
+
 func TestPerMillion(t *testing.T) {
 	if PerMillion(5, 1_000_000) != 5 {
 		t.Fatal("per million")

@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Sweep:   "t",
+			Index:   i,
+			Labels:  map[string]string{"workload": fmt.Sprintf("w%d", i), "mode": "reunion"},
+			Metrics: map[string]float64{"ipc": 1.5 + float64(i)/8, "cycles": float64(1000 * i)},
+		}
+	}
+	return recs
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	want := testRecords(5)
+	want[3].Err = "boom"
+	want[3].Metrics = nil
+	for _, rec := range want {
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("%d lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		var got Record
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("line %d round-trip:\ngot  %+v\nwant %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestJSONLDeterministicBytes(t *testing.T) {
+	// Two writes of the same record must produce identical bytes (maps
+	// marshal with sorted keys) — the basis of the byte-identical
+	// -parallel 1 vs -parallel N guarantee.
+	rec := testRecords(1)[0]
+	var a, b bytes.Buffer
+	if err := NewJSONL(&a).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewJSONL(&b).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("non-deterministic encoding:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+func TestCSVHeaderAndRows(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, rec := range testRecords(3) {
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "sweep,index,mode,workload,cycles,ipc,err" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "t,0,reunion,w0,0,1.5," {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+}
+
+func TestCSVErrorFirstRecordKeepsMetricColumns(t *testing.T) {
+	// An error record arriving first must not fix an empty metric column
+	// set: it is buffered until a record with metrics defines the columns.
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	recs := testRecords(3)
+	recs[0].Err = "boom"
+	recs[0].Metrics = nil
+	for _, rec := range recs {
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "sweep,index,mode,workload,cycles,ipc,err" {
+		t.Errorf("header lost metric columns: %q", lines[0])
+	}
+	if lines[1] != "t,0,reunion,w0,,,boom" {
+		t.Errorf("buffered error row = %q", lines[1])
+	}
+	if lines[2] != "t,1,reunion,w1,1000,1.625," {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+}
+
+func TestCSVAllErrorsStillWrites(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, rec := range testRecords(2) {
+		rec.Err = "boom"
+		rec.Metrics = nil
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "sweep,index,mode,workload,err" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	sink := NewMemory()
+	want := testRecords(4)
+	for _, rec := range want {
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.Records(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Records = %+v", got)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Write(want[0]); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	tee := Tee{Sinks: []Sink{a, b}}
+	recs := testRecords(2)
+	for _, rec := range recs {
+		if err := tee.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records()) != 2 || len(b.Records()) != 2 {
+		t.Errorf("tee fan-out: a=%d b=%d", len(a.Records()), len(b.Records()))
+	}
+}
+
+// TestSweepToSinkRoundTrip drives a parallel sweep end to end into a
+// memory sink and checks the streamed records arrive complete and in
+// point order.
+func TestSweepToSinkRoundTrip(t *testing.T) {
+	sink := NewMemory()
+	spec := testSpec(3, 4)
+	r := Runner[cfg, int]{
+		Parallelism: 6,
+		Run: func(_ context.Context, p Point[cfg]) (int, error) {
+			if p.Index == 5 {
+				return 0, errors.New("unstable cell")
+			}
+			return p.Config.A * p.Config.B, nil
+		},
+		Emit: func(res Result[cfg, int]) error {
+			var metrics map[string]float64
+			if res.Err == nil {
+				metrics = map[string]float64{"out": float64(res.Out)}
+			}
+			return sink.Write(NewRecord(spec.Name, res.Point.Index, res.Point.LabelMap(), metrics, res.Err))
+		},
+	}
+	if _, err := r.Sweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	recs := sink.Records()
+	if len(recs) != 12 {
+		t.Fatalf("%d records, want 12", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d (out of order)", i, rec.Index)
+		}
+		if i == 5 {
+			if rec.Err != "unstable cell" || rec.Metrics != nil {
+				t.Errorf("record 5 = %+v", rec)
+			}
+			continue
+		}
+		want := float64((i / 4) * (i % 4))
+		if rec.Metrics["out"] != want {
+			t.Errorf("record %d out = %v, want %v", i, rec.Metrics["out"], want)
+		}
+		if rec.Labels["a"] != fmt.Sprintf("%d", i/4) || rec.Labels["b"] != fmt.Sprintf("%d", i%4) {
+			t.Errorf("record %d labels = %v", i, rec.Labels)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type cfg struct {
+	A, B, C int
+}
+
+func testSpec(na, nb int) Spec[cfg] {
+	return Spec[cfg]{
+		Name: "test",
+		Axes: []Axis[cfg]{
+			NewAxis("a", seq(na), itoa, func(c *cfg, v int) { c.A = v }),
+			NewAxis("b", seq(nb), itoa, func(c *cfg, v int) { c.B = v }),
+		},
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func TestCrossProductOrder(t *testing.T) {
+	s := testSpec(2, 3)
+	if got := s.Size(); got != 6 {
+		t.Fatalf("Size = %d, want 6", got)
+	}
+	pts := s.Points()
+	wantNames := []string{
+		"a=0,b=0", "a=0,b=1", "a=0,b=2",
+		"a=1,b=0", "a=1,b=1", "a=1,b=2",
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		if p.Name() != wantNames[i] {
+			t.Errorf("point %d name = %q, want %q", i, p.Name(), wantNames[i])
+		}
+		if p.Config.A != i/3 || p.Config.B != i%3 {
+			t.Errorf("point %d config = %+v", i, p.Config)
+		}
+	}
+}
+
+func TestApplyOrderAndBaseIsolation(t *testing.T) {
+	// Later axes apply after earlier ones, and every point starts from a
+	// fresh copy of Base.
+	s := Spec[cfg]{
+		Base: cfg{C: 7},
+		Axes: []Axis[cfg]{
+			NewAxis("a", seq(2), itoa, func(c *cfg, v int) { c.A = v; c.C = v }),
+			NewAxis("b", seq(2), itoa, func(c *cfg, v int) { c.B = v; c.C += 10 * v }),
+		},
+	}
+	pts := s.Points()
+	if pts[3].Config.C != 1+10 {
+		t.Errorf("apply order broken: %+v", pts[3].Config)
+	}
+	if pts[0].Config.C != 0 {
+		t.Errorf("point 0: %+v", pts[0].Config)
+	}
+	// Base must be untouched.
+	if s.Base.A != 0 || s.Base.C != 7 {
+		t.Errorf("base mutated: %+v", s.Base)
+	}
+}
+
+// TestDeterministicOrdering is the engine's core contract: the result
+// slice and the Emit stream are identical at parallelism 1 and 8, even
+// when completion order is scrambled.
+func TestDeterministicOrdering(t *testing.T) {
+	s := testSpec(5, 8) // 40 points
+	run := func(par int) ([]Result[cfg, int], []int) {
+		var emitted []int
+		r := Runner[cfg, int]{
+			Parallelism: par,
+			Run: func(_ context.Context, p Point[cfg]) (int, error) {
+				// Scramble completion order: early points sleep longest.
+				time.Sleep(time.Duration(40-p.Index) * 100 * time.Microsecond)
+				return p.Config.A*100 + p.Config.B, nil
+			},
+			Emit: func(res Result[cfg, int]) error {
+				emitted = append(emitted, res.Point.Index)
+				return nil
+			},
+		}
+		results, err := r.Sweep(context.Background(), s)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return results, emitted
+	}
+
+	serial, emitSerial := run(1)
+	parallel, emitParallel := run(8)
+
+	for i := range serial {
+		if serial[i].Out != parallel[i].Out || serial[i].Point.Name() != parallel[i].Point.Name() {
+			t.Errorf("point %d differs: serial=%+v parallel=%+v", i, serial[i], parallel[i])
+		}
+	}
+	if !reflect.DeepEqual(emitSerial, emitParallel) {
+		t.Errorf("emit order differs:\nserial:   %v\nparallel: %v", emitSerial, emitParallel)
+	}
+	for i, idx := range emitParallel {
+		if idx != i {
+			t.Fatalf("emit out of order at %d: got index %d", i, idx)
+		}
+	}
+}
+
+func TestParallelismIsReal(t *testing.T) {
+	var cur, peak atomic.Int64
+	r := Runner[cfg, int]{
+		Parallelism: 4,
+		Run: func(_ context.Context, p Point[cfg]) (int, error) {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		},
+	}
+	if _, err := r.Sweep(context.Background(), testSpec(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d; want >= 2 with 4 workers", peak.Load())
+	}
+}
+
+func TestCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	r := Runner[cfg, int]{
+		Parallelism: 2,
+		Run: func(ctx context.Context, p Point[cfg]) (int, error) {
+			if ran.Add(1) == 4 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return p.Index, nil
+		},
+	}
+	results, err := r.Sweep(ctx, testSpec(10, 10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var done, skipped int
+	for _, res := range results {
+		switch {
+		case res.Err == nil:
+			done++
+		case errors.Is(res.Err, ErrSkipped):
+			skipped++
+		default:
+			t.Errorf("point %d: unexpected error %v", res.Point.Index, res.Err)
+		}
+	}
+	if done == 0 || skipped == 0 {
+		t.Errorf("done=%d skipped=%d; want some of both", done, skipped)
+	}
+	if done+skipped != 100 {
+		t.Errorf("done+skipped = %d, want 100", done+skipped)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	r := Runner[cfg, int]{
+		Parallelism: 4,
+		Run: func(_ context.Context, p Point[cfg]) (int, error) {
+			if p.Index == 3 {
+				panic("boom")
+			}
+			return p.Index, nil
+		},
+	}
+	results, err := r.Sweep(context.Background(), testSpec(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Point.Index == 3 {
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "panic") {
+				t.Errorf("point 3: err = %v, want panic error", res.Err)
+			}
+			continue
+		}
+		if res.Err != nil || res.Out != res.Point.Index {
+			t.Errorf("point %d: out=%d err=%v", res.Point.Index, res.Out, res.Err)
+		}
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestEmitErrorFailsSweep(t *testing.T) {
+	emitErr := errors.New("disk full")
+	var ran atomic.Int64
+	r := Runner[cfg, int]{
+		Parallelism: 2,
+		Run: func(_ context.Context, p Point[cfg]) (int, error) {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return p.Index, nil
+		},
+		Emit: func(res Result[cfg, int]) error {
+			if res.Point.Index == 2 {
+				return emitErr
+			}
+			return nil
+		},
+	}
+	results, err := r.Sweep(context.Background(), testSpec(10, 10))
+	if !errors.Is(err, emitErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, emitErr)
+	}
+	// The emit failure must stop dispatching: with 100 points there is no
+	// reason to finish the matrix once results cannot be written.
+	if ran.Load() == 100 {
+		t.Error("all 100 points ran despite the emit failure")
+	}
+	var skipped int
+	for _, res := range results {
+		if errors.Is(res.Err, ErrSkipped) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("no points marked skipped after emit failure")
+	}
+}
+
+func TestProgressCountsEveryRun(t *testing.T) {
+	var calls, lastDone, total int
+	r := Runner[cfg, int]{
+		Parallelism: 3,
+		Run:         func(_ context.Context, p Point[cfg]) (int, error) { return 0, nil },
+		Progress: func(done, n int, res Result[cfg, int]) {
+			calls++
+			lastDone = done
+			total = n
+		},
+	}
+	if _, err := r.Sweep(context.Background(), testSpec(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 || lastDone != 12 || total != 12 {
+		t.Errorf("calls=%d lastDone=%d total=%d, want 12/12/12", calls, lastDone, total)
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	r := Runner[cfg, int]{
+		Run: func(_ context.Context, p Point[cfg]) (int, error) { return p.Index * p.Index, nil },
+	}
+	results, err := r.Sweep(context.Background(), testSpec(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Outputs(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []int{0, 1, 4, 9}) {
+		t.Errorf("Outputs = %v", out)
+	}
+}
+
+func TestEmptyAxisYieldsEmptySweep(t *testing.T) {
+	s := Spec[cfg]{Axes: []Axis[cfg]{{Name: "empty"}}}
+	r := Runner[cfg, int]{Run: func(_ context.Context, p Point[cfg]) (int, error) { return 0, nil }}
+	results, err := r.Sweep(context.Background(), s)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+}

@@ -25,8 +25,10 @@
 //	})
 //	fmt.Println(res.UserIPC, res.IncoherenceEvents)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure in the paper's evaluation.
+// See README.md for an overview and the CLI commands, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of every
+// table and figure in the paper's evaluation. The evaluation matrix runs
+// in parallel through the internal/sweep engine (cmd/reunion-sweep).
 package reunion
 
 import (
@@ -89,6 +91,15 @@ const (
 	TSO = cpu.TSO
 	SC  = cpu.SC
 )
+
+// ConsistencyName names the consistency model in the lowercase form the
+// sweep labels and CLI flags use (Consistency.String names it uppercase).
+func ConsistencyName(c Consistency) string {
+	if c == SC {
+		return "sc"
+	}
+	return "tso"
+}
 
 // FingerprintMode re-exports the fingerprint compression pipeline.
 type FingerprintMode = fingerprint.Mode

@@ -192,6 +192,43 @@ func Collect(sys *System, cycles int64) Result {
 	return r
 }
 
+// Metrics flattens the result into named scalar metrics, the form the
+// sweep sinks (JSON Lines, CSV) serialize. Keys are stable across runs,
+// so a results file is diffable and trackable over time.
+func (r Result) Metrics() map[string]float64 {
+	return map[string]float64{
+		"cycles":              float64(r.Cycles),
+		"committed":           float64(r.Committed),
+		"user_ipc":            r.UserIPC,
+		"committed_loads":     float64(r.CommittedLoads),
+		"committed_stores":    float64(r.CommittedStores),
+		"recoveries":          float64(r.Recoveries),
+		"incoherence_events":  float64(r.IncoherenceEvents),
+		"fault_events":        float64(r.FaultEvents),
+		"sync_requests":       float64(r.SyncRequests),
+		"phase2":              float64(r.Phase2),
+		"failures":            float64(r.Failures),
+		"compares":            float64(r.Compares),
+		"timeouts":            float64(r.Timeouts),
+		"tlb_misses":          float64(r.TLBMisses),
+		"l1d_misses":          float64(r.L1DMisses),
+		"l1d_hits":            float64(r.L1DHits),
+		"l2_misses":           float64(r.L2Misses),
+		"l2_hits":             float64(r.L2Hits),
+		"phantom_garbage":     float64(r.PhantomGarbage),
+		"mem_accesses":        float64(r.MemAccesses),
+		"incoherence_per_m":   r.IncoherencePerM,
+		"tlb_miss_per_m":      r.TLBMissPerM,
+		"serializing":         float64(r.Serializing),
+		"mispredicts":         float64(r.Mispredicts),
+		"avg_rob_occupancy":   r.AvgROBOccupancy,
+		"avg_check_occupancy": r.AvgCheckOccupancy,
+		"ser_issue_stalls":    float64(r.SerIssueStalls),
+		"compare_wait_vocal":  float64(r.CompareWaitVocal),
+		"compare_wait_mute":   float64(r.CompareWaitMute),
+	}
+}
+
 // Comparison is the outcome of a matched-pair normalized-performance
 // measurement: the test mode's IPC relative to a baseline across seeds.
 type Comparison struct {
