@@ -25,7 +25,7 @@ func benchExp(logf func(string, ...any)) (ExpConfig, *logWriter) {
 		MeasureCycles: 15_000,
 		Table3Cycles:  60_000,
 		Out:           w,
-		base:          newBaseCache(),
+		base:          newMemo[Result](),
 	}
 	return cfg, w
 }

@@ -1,0 +1,295 @@
+// Command reunion-inject runs a Monte-Carlo fault-injection campaign:
+// single-bit transient flips in the unprotected datapath, one per trial,
+// each classified against a fault-free golden run of the same seed as
+// masked, detected (with detection latency), SDC (silent data
+// corruption), or DUE (detected-unrecoverable or lost to the trial
+// deadline).
+//
+//	reunion-inject -trials 200 -mode reunion
+//	reunion-inject -trials 500 -mode reunion,non-redundant -workloads apache,ocean
+//	reunion-inject -trials 100 -phantoms global,null -out coverage.jsonl
+//
+// The campaign matrix is mode × phantom × seed × workload; -trials is the
+// total trial budget, split evenly across cells. The fault stream —
+// which bit, which cycle, which core — is drawn per (workload, seed,
+// trial) and deliberately excludes the mode and phantom axes, so cells
+// differing only in execution model face identical fault streams: the
+// Reunion/non-redundant comparison is controlled, not anecdotal.
+//
+// Trial records stream to -out as JSON Lines (or CSV), one per trial in
+// matrix order — byte-identical at any -parallel value. The coverage
+// summary table (outcome counts, detection coverage with 95% Wilson
+// intervals, latency quantiles) prints to stdout at the end; live
+// progress goes to stderr (-quiet silences it).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"reunion"
+	"reunion/internal/campaign"
+	"reunion/internal/sweep"
+	"reunion/internal/workload"
+)
+
+func main() {
+	trials := flag.Int("trials", 200, "total trial budget, split evenly across cells (min 1 per cell)")
+	modes := flag.String("mode", "reunion,non-redundant", "execution models (csv: reunion,strict,non-redundant)")
+	workloads := flag.String("workloads", "all", "workloads (csv of names, or 'all')")
+	phantoms := flag.String("phantoms", "global", "phantom strengths (csv: global,shared,null)")
+	seeds := flag.String("seeds", "1", "workload seeds (csv of uint64)")
+	bits := flag.String("bits", "0-63", "inclusive flip-bit range lo-hi")
+	window := flag.String("window", "", "injection cycle window lo-hi, measured from measurement start (default 0-target)")
+	warm := flag.Int64("warm", 10_000, "warmup cycles per run")
+	target := flag.Int64("target", 2_000, "committed instructions per logical processor per trial (classification boundary)")
+	deadline := flag.Int64("deadline", 150_000, "trial deadline in cycles (past it a trial is a terminal DUE)")
+	campSeed := flag.Uint64("campaign-seed", 0xfa017, "seed for the Monte-Carlo fault draws")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
+	out := flag.String("out", "inject.jsonl", "per-trial results file ('-' = stdout, '' = none)")
+	format := flag.String("format", "jsonl", "results format: jsonl | csv")
+	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Suite() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+
+	spec, err := buildSpec(*modes, *workloads, *phantoms, *seeds, *bits, *window,
+		*warm, *target, *deadline, *trials, *campSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var sink sweep.Sink
+	var outFile *os.File
+	switch {
+	case *out == "":
+	case *format == "jsonl" || *format == "csv":
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			outFile = f
+			w = f
+		}
+		if *format == "csv" {
+			sink = sweep.NewCSV(w)
+		} else {
+			sink = sweep.NewJSONL(w)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (jsonl | csv)\n", *format)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	total := spec.Matrix.Size() * spec.Trials
+	fmt.Fprintf(os.Stderr, "inject: %d trials (%d per cell × %d cells, %d workers)\n",
+		total, spec.Trials, spec.Matrix.Size(), *parallel)
+
+	start := time.Now()
+	eng := campaign.Engine[reunion.Options]{
+		Spec:        spec,
+		RunTrial:    reunion.TrialRunner(spec.Model),
+		Parallelism: *parallel,
+		Sink:        sink,
+	}
+	if !*quiet {
+		eng.Progress = func(done, total int, cell sweep.Point[reunion.Options], t campaign.Trial, o campaign.Observation, out campaign.Outcome) {
+			status := out.String()
+			if o.Err != nil {
+				status = o.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %s,trial=%d bit=%d cycle=%d: %s\n",
+				len(strconv.Itoa(total)), done, total, cell.Name(), t.Index, t.Bit, t.Cycle, status)
+		}
+	}
+	rep, err := eng.Run(ctx)
+	if sink != nil {
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inject: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep.WriteTable(os.Stdout)
+	fmt.Fprintf(os.Stderr, "inject: %d trials in %s\n",
+		rep.Total.Trials(), time.Since(start).Round(time.Millisecond))
+	if rep.Total.Count(campaign.DUE) > 0 {
+		fmt.Fprintf(os.Stderr, "inject: %d DUE trials (deadline/unrecoverable) — inspect the results file\n",
+			rep.Total.Count(campaign.DUE))
+	}
+}
+
+// buildSpec assembles the campaign from the flags. Axis order fixes the
+// enumeration (and results-file) order: mode, phantom, seed, workload,
+// trial.
+func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
+	warm, target, deadline int64, totalTrials int, campSeed uint64) (campaign.Spec[reunion.Options], error) {
+	spec := campaign.Spec[reunion.Options]{
+		Name: "inject",
+		Seed: campSeed,
+		// Cells differing only in execution model or phantom strength face
+		// the same fault stream.
+		StreamExclude: []string{"mode", "phantom"},
+	}
+
+	bitLo, bitHi, err := parseRange(bits, 0, 63)
+	if err != nil {
+		return spec, fmt.Errorf("bits: %w", err)
+	}
+	if window == "" {
+		window = fmt.Sprintf("0-%d", target)
+	}
+	winLo, winHi, err := parseRange(window, 0, target)
+	if err != nil {
+		return spec, fmt.Errorf("window: %w", err)
+	}
+	spec.Model = campaign.FaultModel{
+		BitLo: uint(bitLo), BitHi: uint(bitHi),
+		WindowLo: winLo, WindowHi: winHi,
+	}
+
+	matrix := sweep.Spec[reunion.Options]{
+		Name: "inject",
+		Base: reunion.Options{
+			WarmCycles:    warm,
+			CommitTarget:  target,
+			TrialDeadline: deadline,
+		},
+	}
+
+	var ms []reunion.Mode
+	for _, name := range splitCSV(modes) {
+		switch name {
+		case "non-redundant":
+			ms = append(ms, reunion.ModeNonRedundant)
+		case "strict":
+			// The strict oracle simulates a single core whose partner is
+			// idealized away: it models comparison *timing*, so a fault
+			// campaign against it would just re-measure the unprotected
+			// substrate and mislabel it.
+			return spec, fmt.Errorf("mode strict models comparison timing only (no simulated partner); inject supports reunion,non-redundant")
+		case "reunion":
+			ms = append(ms, reunion.ModeReunion)
+		default:
+			return spec, fmt.Errorf("unknown mode %q", name)
+		}
+	}
+	matrix.Axes = append(matrix.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
+		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
+
+	var phs []reunion.Phantom
+	for _, name := range splitCSV(phantoms) {
+		switch name {
+		case "global":
+			phs = append(phs, reunion.PhantomGlobal)
+		case "shared":
+			phs = append(phs, reunion.PhantomShared)
+		case "null":
+			phs = append(phs, reunion.PhantomNull)
+		default:
+			return spec, fmt.Errorf("unknown phantom strength %q", name)
+		}
+	}
+	matrix.Axes = append(matrix.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
+		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
+
+	var sds []uint64
+	for _, f := range splitCSV(seeds) {
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return spec, fmt.Errorf("seeds: %w", err)
+		}
+		sds = append(sds, v)
+	}
+	matrix.Axes = append(matrix.Axes, sweep.NewAxis("seed", sds,
+		func(s uint64) string { return strconv.FormatUint(s, 10) },
+		func(o *reunion.Options, s uint64) { o.Seed = s }))
+
+	var ps []workload.Params
+	if workloads == "all" {
+		ps = workload.Suite()
+	} else {
+		for _, name := range splitCSV(workloads) {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return spec, fmt.Errorf("unknown workload %q (use -list)", name)
+			}
+			ps = append(ps, p)
+		}
+	}
+	matrix.Axes = append(matrix.Axes, sweep.NewAxis("workload", ps,
+		func(p workload.Params) string { return p.Name },
+		func(o *reunion.Options, p workload.Params) { o.Workload = p }))
+
+	spec.Matrix = matrix
+	cells := matrix.Size()
+	if cells == 0 {
+		return spec, fmt.Errorf("empty matrix: every axis needs at least one value")
+	}
+	spec.Trials = totalTrials / cells
+	if spec.Trials < 1 {
+		spec.Trials = 1
+	}
+	return spec, spec.Validate()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseRange parses "lo-hi" (inclusive) or a single value "n" (= n-n).
+func parseRange(s string, defLo, defHi int64) (lo, hi int64, err error) {
+	if s == "" {
+		return defLo, defHi, nil
+	}
+	parts := strings.SplitN(s, "-", 2)
+	lo, err = strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi = lo
+	if len(parts) == 2 {
+		hi, err = strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q is empty", s)
+	}
+	return lo, hi, nil
+}

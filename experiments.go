@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"reunion/internal/campaign"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -39,7 +40,7 @@ type ExpConfig struct {
 	// base memoizes non-redundant baseline runs: sweeps reuse the same
 	// baseline across latencies and modes, and the singleflight entries
 	// keep concurrent cells from running the same baseline twice.
-	base *baseCache
+	base *memo[Result]
 }
 
 // QuickExp returns a campaign sized for CI and `go test -bench`.
@@ -50,7 +51,7 @@ func QuickExp(out io.Writer) ExpConfig {
 		MeasureCycles: 30_000,
 		Table3Cycles:  120_000,
 		Out:           out,
-		base:          newBaseCache(),
+		base:          newMemo[Result](),
 	}
 }
 
@@ -62,37 +63,39 @@ func FullExp(out io.Writer) ExpConfig {
 		MeasureCycles: 50_000,
 		Table3Cycles:  400_000,
 		Out:           out,
-		base:          newBaseCache(),
+		base:          newMemo[Result](),
 	}
 }
 
-// baseCache memoizes baseline runs with per-key singleflight: the first
-// cell needing a baseline runs it, concurrent cells with the same key
-// block on the same entry instead of duplicating the simulation.
-type baseCache struct {
+// memo is a per-key singleflight cache: the first caller for a key
+// computes the value, concurrent callers with the same key block on the
+// same entry instead of duplicating the work. Baseline runs (normalized
+// sweeps) and golden runs (fault-injection trials) both sit behind one.
+type memo[V any] struct {
 	mu sync.Mutex
-	m  map[string]*baseEntry
+	m  map[string]*memoEntry[V]
 }
 
-type baseEntry struct {
+type memoEntry[V any] struct {
 	once sync.Once
-	res  Result
+	val  V
 	err  error
 }
 
-func newBaseCache() *baseCache {
-	return &baseCache{m: make(map[string]*baseEntry)}
+func newMemo[V any]() *memo[V] {
+	return &memo[V]{m: make(map[string]*memoEntry[V])}
 }
 
-func (bc *baseCache) entry(key string) *baseEntry {
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	e, ok := bc.m[key]
+func (c *memo[V]) do(key string, f func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
 	if !ok {
-		e = &baseEntry{}
-		bc.m[key] = e
+		e = &memoEntry[V]{}
+		c.m[key] = e
 	}
-	return e
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
 }
 
 // baseline runs (or reuses) the non-redundant baseline for o. The cache
@@ -110,9 +113,7 @@ func (c ExpConfig) baseline(o Options) (Result, error) {
 	key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%s",
 		o.Workload.Name, o.Seed, o.WarmCycles, o.MeasureCycles,
 		o.FPInterval, o.TLB, o.Consistency, o.Threads, cfgKey)
-	e := c.base.entry(key)
-	e.once.Do(func() { e.res, e.err = Run(o) })
-	return e.res, e.err
+	return c.base.do(key, func() (Result, error) { return Run(o) })
 }
 
 func (c ExpConfig) printf(format string, args ...any) {
@@ -715,4 +716,61 @@ func commercialSuite() []workload.Params {
 		}
 	}
 	return out
+}
+
+// CoverageExperiment runs the Monte-Carlo fault-injection coverage
+// campaign the paper's evaluation assumes but never performs: single-bit
+// datapath flips over mode × phantom × workload, every trial classified
+// as masked, detected (with latency), SDC, or DUE against a fault-free
+// golden run. The mode and phantom axes are excluded from the fault-
+// stream draw, so Reunion and the non-redundant baseline face identical
+// fault streams — the controlled comparison behind "Reunion: zero SDCs,
+// non-redundant: silent corruption".
+func (c ExpConfig) CoverageExperiment(trialsPerCell int) (*campaign.Report, error) {
+	c.printf("Coverage: Monte-Carlo fault injection, mode × phantom × workload (%d trials/cell)\n", trialsPerCell)
+	target := c.MeasureCycles / 16
+	if target < 500 {
+		target = 500
+	}
+	base := Options{
+		Seed:         c.Seeds[0],
+		WarmCycles:   c.WarmCycles,
+		CommitTarget: target,
+	}
+	model := campaign.FaultModel{WindowHi: target}
+	eng := campaign.Engine[Options]{
+		Spec: campaign.Spec[Options]{
+			Name: "coverage",
+			Matrix: sweep.Spec[Options]{
+				Name: "coverage",
+				Base: base,
+				Axes: []sweep.Axis[Options]{
+					sweep.NewAxis("mode", []Mode{ModeReunion, ModeNonRedundant}, Mode.String,
+						func(o *Options, m Mode) { o.Mode = m }),
+					sweep.NewAxis("phantom", []Phantom{PhantomGlobal, PhantomNull}, Phantom.String,
+						func(o *Options, ph Phantom) { o.Phantom = ph }),
+					sweep.NewAxis("workload", workload.Suite(),
+						func(p workload.Params) string { return p.Name },
+						func(o *Options, p workload.Params) { o.Workload = p }),
+				},
+			},
+			Model:         model,
+			Trials:        trialsPerCell,
+			Seed:          0xfa017,
+			StreamExclude: []string{"mode", "phantom"},
+		},
+		RunTrial:    TrialRunner(model),
+		Parallelism: c.Parallelism,
+	}
+	if err := eng.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	rep, err := eng.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if c.Out != nil {
+		rep.WriteTable(c.Out)
+	}
+	return rep, nil
 }

@@ -31,7 +31,7 @@ func TestExperimentShapes(t *testing.T) {
 		MeasureCycles: 20_000,
 		Table3Cycles:  60_000,
 		Out:           io.Discard,
-		base:          newBaseCache(),
+		base:          newMemo[Result](),
 	}
 
 	t.Run("figure6-latency-sensitivity", func(t *testing.T) {

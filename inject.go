@@ -1,0 +1,101 @@
+package reunion
+
+import (
+	"context"
+	"fmt"
+
+	"reunion/internal/campaign"
+	"reunion/internal/fault"
+	"reunion/internal/sweep"
+)
+
+// DefaultCommitTarget is the per-logical-processor committed-instruction
+// boundary a fault-injection trial runs to when the cell options leave
+// CommitTarget unset. Classification compares commit digests at this
+// boundary, so it also bounds how far a fault can propagate before the
+// verdict.
+const DefaultCommitTarget = 2000
+
+// CoresUnderTest returns the number of physical cores a run of these
+// options simulates: one per logical processor, doubled under ModeReunion
+// (each logical processor is a vocal/mute pair, and faults target both —
+// a mute flip must be detected exactly like a vocal one).
+func (o Options) CoresUnderTest() int {
+	n := o.Threads
+	if n == 0 {
+		n = 4
+	}
+	if o.Mode == ModeReunion {
+		n *= 2
+	}
+	return n
+}
+
+// trialKey fingerprints every option a golden (fault-free) trial run
+// depends on, so one golden reference serves all trials of a cell. Like
+// the sweep's baseline cache, distinct cells never share an entry and
+// concurrent trials of one cell singleflight onto the same run.
+func trialKey(o Options) string {
+	cfgKey := ""
+	if o.Config != nil {
+		cfgKey = fmt.Sprintf("%+v", *o.Config)
+	}
+	return fmt.Sprintf("%v|%+v|%d|%d|%d|%d|%v|%v|%v|%d|%d|%d|%v|%s",
+		o.Mode, o.Workload, o.Threads, o.Seed, o.CompareLatency, o.FPInterval,
+		o.Phantom, o.TLB, o.Consistency, o.WarmCycles, o.CommitTarget,
+		o.TrialDeadline, o.NoPrefill, cfgKey)
+}
+
+// TrialRunner returns the campaign trial-execution function over Run: it
+// resolves each trial's draw against the cell's core count, arms the
+// single-shot fault, and reports the observation the classifier needs,
+// comparing against a memoized golden run of the same cell. The returned
+// function is safe for concurrent use across trials; golden runs are
+// computed once per cell behind a singleflight.
+func TrialRunner(model campaign.FaultModel) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
+	golden := newMemo[Result]()
+	return func(_ context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
+		o := cell.Config
+		if o.CommitTarget <= 0 {
+			o.CommitTarget = DefaultCommitTarget
+		}
+		o.Inject = nil
+		g, err := golden.do(trialKey(o), func() (Result, error) {
+			r, err := Run(o)
+			if err == nil && !r.DigestOK {
+				err = fmt.Errorf("reunion: golden run hit the trial deadline before commit target %d (unrecoverable=%v)",
+					o.CommitTarget, r.Unrecoverable)
+			}
+			return r, err
+		})
+		if err != nil {
+			return campaign.Observation{Err: fmt.Errorf("golden: %w", err)}
+		}
+		n := o.CoresUnderTest()
+		if model.Cores > 0 && model.Cores < n {
+			n = model.Cores
+		}
+		inj := fault.Injection{Core: t.Core(n), Cycle: t.Cycle, Bit: t.Bit}
+		o.Inject = &inj
+		res, err := Run(o)
+		if err != nil {
+			return campaign.Observation{Err: err}
+		}
+		return campaign.Observation{
+			Unrecoverable: res.Unrecoverable,
+			Completed:     res.TrialComplete,
+			Armed:         res.FaultArmed,
+			Fired:         res.FaultFired,
+			FireCycle:     res.FaultFireCycle,
+			Detected:      res.FaultDetected,
+			LatencyCycles: res.DetectLatency,
+			LatencyInstrs: res.DetectLatencyInstr,
+			Digest:        res.CommitDigest,
+			GoldenDigest:  g.CommitDigest,
+			DigestOK:      res.DigestOK && g.DigestOK,
+			Core:          inj.Core,
+			Retired:       res.FaultRetired,
+			Squashed:      res.FaultSquashed,
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package reunion
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"reunion/internal/campaign"
+	"reunion/internal/fault"
+	"reunion/internal/sweep"
+	"reunion/internal/workload"
+)
+
+func injectTestOptions() Options {
+	return Options{
+		Workload:      mustWorkload("apache"),
+		Seed:          1,
+		WarmCycles:    5_000,
+		CommitTarget:  500,
+		TrialDeadline: 60_000,
+	}
+}
+
+func mustWorkload(name string) workload.Params {
+	p, ok := workload.ByName(name)
+	if !ok {
+		panic("unknown workload " + name)
+	}
+	return p
+}
+
+// TestCommitDigestDeterministic: the golden digest is a pure function of
+// the options — two identical runs agree, a different seed disagrees.
+func TestCommitDigestDeterministic(t *testing.T) {
+	o := injectTestOptions()
+	o.Mode = ModeNonRedundant
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.DigestOK || !b.DigestOK {
+		t.Fatalf("digests did not latch: %v %v", a.DigestOK, b.DigestOK)
+	}
+	if a.CommitDigest != b.CommitDigest {
+		t.Fatalf("same options, different commit digests: %x vs %x", a.CommitDigest, b.CommitDigest)
+	}
+	if a.ArchDigest != b.ArchDigest {
+		t.Fatalf("same options, different arch digests: %x vs %x", a.ArchDigest, b.ArchDigest)
+	}
+	o.Seed = 2
+	c, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CommitDigest == a.CommitDigest {
+		t.Fatal("different seeds produced the same commit digest")
+	}
+}
+
+// TestInjectedRunObservability: a single-shot injection under Reunion is
+// fired, detected, recovered, and the committed stream still matches the
+// fault-free golden at the same instruction boundary.
+func TestInjectedRunObservability(t *testing.T) {
+	o := injectTestOptions()
+	o.Mode = ModeReunion
+	golden, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Inject = &fault.Injection{Core: 3, Cycle: 200, Bit: 17}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FaultArmed || !r.FaultFired {
+		t.Fatalf("fault not consumed: armed=%v fired=%v", r.FaultArmed, r.FaultFired)
+	}
+	if !r.FaultDetected || r.DetectLatency < 0 {
+		t.Fatalf("fault not detected: detected=%v latency=%d", r.FaultDetected, r.DetectLatency)
+	}
+	if r.FaultSquashed == 0 {
+		t.Fatal("detected flip should have been squashed by rollback")
+	}
+	if !r.TrialComplete || !r.DigestOK {
+		t.Fatalf("trial incomplete: complete=%v digestOK=%v", r.TrialComplete, r.DigestOK)
+	}
+	if r.CommitDigest != golden.CommitDigest {
+		t.Fatalf("recovered run diverged from golden: %x vs %x", r.CommitDigest, golden.CommitDigest)
+	}
+	if campaign.Classify(campaign.Observation{
+		Completed: r.TrialComplete, DigestOK: r.DigestOK,
+		Armed: r.FaultArmed, Fired: r.FaultFired, Detected: r.FaultDetected,
+		Digest: r.CommitDigest, GoldenDigest: golden.CommitDigest,
+	}) != campaign.Detected {
+		t.Fatal("classification disagrees")
+	}
+	// TrialMetrics is the library-surface encoding of the same
+	// observability (for users streaming Results through sweep sinks).
+	m := r.TrialMetrics()
+	if m["fault_fired"] != 1 || m["fault_detected"] != 1 {
+		t.Fatalf("TrialMetrics disagrees with Result: %v", m)
+	}
+	if m["detect_latency_cycles"] != float64(r.DetectLatency) ||
+		m["fault_squashed"] != float64(r.FaultSquashed) ||
+		m["trial_cycles"] != float64(r.TrialCycles) {
+		t.Fatalf("TrialMetrics values drifted from Result fields: %v", m)
+	}
+	if _, ok := m["user_ipc"]; !ok {
+		t.Fatal("TrialMetrics must extend the base Metrics map")
+	}
+}
+
+// TestCampaignEndToEnd runs a small real campaign through the engine and
+// checks the acceptance shape: every trial classified, Reunion free of
+// SDCs, the non-redundant baseline corrupting under the same fault
+// stream, detected trials carrying latencies.
+func TestCampaignEndToEnd(t *testing.T) {
+	model := campaign.FaultModel{WindowHi: 400}
+	eng := campaign.Engine[Options]{
+		Spec: campaign.Spec[Options]{
+			Name: "e2e",
+			Matrix: sweep.Spec[Options]{
+				Name: "e2e",
+				Base: injectTestOptions(),
+				Axes: []sweep.Axis[Options]{
+					sweep.NewAxis("mode", []Mode{ModeReunion, ModeNonRedundant}, Mode.String,
+						func(o *Options, m Mode) { o.Mode = m }),
+				},
+			},
+			Model:         model,
+			Trials:        6,
+			Seed:          0xfa017,
+			StreamExclude: []string{"mode"},
+		},
+		RunTrial: TrialRunner(model),
+	}
+	rep, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Trials() != 12 {
+		t.Fatalf("classified %d of 12 trials", rep.Total.Trials())
+	}
+	re := rep.CellBy(map[string]string{"mode": "reunion"})
+	nr := rep.CellBy(map[string]string{"mode": "non-redundant"})
+	if re == nil || nr == nil {
+		t.Fatal("cells missing")
+	}
+	if re.Count(campaign.SDC) != 0 || re.Count(campaign.DUE) != 0 {
+		t.Fatalf("reunion cell not clean: %+v", re.Counts)
+	}
+	if re.Count(campaign.Detected) == 0 {
+		t.Fatalf("reunion detected nothing: %+v", re.Counts)
+	}
+	if nr.Count(campaign.SDC) == 0 {
+		t.Fatalf("non-redundant baseline shows no SDCs under the same fault stream: %+v", nr.Counts)
+	}
+	if nr.Count(campaign.Detected) != 0 {
+		t.Fatalf("non-redundant mode cannot detect faults: %+v", nr.Counts)
+	}
+	if n := re.LatencyCycles.N(); n != re.Count(campaign.Detected) {
+		t.Fatalf("latency histogram %d entries for %d detected", n, re.Count(campaign.Detected))
+	}
+	var buf bytes.Buffer
+	rep.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty coverage table")
+	}
+}

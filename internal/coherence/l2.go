@@ -642,6 +642,18 @@ func (l2 *L2) Prefill(block uint64) bool {
 // Capacity returns the number of blocks the L2 can hold.
 func (l2 *L2) Capacity() int { return l2.cfg.CapacityBytes / mem.BlockBytes }
 
+// VisitDirty calls fn for every dirty line in the shared cache, in
+// deterministic array order (set-major, then way). Architectural-state
+// digests fold dirty L2 lines this way; clean lines mirror memory and
+// carry no unique architectural state.
+func (l2 *L2) VisitDirty(fn func(block uint64, data *mem.Block)) {
+	l2.arr.ForEachValid(func(l *cache.Line) {
+		if l.Dirty {
+			fn(l.Block, &l.Data)
+		}
+	})
+}
+
 // CancelSync invalidates every synchronizing request of the pair with a
 // token below minToken: a parked request is dropped and in-flight ones are
 // discarded on arrival. Recovery escalation uses this so stale sync

@@ -90,6 +90,11 @@ type Pair struct {
 	// the next recovery is attributed to a soft error, not incoherence.
 	pendingFault bool
 
+	// OnFaultDetected, if set, observes every recovery attributed to an
+	// injected fault, at the cycle the recovery starts (fault-injection
+	// campaigns latch detection latency here).
+	OnFaultDetected func()
+
 	// ForceAlias makes the next n mismatching comparisons pass, emulating
 	// fingerprint aliasing (drives the phase-2 path in tests).
 	ForceAlias int
@@ -268,6 +273,9 @@ func (p *Pair) recover() {
 	if p.pendingFault {
 		p.Stats.FaultEvents++
 		p.pendingFault = false
+		if p.OnFaultDetected != nil {
+			p.OnFaultDetected()
+		}
 	} else {
 		p.Stats.IncoherenceEvents++
 	}

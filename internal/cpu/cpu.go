@@ -269,6 +269,29 @@ type Core struct {
 	faultBit     uint
 	OnFaultFired func()
 
+	// Fault-consumption tracking: faultSeq is the seq of the instruction a
+	// fired fault flipped, until that instruction either retires (the flip
+	// reached architectural state) or is squashed (the flip was discarded —
+	// architecturally masked by rollback or a pipeline flush).
+	faultSeq      int64
+	FaultRetired  int64
+	FaultSquashed int64
+
+	// Commit digest (fault-injection observability): a running hash of
+	// every retired instruction's architectural updates — register writes,
+	// store address/data, branch targets — latched exactly when the
+	// committed count since EnableCommitDigest reaches its target (or the
+	// core halts). Comparing latched digests against a fault-free golden
+	// run of the same seed classifies silent data corruption at a precise
+	// instruction boundary, which a fixed-cycle snapshot cannot (a
+	// recovered run loses cycles to rollback, not correctness).
+	digestOn      bool
+	digestCount   int64
+	digestTarget  int64
+	digestVal     uint64
+	digestLatched uint64
+	digestDone    bool
+
 	// Fingerprinting.
 	fpGen         *fingerprint.Gen
 	intervalCount int
@@ -306,6 +329,7 @@ func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
 	c.arf = th.InitRegs
 	c.fetchPC = th.Entry
 	c.commitPC = th.Entry
+	c.faultSeq = -1
 	return c
 }
 
@@ -350,6 +374,69 @@ func (c *Core) ArmFault(b uint) { c.faultArmed, c.faultBit = true, b%64 }
 
 // FaultPending reports whether an armed fault has not yet fired.
 func (c *Core) FaultPending() bool { return c.faultArmed }
+
+// DisarmFault clears an armed-but-unfired fault, reporting whether one was
+// pending. A disarmed fault never reached the datapath, so it is
+// architecturally masked by definition (e.g., armed on a core that halted).
+func (c *Core) DisarmFault() bool {
+	pending := c.faultArmed
+	c.faultArmed = false
+	return pending
+}
+
+// EnableCommitDigest starts the running commit digest and arms its latch
+// at target committed instructions from now. Call at a measurement
+// boundary (alongside stats reset); the digest then covers exactly the
+// next target retirements.
+func (c *Core) EnableCommitDigest(target int64) {
+	c.digestOn = true
+	c.digestCount = 0
+	c.digestTarget = target
+	c.digestVal = sim.Mix64(0xd16e57 ^ uint64(c.Pair))
+	c.digestLatched = 0
+	c.digestDone = c.halted // nothing will ever commit on a halted core
+	if c.digestDone {
+		c.digestLatched = c.digestVal
+	}
+}
+
+// CommitDigest returns the latched commit digest and whether the latch has
+// closed (the commit target was reached, or the core halted).
+func (c *Core) CommitDigest() (uint64, bool) { return c.digestLatched, c.digestDone }
+
+func (c *Core) digestFold(x uint64) { c.digestVal = sim.Mix64(c.digestVal ^ x) }
+
+// digestCommit folds one retiring instruction's architectural updates into
+// the running digest and closes the latch at the target boundary.
+func (c *Core) digestCommit(e *Entry) {
+	if !c.digestOn || c.digestDone {
+		return
+	}
+	in := e.In
+	c.digestFold(uint64(e.PC))
+	if in.WritesReg() && in.Rd != 0 {
+		c.digestFold(uint64(in.Rd))
+		c.digestFold(uint64(e.Result))
+	}
+	switch {
+	case in.IsStore():
+		c.digestFold(e.EA)
+		c.digestFold(uint64(e.src2))
+	case in.IsAtomic():
+		c.digestFold(e.EA)
+		if e.casSuccess {
+			c.digestFold(uint64(e.casNew))
+		}
+	}
+	if in.IsBranch() {
+		c.digestFold(uint64(e.Target))
+	}
+	c.digestCount++
+	if c.digestCount >= c.digestTarget || in.Op == isa.Halt {
+		c.digestLatched = c.digestVal
+		c.digestDone = true
+	}
+}
 
 // String identifies the core in diagnostics.
 func (c *Core) String() string {

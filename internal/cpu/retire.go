@@ -49,6 +49,7 @@ func (c *Core) offer() {
 		if c.faultArmed && e.In.WritesReg() {
 			e.Result ^= 1 << c.faultBit
 			c.faultArmed = false
+			c.faultSeq = e.Seq
 			if c.OnFaultFired != nil {
 				c.OnFaultFired()
 			}
@@ -210,6 +211,11 @@ func (c *Core) finalize() {
 		}
 		c.commitSeq = e.Seq + 1
 		c.Stats.Committed++
+		c.digestCommit(e)
+		if c.faultSeq == e.Seq {
+			c.FaultRetired++
+			c.faultSeq = -1
+		}
 
 		e.state = stFree
 		c.robHead = c.robIdx(1)
@@ -240,6 +246,10 @@ func (c *Core) squashYounger(e *Entry) {
 		c.rob[c.robIdx(i)].state = stFree
 	}
 	c.robCount = pos + 1
+	if c.faultSeq > e.Seq {
+		c.FaultSquashed++
+		c.faultSeq = -1
+	}
 	c.rebuildRename()
 	// Drop younger speculative stores.
 	for i := 0; i < len(c.sb); i++ {
@@ -288,6 +298,10 @@ func (c *Core) rebuildRename() {
 func (c *Core) SquashAll() {
 	for i := 0; i < c.robCount; i++ {
 		c.rob[c.robIdx(i)].state = stFree
+	}
+	if c.faultSeq >= 0 {
+		c.FaultSquashed++
+		c.faultSeq = -1
 	}
 	c.robCount = 0
 	c.offerIdx = 0

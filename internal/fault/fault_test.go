@@ -123,6 +123,146 @@ func TestCampaignSkipsHaltedCores(t *testing.T) {
 	}
 }
 
+func TestCampaignMeanIntervalClamped(t *testing.T) {
+	// Regression: MeanInterval <= 0 used to panic in the RNG
+	// (Intn(non-positive)), and MeanInterval == 1 degenerated to zero-gap
+	// re-injection. NewCampaign must clamp both into a usable schedule.
+	for _, mean := range []int64{-5, 0, 1, 2} {
+		eq := sim.NewEventQueue()
+		c := testCore(eq)
+		camp := NewCampaign(7, mean, []*cpu.Core{c})
+		if camp.MeanInterval < 2 {
+			t.Fatalf("mean %d not clamped: %d", mean, camp.MeanInterval)
+		}
+		for cyc := int64(0); cyc < 2_000; cyc++ {
+			eq.Advance(eq.Now() + 1)
+			c.Tick()
+			camp.Tick(cyc)
+		}
+		if camp.Injected == 0 {
+			t.Fatalf("mean %d: campaign armed nothing", mean)
+		}
+		if camp.Fired == 0 {
+			t.Fatalf("mean %d: no fault fired", mean)
+		}
+	}
+}
+
+func TestCampaignScheduleGapPositive(t *testing.T) {
+	c := &Campaign{rng: sim.NewRand(1), MeanInterval: 2}
+	for i := 0; i < 1_000; i++ {
+		now := c.nextAt
+		c.schedule(now)
+		if c.nextAt <= now {
+			t.Fatalf("schedule produced non-positive gap at iteration %d: %d -> %d", i, now, c.nextAt)
+		}
+	}
+}
+
+func TestCampaignMaskedArmedOnHalt(t *testing.T) {
+	// A fault armed on a core that halts can never fire; the campaign must
+	// retire it as architecturally masked instead of leaving Pending()
+	// nonzero forever.
+	eq := sim.NewEventQueue()
+	b := program.NewBuilder("halt", 0)
+	for i := 0; i < 50; i++ {
+		b.Addi(1, 1, 1)
+	}
+	b.Halt()
+	below := &echoBelow{eq: eq, mem: mem.New()}
+	cfg := &cpu.Config{
+		FetchWidth: 1, DispatchWidth: 1, IssueWidth: 1, RetireWidth: 1,
+		ROBSize: 8, SBSize: 2, FetchQCap: 2, CheckQCap: 8,
+		LoadToUse: 2, FrontDepth: 1, L1LoadPorts: 1, L1StorePorts: 1,
+		TrapLatency: 5, DevLatency: 5,
+		FPMode: fingerprint.Direct, FPInterval: 1,
+		TLB: cpu.TLBPolicy{Mode: tlb.Hardware, WalkLatency: 5, HandlerBody: 5, HandlerSerializers: 5},
+	}
+	l1d := cache.NewL1("d", 0, 0, true, 1<<10, 2, 4, below, false)
+	l1i := cache.NewL1("i", 0, 0, true, 1<<10, 2, 4, below, true)
+	c := cpu.New(0, 0, true, cfg, eq, b.Build(), l1d, l1i, tlb.New(16, 2), tlb.New(16, 2),
+		&core.NonRedundantGate{EQ: eq})
+	// Arm directly just before the halt retires so the flip has no
+	// register-writing instruction left to consume.
+	camp := NewCampaign(5, 1_000_000, []*cpu.Core{c})
+	armed := false
+	for cyc := int64(0); cyc < 3_000; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+		if c.Halted() && !armed {
+			c.ArmFault(3)
+			camp.Injected++
+			armed = true
+		}
+		camp.Tick(cyc)
+	}
+	if !c.Halted() {
+		t.Fatal("core did not halt")
+	}
+	if !armed {
+		t.Fatal("test never armed its fault")
+	}
+	if camp.MaskedArmed != 1 {
+		t.Fatalf("armed fault on halted core not retired as masked: MaskedArmed=%d", camp.MaskedArmed)
+	}
+	if camp.Pending() != 0 {
+		t.Fatalf("Pending() stuck nonzero: %d", camp.Pending())
+	}
+}
+
+func TestInjectionSingleShot(t *testing.T) {
+	eq := sim.NewEventQueue()
+	c := testCore(eq)
+	var fireAt int64 = -1
+	shot := Injection{Core: 0, Cycle: 100, Bit: 9}.Arm(eq, c, func(now int64) { fireAt = now })
+	for cyc := int64(0); cyc < 2_000; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+	}
+	if !shot.Armed {
+		t.Fatal("injection never armed")
+	}
+	if !shot.Fired || shot.Unfired() {
+		t.Fatal("injection never fired on a register-writing stream")
+	}
+	if shot.FiredAt < 100 {
+		t.Fatalf("fired at %d, before the arm cycle", shot.FiredAt)
+	}
+	if fireAt != shot.FiredAt {
+		t.Fatalf("onFire saw cycle %d, shot recorded %d", fireAt, shot.FiredAt)
+	}
+}
+
+func TestInjectionOnHaltedCoreStaysUnfired(t *testing.T) {
+	eq := sim.NewEventQueue()
+	b := program.NewBuilder("halt", 0)
+	b.Halt()
+	below := &echoBelow{eq: eq, mem: mem.New()}
+	cfg := &cpu.Config{
+		FetchWidth: 1, DispatchWidth: 1, IssueWidth: 1, RetireWidth: 1,
+		ROBSize: 8, SBSize: 2, FetchQCap: 2, CheckQCap: 8,
+		LoadToUse: 2, FrontDepth: 1, L1LoadPorts: 1, L1StorePorts: 1,
+		TrapLatency: 5, DevLatency: 5,
+		FPMode: fingerprint.Direct, FPInterval: 1,
+		TLB: cpu.TLBPolicy{Mode: tlb.Hardware, WalkLatency: 5, HandlerBody: 5, HandlerSerializers: 5},
+	}
+	l1d := cache.NewL1("d", 0, 0, true, 1<<10, 2, 4, below, false)
+	l1i := cache.NewL1("i", 0, 0, true, 1<<10, 2, 4, below, true)
+	c := cpu.New(0, 0, true, cfg, eq, b.Build(), l1d, l1i, tlb.New(16, 2), tlb.New(16, 2),
+		&core.NonRedundantGate{EQ: eq})
+	shot := Injection{Core: 0, Cycle: 1_500, Bit: 0}.Arm(eq, c, nil)
+	for cyc := int64(0); cyc < 2_000; cyc++ {
+		eq.Advance(eq.Now() + 1)
+		c.Tick()
+	}
+	if !c.Halted() {
+		t.Fatal("core did not halt")
+	}
+	if shot.Armed || shot.Fired || !shot.Unfired() {
+		t.Fatalf("injection on a halted core must stay unfired: %+v", shot)
+	}
+}
+
 func TestFiredHookChains(t *testing.T) {
 	eq := sim.NewEventQueue()
 	c := testCore(eq)

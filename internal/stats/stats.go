@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -162,4 +163,133 @@ func PerMillion(events, instructions int64) float64 {
 		return 0
 	}
 	return float64(events) * 1e6 / float64(instructions)
+}
+
+// WilsonCI returns the 95% Wilson score interval for a binomial
+// proportion of k successes in n trials. Unlike the normal approximation
+// it stays inside [0,1] and behaves at k=0 and k=n, which is exactly the
+// regime coverage campaigns live in (zero observed SDCs still leaves an
+// honest upper bound on the SDC rate).
+func WilsonCI(k, n int64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Histogram accumulates non-negative integer observations (e.g. detection
+// latencies in cycles) into power-of-two buckets, keeping exact count,
+// sum, min and max. Quantiles are bucket-resolution estimates — at most a
+// factor-of-two overestimate — which is the right cost/fidelity trade for
+// summarizing thousands of streamed trials without buffering them.
+type Histogram struct {
+	buckets [65]int64 // buckets[i] counts values with bit length i (0 → value 0)
+	n       int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Add folds one observation in; negative values are clamped to 0.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the exact mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observation (0 for an empty histogram).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest observation (0 for an empty histogram).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// top of the bucket where the cumulative count crosses q·n, clamped to
+// the observed max. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			top := int64(1)<<uint(i) - 1
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// Buckets calls fn for every non-empty bucket in ascending value order
+// with the bucket's inclusive value range and count.
+func (h *Histogram) Buckets(fn func(lo, hi, count int64)) {
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if i == 0 {
+			fn(0, 0, c)
+			continue
+		}
+		fn(int64(1)<<uint(i-1), int64(1)<<uint(i)-1, c)
+	}
+}
+
+// String renders "n=42 mean=13.5 p50≤15 p95≤63 max=70".
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50≤%d p95≤%d max=%d",
+		h.n, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.max)
 }

@@ -162,3 +162,73 @@ func TestPerMillion(t *testing.T) {
 		t.Fatal("fractional rate")
 	}
 }
+
+func TestWilsonCI(t *testing.T) {
+	// Degenerate inputs stay honest.
+	if lo, hi := WilsonCI(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("n=0: [%v,%v]", lo, hi)
+	}
+	// k=0 leaves a nonzero upper bound; k=n leaves a sub-one lower bound.
+	lo, hi := WilsonCI(0, 50)
+	if lo != 0 || hi <= 0 || hi > 0.15 {
+		t.Fatalf("0/50: [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(50, 50)
+	if hi != 1 || lo >= 1 || lo < 0.85 {
+		t.Fatalf("50/50: [%v,%v]", lo, hi)
+	}
+	// A balanced proportion brackets p and tightens with n.
+	lo1, hi1 := WilsonCI(5, 10)
+	lo2, hi2 := WilsonCI(500, 1000)
+	if lo1 >= 0.5 || hi1 <= 0.5 || lo2 >= 0.5 || hi2 <= 0.5 {
+		t.Fatal("interval must bracket p=0.5")
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval must tighten with n")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.String() != "n=0" || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram")
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.N() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	if !approx(h.Mean(), 50.5, 1e-12) {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	// Quantiles are bucket-resolution upper bounds: within 2x of exact,
+	// never below the exact rank value, clamped to max.
+	for _, q := range []float64{0.5, 0.9, 0.95, 1} {
+		exact := int64(q * 100)
+		got := h.Quantile(q)
+		if got < exact || got > 2*exact+1 || got > h.Max() {
+			t.Fatalf("q%.2f: got %d, exact %d", q, got, exact)
+		}
+	}
+	// Negative observations clamp to zero, zero lands in its own bucket.
+	var z Histogram
+	z.Add(-5)
+	z.Add(0)
+	if z.Quantile(1) != 0 || z.Min() != 0 || z.N() != 2 {
+		t.Fatalf("zero bucket: %s", z.String())
+	}
+	// Bucket walk covers every observation exactly once, in order.
+	var total int64
+	lastHi := int64(-1)
+	h.Buckets(func(lo, hi, count int64) {
+		if lo <= lastHi {
+			t.Fatalf("bucket [%d,%d] out of order", lo, hi)
+		}
+		lastHi = hi
+		total += count
+	})
+	if total != 100 {
+		t.Fatalf("buckets cover %d of 100", total)
+	}
+}

@@ -28,7 +28,11 @@
 // See README.md for an overview and the CLI commands, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the reproduction of every
 // table and figure in the paper's evaluation. The evaluation matrix runs
-// in parallel through the internal/sweep engine (cmd/reunion-sweep).
+// in parallel through the internal/sweep engine (cmd/reunion-sweep), and
+// the soft-error detection story the paper assumes is measured by the
+// Monte-Carlo fault-injection campaign engine (internal/campaign,
+// cmd/reunion-inject): single-bit datapath flips classified as masked,
+// detected (with latency), SDC, or DUE against fault-free golden runs.
 package reunion
 
 import (

@@ -3,6 +3,7 @@ package reunion
 import (
 	"fmt"
 
+	"reunion/internal/fault"
 	"reunion/internal/stats"
 	"reunion/internal/workload"
 )
@@ -40,6 +41,23 @@ type Options struct {
 	NoPrefill bool
 	// Config optionally overrides the whole machine configuration.
 	Config *Config
+
+	// Inject arms one precise single-shot fault (fault-injection campaign
+	// trials): bit Inject.Bit of the next register-writing result entering
+	// check on core Inject.Core is flipped, arming Inject.Cycle cycles
+	// after the measurement window starts.
+	Inject *fault.Injection
+	// CommitTarget, when nonzero, switches the measurement phase from a
+	// fixed cycle window to "run until every vocal core has committed this
+	// many instructions", latching each core's commit digest exactly at
+	// that boundary. Fault trials are classified on this digest: a
+	// recovered run loses cycles, not instructions, so only an
+	// instruction-precise boundary compares corruption rather than timing.
+	CommitTarget int64
+	// TrialDeadline bounds the measurement phase in cycles when
+	// CommitTarget is set (default 200k). A trial past its deadline is a
+	// terminal DUE outcome, never a retry.
+	TrialDeadline int64
 }
 
 // ZeroLatency requests a literal zero-cycle comparison latency (the zero
@@ -67,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MeasureCycles == 0 {
 		o.MeasureCycles = 50_000
+	}
+	if o.TrialDeadline == 0 {
+		o.TrialDeadline = 200_000
 	}
 	return o
 }
@@ -112,6 +133,24 @@ type Result struct {
 	SerIssueStalls    int64   // issue-slot stalls behind serializing fences
 	CompareWaitVocal  int64   // cycles the vocal's fingerprints waited for the mute
 	CompareWaitMute   int64   // cycles the mute's fingerprints waited for the vocal
+
+	// Fault-injection observability (populated by trial runs: Options with
+	// Inject and/or CommitTarget set).
+	FaultArmed         bool  // the arm event found a live core
+	FaultFired         bool  // the flip was consumed by an instruction entering check
+	FaultFireCycle     int64 // measurement-relative consumption cycle (-1 if unfired)
+	FaultFireInstr     int64 // target pair's vocal committed count at consumption
+	FaultDetected      bool  // a recovery was attributed to the injected fault
+	DetectLatency      int64 // cycles from consumption to that recovery (-1 if undetected)
+	DetectLatencyInstr int64 // committed instructions over the same span
+	FaultRetired       int64 // flipped results that reached architectural state
+	FaultSquashed      int64 // flipped results discarded by rollback or squash
+	Unrecoverable      bool  // a pair signalled a detected, unrecoverable error
+	TrialComplete      bool  // every vocal core reached the commit target
+	TrialCycles        int64 // cycles the measurement phase actually ran
+	CommitDigest       uint64
+	DigestOK           bool
+	ArchDigest         uint64 // point-in-time state hash; golden (uninjected) trial runs only
 }
 
 // Run executes one measured simulation: build, prefill, warm, measure.
@@ -134,11 +173,94 @@ func Run(o Options) (Result, error) {
 	}
 	sys.Run(o.WarmCycles)
 	sys.ResetStats()
+	if o.Inject != nil || o.CommitTarget > 0 {
+		return runTrial(sys, o)
+	}
 	sys.Run(o.MeasureCycles)
 	if sys.Failed() {
 		return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", w.Name, o.Mode)
 	}
 	return Collect(sys, o.MeasureCycles), nil
+}
+
+// runTrial runs the measurement phase of a fault-injection trial (or of
+// its fault-free golden reference): the fault is armed at its
+// measurement-relative cycle, detection is observed through the pair
+// hooks, and the run ends at the commit-target boundary, an unrecoverable
+// failure, or the trial deadline — always a terminal outcome. Unlike the
+// plain path, an unrecoverable failure is reported in the Result
+// (classification needs it), not as an error.
+func runTrial(sys *System, o Options) (Result, error) {
+	measStart := sys.EQ.Now()
+	var shot *fault.Shot
+	var fireInstr int64
+	var detected bool
+	var detectCycle, detectInstr int64
+	if o.Inject != nil {
+		inj := *o.Inject
+		if inj.Core < 0 || inj.Core >= len(sys.Cores) {
+			return Result{}, fmt.Errorf("reunion: inject core %d out of range [0,%d)", inj.Core, len(sys.Cores))
+		}
+		target := sys.Cores[inj.Core]
+		arch := target
+		if !arch.Vocal {
+			arch = sys.Pairs[target.Pair].VocalC
+		}
+		inj.Cycle += measStart
+		shot = inj.Arm(sys.EQ, target, func(int64) { fireInstr = arch.Stats.Committed })
+		for _, p := range sys.Pairs {
+			p := p
+			p.OnFaultDetected = func() {
+				if detected {
+					return
+				}
+				detected = true
+				detectCycle = sys.EQ.Now()
+				detectInstr = p.VocalC.Stats.Committed
+			}
+		}
+	}
+
+	var ran int64
+	if o.CommitTarget > 0 {
+		sys.ArmCommitDigests(o.CommitTarget)
+		ran, _ = sys.RunUntilDone(o.TrialDeadline, func() bool {
+			return sys.DigestsDone() || sys.Failed()
+		})
+	} else {
+		sys.Run(o.MeasureCycles)
+		ran = o.MeasureCycles
+	}
+
+	r := Collect(sys, ran)
+	r.TrialCycles = ran
+	r.Unrecoverable = sys.Failed()
+	r.CommitDigest, r.DigestOK = sys.CommitDigest()
+	r.TrialComplete = o.CommitTarget > 0 && sys.DigestsDone() && !r.Unrecoverable
+	if o.Inject == nil {
+		// The full architectural-state walk (register files + dirty lines)
+		// is a per-cell diagnostic, not a per-trial classifier: compute it
+		// for golden references only, off the campaign's trial hot path.
+		r.ArchDigest = sys.ArchDigest()
+	}
+	r.FaultFireCycle, r.DetectLatency = -1, -1
+	if shot != nil {
+		r.FaultArmed, r.FaultFired = shot.Armed, shot.Fired
+		if shot.Fired {
+			r.FaultFireCycle = shot.FiredAt - measStart
+			r.FaultFireInstr = fireInstr
+		}
+		if detected {
+			r.FaultDetected = true
+			r.DetectLatency = detectCycle - shot.FiredAt
+			r.DetectLatencyInstr = detectInstr - fireInstr
+		}
+		for _, c := range sys.Cores {
+			r.FaultRetired += c.FaultRetired
+			r.FaultSquashed += c.FaultSquashed
+		}
+	}
+	return r, nil
 }
 
 // Collect gathers a Result from a system after a measurement window.
@@ -227,6 +349,33 @@ func (r Result) Metrics() map[string]float64 {
 		"compare_wait_vocal":  float64(r.CompareWaitVocal),
 		"compare_wait_mute":   float64(r.CompareWaitMute),
 	}
+}
+
+// TrialMetrics extends Metrics with the fault-injection observability of a
+// campaign trial. Digests stay out (float64 cannot hold them losslessly);
+// the campaign records the digest verdict as an outcome label instead.
+func (r Result) TrialMetrics() map[string]float64 {
+	m := r.Metrics()
+	m["fault_armed"] = boolMetric(r.FaultArmed)
+	m["fault_fired"] = boolMetric(r.FaultFired)
+	m["fault_fire_cycle"] = float64(r.FaultFireCycle)
+	m["fault_fire_instr"] = float64(r.FaultFireInstr)
+	m["fault_detected"] = boolMetric(r.FaultDetected)
+	m["detect_latency_cycles"] = float64(r.DetectLatency)
+	m["detect_latency_instrs"] = float64(r.DetectLatencyInstr)
+	m["fault_retired"] = float64(r.FaultRetired)
+	m["fault_squashed"] = float64(r.FaultSquashed)
+	m["trial_complete"] = boolMetric(r.TrialComplete)
+	m["trial_cycles"] = float64(r.TrialCycles)
+	m["unrecoverable"] = boolMetric(r.Unrecoverable)
+	return m
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Comparison is the outcome of a matched-pair normalized-performance

@@ -251,6 +251,24 @@ func (s *System) checkLiveness() {
 	}
 }
 
+// RunUntilDone advances until done (checked once per cycle, before the
+// step) reports true or maxCycles elapse, returning the cycles run and
+// whether done fired. Fault-injection trials use it to run to a committed-
+// instruction boundary under a hard cycle deadline — the kilroy lesson:
+// a campaign trial ends in a terminal outcome or a deadline, never a
+// retry loop.
+func (s *System) RunUntilDone(maxCycles int64, done func() bool) (int64, bool) {
+	start := s.EQ.Now()
+	for s.EQ.Now()-start < maxCycles {
+		if done() {
+			return s.EQ.Now() - start, true
+		}
+		s.Step()
+		s.checkLiveness()
+	}
+	return s.EQ.Now() - start, done()
+}
+
 // RunUntilHalted runs until every core halts or maxCycles elapse. It
 // returns the cycle count and whether all cores halted.
 func (s *System) RunUntilHalted(maxCycles int64) (int64, bool) {
@@ -303,6 +321,85 @@ func (s *System) ResetStats() {
 func (s *System) CoherentWord(addr uint64) (int64, bool) {
 	b := s.msys.DebugRead(mem.BlockAddr(addr))
 	return int64(b[(addr%mem.BlockBytes)/8]), true
+}
+
+// ArmCommitDigests enables the running commit digest on every vocal core,
+// latching each at target committed instructions from now. Call at a
+// measurement boundary (right after ResetStats); the latched digests then
+// cover exactly the next target retirements per logical processor, which
+// is the instruction-precise boundary fault classification compares at.
+func (s *System) ArmCommitDigests(target int64) {
+	for _, c := range s.VocalCores() {
+		c.EnableCommitDigest(target)
+	}
+}
+
+// DigestsDone reports whether every vocal core has latched its commit
+// digest (reached the commit target, or halted).
+func (s *System) DigestsDone() bool {
+	for _, c := range s.VocalCores() {
+		if _, done := c.CommitDigest(); !done {
+			return false
+		}
+	}
+	return true
+}
+
+// CommitDigest folds the vocal cores' latched commit digests into one
+// system-level value. ok is true only when every vocal core latched; a
+// digest compared before then says nothing. Only vocal cores contribute:
+// their retirement defines architectural state, and a recovered mute
+// legitimately differs in timing, not correctness.
+func (s *System) CommitDigest() (digest uint64, ok bool) {
+	digest = 0x5dc0ffee
+	ok = true
+	for _, c := range s.VocalCores() {
+		d, done := c.CommitDigest()
+		if !done {
+			ok = false
+		}
+		digest = sim.Mix64(digest ^ d)
+	}
+	return digest, ok
+}
+
+// ArchDigest hashes the point-in-time architectural state of the system:
+// every vocal core's register file and commit point, plus every dirty
+// line in the vocal L1Ds and the shared cache (dirty lines are the memory
+// state not yet mirrored below; clean lines carry no unique state). All
+// iteration is in deterministic array order, so two runs with identical
+// architectural histories digest identically. Unlike CommitDigest it is
+// comparable across runs only when their timing agrees — use it for
+// snapshots of equal-schedule runs, and CommitDigest for classification
+// at an instruction boundary.
+func (s *System) ArchDigest() uint64 {
+	d := uint64(0xa2c4d16e57)
+	fold := func(x uint64) { d = sim.Mix64(d ^ x) }
+	for _, c := range s.VocalCores() {
+		seq, pc := c.CommitPoint()
+		fold(uint64(seq))
+		fold(uint64(pc))
+		for _, r := range c.ARF() {
+			fold(uint64(r))
+		}
+		c.L1D.Arr.ForEachValid(func(l *cache.Line) {
+			if l.Dirty {
+				fold(l.Block)
+				for _, w := range l.Data {
+					fold(w)
+				}
+			}
+		})
+	}
+	if s.L2 != nil {
+		s.L2.VisitDirty(func(block uint64, data *mem.Block) {
+			fold(block)
+			for _, w := range data {
+				fold(w)
+			}
+		})
+	}
+	return d
 }
 
 // VocalCores returns the cores whose retirement defines each logical
