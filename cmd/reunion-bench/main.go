@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology] [-full]
+//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput] [-full] [-bench-out BENCH_kernel.json]
 //
 // -full uses the paper-scale sampling methodology (3 matched seeds,
 // 100k/50k-cycle windows, 400k-cycle event windows); the default quick
@@ -24,6 +24,8 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	full := flag.Bool("full", false, "paper-scale campaign (slower)")
+	benchOut := flag.String("bench-out", "BENCH_kernel.json",
+		"throughput trajectory file written by -experiment throughput")
 	flag.Parse()
 
 	cfg := reunion.QuickExp(os.Stdout)
@@ -55,6 +57,7 @@ func main() {
 	run("interval", func() error { _, err := cfg.FPIntervalAblation(); return err })
 	run("rob", func() error { _, err := cfg.ROBSweep(); return err })
 	run("topology", func() error { _, err := cfg.TopologyAblation(); return err })
+	run("throughput", func() error { return runThroughput(*full, *benchOut) })
 }
 
 func printConfig() {

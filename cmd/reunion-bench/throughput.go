@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"reunion"
+	"reunion/internal/workload"
+)
+
+// Kernel-throughput benchmark: simulated cycles and committed user
+// instructions per host-second, per paper workload and execution model,
+// under both the naive per-cycle kernel and the quiescence-aware
+// fast-forward kernel. The results go to stdout as a table and to a
+// BENCH_kernel.json trajectory file so successive PRs can track
+// simulator performance (the repo keeps a committed snapshot as the
+// baseline; CI uploads a fresh one per run).
+
+type throughputEntry struct {
+	Workload      string  `json:"workload"`
+	Mode          string  `json:"mode"`
+	Kernel        string  `json:"kernel"`
+	SimCycles     int64   `json:"sim_cycles"`
+	Committed     int64   `json:"committed"`
+	SkippedCycles int64   `json:"skipped_cycles"`
+	HostSeconds   float64 `json:"host_seconds"`
+	KCyclesPerSec float64 `json:"kcycles_per_sec"`
+	KInstrPerSec  float64 `json:"kinstr_per_sec"`
+}
+
+type throughputReport struct {
+	Schema    string             `json:"schema"`
+	Full      bool               `json:"full"`
+	SimCycles int64              `json:"sim_cycles"`
+	Entries   []throughputEntry  `json:"entries"`
+	Speedups  map[string]float64 `json:"speedups"` // workload/mode -> naive/fastforward wall ratio
+}
+
+func runThroughput(full bool, outPath string) error {
+	warm, cycles := int64(20_000), int64(200_000)
+	if full {
+		cycles = 500_000
+	}
+	workloads := []workload.Params{
+		workload.Apache(), workload.OracleOLTP(), workload.DSSQ1(), workload.Ocean(),
+	}
+	modes := []reunion.Mode{reunion.ModeNonRedundant, reunion.ModeReunion}
+	kernels := []reunion.Kernel{reunion.KernelNaive, reunion.KernelFastForward}
+
+	rep := throughputReport{
+		Schema:    "reunion-bench/kernel-throughput/v1",
+		Full:      full,
+		SimCycles: cycles,
+		Speedups:  map[string]float64{},
+	}
+	fmt.Println("Simulator throughput: naive vs fast-forward kernel")
+	fmt.Printf("  %-12s %-14s %-12s %12s %12s %12s %10s\n",
+		"workload", "mode", "kernel", "kcycles/s", "kinstr/s", "skipped", "speedup")
+	for _, p := range workloads {
+		for _, mode := range modes {
+			var wall [2]float64
+			for ki, kern := range kernels {
+				w := p.Build(3, 4)
+				sys := reunion.NewSystem(reunion.DefaultConfig(), mode, w, 3)
+				sys.Kernel = kern
+				sys.Prefill()
+				sys.Run(warm)
+				sys.ResetStats()
+				warmSkipped := sys.Sched.SkippedCycles
+				start := time.Now()
+				sys.Run(cycles)
+				host := time.Since(start).Seconds()
+				wall[ki] = host
+				var committed int64
+				for _, c := range sys.VocalCores() {
+					committed += c.Stats.Committed
+				}
+				e := throughputEntry{
+					Workload:      p.Name,
+					Mode:          mode.String(),
+					Kernel:        kern.String(),
+					SimCycles:     cycles,
+					Committed:     committed,
+					SkippedCycles: sys.Sched.SkippedCycles - warmSkipped,
+					HostSeconds:   host,
+					KCyclesPerSec: float64(cycles) / host / 1e3,
+					KInstrPerSec:  float64(committed) / host / 1e3,
+				}
+				rep.Entries = append(rep.Entries, e)
+				speed := ""
+				if kern == reunion.KernelFastForward && wall[1] > 0 {
+					ratio := wall[0] / wall[1]
+					rep.Speedups[p.Name+"/"+mode.String()] = ratio
+					speed = fmt.Sprintf("%.2fx", ratio)
+				}
+				fmt.Printf("  %-12s %-14s %-12s %12.0f %12.0f %12d %10s\n",
+					p.Name, mode, kern, e.KCyclesPerSec, e.KInstrPerSec, e.SkippedCycles, speed)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

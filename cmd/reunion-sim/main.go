@@ -102,7 +102,7 @@ func main() {
 	fmt.Printf("branch mispredicts  %d\n", res.Mispredicts)
 	fmt.Printf("TLB misses          %d (%.0f /M)\n", res.TLBMisses, res.TLBMissPerM)
 	fmt.Printf("L1D hit rate        %.1f%%\n",
-		100*float64(res.L1DHits)/float64(max64(1, res.L1DHits+res.L1DMisses)))
+		100*float64(res.L1DHits)/float64(max(int64(1), res.L1DHits+res.L1DMisses)))
 	fmt.Printf("L2 hits / misses    %d / %d\n", res.L2Hits, res.L2Misses)
 	fmt.Printf("memory accesses     %d\n", res.MemAccesses)
 	fmt.Printf("avg RUU occupancy   %.1f entries (%.1f in check)\n",
@@ -117,11 +117,4 @@ func main() {
 			res.Recoveries, res.SyncRequests, res.Phase2, res.Failures)
 		fmt.Printf("phantom garbage     %d\n", res.PhantomGarbage)
 	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

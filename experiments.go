@@ -37,6 +37,10 @@ type ExpConfig struct {
 	// experiment matrix (0 = GOMAXPROCS).
 	Parallelism int
 
+	// Kernel selects the simulation kernel for every run in the campaign
+	// (default KernelFastForward; results are bit-identical either way).
+	Kernel Kernel
+
 	// base memoizes non-redundant baseline runs: sweeps reuse the same
 	// baseline across latencies and modes, and the singleflight entries
 	// keep concurrent cells from running the same baseline twice.
@@ -110,9 +114,9 @@ func (c ExpConfig) baseline(o Options) (Result, error) {
 	if o.Config != nil {
 		cfgKey = fmt.Sprintf("%+v", *o.Config)
 	}
-	key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%s",
+	key := fmt.Sprintf("%s|%d|%d|%d|%d|%v|%v|%d|%v|%s",
 		o.Workload.Name, o.Seed, o.WarmCycles, o.MeasureCycles,
-		o.FPInterval, o.TLB, o.Consistency, o.Threads, cfgKey)
+		o.FPInterval, o.TLB, o.Consistency, o.Threads, o.Kernel, cfgKey)
 	return c.base.do(key, func() (Result, error) { return Run(o) })
 }
 
@@ -126,6 +130,7 @@ func (c ExpConfig) runOpts(mode Mode, p workload.Params, seed uint64) Options {
 	return Options{
 		Mode: mode, Workload: p, Seed: seed,
 		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles,
+		Kernel: c.Kernel,
 	}
 }
 
@@ -135,7 +140,8 @@ func (c ExpConfig) runOpts(mode Mode, p workload.Params, seed uint64) Options {
 // model) configure the whole comparison, as in the paper.
 func (c ExpConfig) normalized(p workload.Params, mode Mode, common func(*Options)) (float64, error) {
 	base := Options{Mode: ModeNonRedundant, Workload: p,
-		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles}
+		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles,
+		Kernel: c.Kernel}
 	if common != nil {
 		common(&base)
 	}
@@ -736,6 +742,7 @@ func (c ExpConfig) CoverageExperiment(trialsPerCell int) (*campaign.Report, erro
 		Seed:         c.Seeds[0],
 		WarmCycles:   c.WarmCycles,
 		CommitTarget: target,
+		Kernel:       c.Kernel,
 	}
 	model := campaign.FaultModel{WindowHi: target}
 	eng := campaign.Engine[Options]{

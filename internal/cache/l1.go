@@ -460,6 +460,15 @@ func (c *L1) InstallDirect(block uint64, data *mem.Block, state State) {
 	}
 }
 
+// ResetStats zeroes every counter (measurement-window boundary).
+func (c *L1) ResetStats() {
+	c.Hits, c.Misses, c.MergedMisses = 0, 0, 0
+	c.Fills = 0
+	c.WritebacksSent = 0
+	c.MuteDropsWB = 0
+	c.Retries = 0
+}
+
 // OutstandingMisses reports the number of MSHRs in use.
 func (c *L1) OutstandingMisses() int { return len(c.mshrs) - c.free }
 

@@ -223,6 +223,40 @@ func (l2 *L2) Tick() {
 	}
 }
 
+// QuiesceWake implements sim.Tickable: the controller has work exactly
+// when a bank queue holds a request (arrivals, including internal
+// requeues, land in a bank; everything else — memory completions, reply
+// deliveries — travels through scheduled events).
+func (l2 *L2) QuiesceWake() (int64, bool) {
+	for _, b := range l2.banks {
+		if b.Len() > 0 {
+			return 0, false
+		}
+	}
+	return 0, true
+}
+
+// AccountIdle implements sim.Tickable: the controller keeps no per-cycle
+// counters.
+func (l2 *L2) AccountIdle(int64) {}
+
+// ResetStats zeroes every controller statistic, including bank-queue
+// contention and memory-queue wait (measurement-window boundary).
+func (l2 *L2) ResetStats() {
+	l2.Reads, l2.ReadX, l2.Ifetches = 0, 0, 0
+	l2.HitsL2, l2.MissesL2 = 0, 0
+	l2.Recalls, l2.Invalidations = 0, 0
+	l2.MemAccesses = 0
+	l2.PhantomReqs, l2.PhantomGarbage, l2.PhantomPeeks, l2.PhantomMemReads = 0, 0, 0, 0
+	l2.SyncRequests = 0
+	l2.WritebacksRecv = 0
+	l2.RetriesInternal = 0
+	l2.MemQueueWait = 0
+	for _, b := range l2.banks {
+		b.ResetStats()
+	}
+}
+
 // requeue re-enqueues a request that hit a transient conflict; it will be
 // serviced after everything already queued, which guarantees progress for
 // in-flight notifications it may be waiting on.

@@ -83,6 +83,12 @@ func (g *NonRedundantGate) DeviceRead(c *cpu.Core, addr uint64, n int64) int64 {
 	return deviceValue(g.DevSalt^uint64(c.Pair), addr, n)
 }
 
+// RetireWake implements cpu.Gate: the head retires exactly when its check
+// exposure elapses.
+func (g *NonRedundantGate) RetireWake(_ *cpu.Core, e *cpu.Entry) int64 {
+	return e.OfferedAt + e.ExtraCheck
+}
+
 type decidedInterval struct {
 	endSeq int64
 	at     int64
@@ -179,6 +185,19 @@ func (*StrictGate) SyncIssue(*cpu.Core, uint64, int, bool, func(uint64)) bool {
 // DeviceRead implements cpu.Gate.
 func (g *StrictGate) DeviceRead(c *cpu.Core, addr uint64, n int64) int64 {
 	return deviceValue(g.DevSalt^uint64(c.Pair), addr, n)
+}
+
+// RetireWake implements cpu.Gate: the earliest non-stale pending decision
+// completes at its scheduled cycle; with no pending decision the head
+// waits for a younger instruction to close the interval (other pipeline
+// activity, which ends any fast-forward by itself).
+func (g *StrictGate) RetireWake(_ *cpu.Core, e *cpu.Entry) int64 {
+	for _, d := range g.decided {
+		if e.Seq <= d.endSeq {
+			return d.at
+		}
+	}
+	return 0
 }
 
 // Reset clears gate state after a pipeline squash in tests.

@@ -224,6 +224,10 @@ func (p *Pair) Tick() {
 			if p.gen != gen {
 				return
 			}
+			// Event-context mutation of the cores' retirement state: both
+			// must leave their self-tick short-circuit.
+			p.VocalC.MarkDirty()
+			p.MuteC.MarkDirty()
 			if !match {
 				p.recover()
 				return
@@ -255,6 +259,28 @@ func (p *Pair) Tick() {
 		p.recover()
 	}
 }
+
+// QuiesceWake implements sim.Tickable. After a Tick the matching loop has
+// drained at least one side, so the only remaining self-driven work is
+// the divergence watchdog: with one side lonely and the stamp taken, the
+// forced recovery fires at a known cycle. A fresh send since the last
+// Tick (either side) means matching or stamping work remains next cycle.
+func (p *Pair) QuiesceWake() (int64, bool) {
+	v, m := len(p.sides[0].sent) > 0, len(p.sides[1].sent) > 0
+	switch {
+	case v && m:
+		return 0, false // unmatched sends on both sides: match next tick
+	case v != m && p.lonelySince >= 0:
+		return p.lonelySince + p.Timeout + 1, true
+	case v != m:
+		return 0, false // lonely but not yet stamped: tick to stamp
+	}
+	return 0, true
+}
+
+// AccountIdle implements sim.Tickable: the pair keeps no per-cycle
+// counters.
+func (p *Pair) AccountIdle(int64) {}
 
 // recover performs rollback recovery (Definition 8) and arms the
 // re-execution protocol (Definition 11). Called at fingerprint mismatch,
@@ -354,6 +380,13 @@ func (p *Pair) FinalizeReady(c *cpu.Core, e *cpu.Entry) bool {
 	}
 	return true
 }
+
+// RetireWake implements cpu.Gate: pair retirement is purely
+// event-driven. Decisions are appended by the comparison event at its
+// own fire cycle (their `at` is never in the future), and that event
+// marks both cores dirty — so an offered head blocked on an undecided
+// interval has no self-wake to report.
+func (p *Pair) RetireWake(*cpu.Core, *cpu.Entry) int64 { return 0 }
 
 // Stepping implements cpu.Gate.
 func (p *Pair) Stepping(*cpu.Core) bool { return p.stepping }

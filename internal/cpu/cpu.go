@@ -135,6 +135,14 @@ type Entry struct {
 	// Synchronizing-request bookkeeping (re-execution protocol).
 	syncIssued bool
 
+	// pollStamp is the core's execStamp value when this dispatched entry
+	// last failed to issue for a reason only another state change can
+	// cure (operands pending, memory disambiguation). While the stamp is
+	// unchanged the issue stage skips the entry without re-polling — the
+	// entry has no combinational work. Never consulted under the
+	// poll-every-cycle (naive) kernel.
+	pollStamp int64
+
 	// Check-stage state.
 	Serializing bool  // ISA- or consistency-model-serializing
 	IntervalID  int64 // comparison interval this entry belongs to
@@ -210,6 +218,14 @@ type Gate interface {
 	// device read at addr for this logical processor (replicated so both
 	// members of a pair observe identical device values).
 	DeviceRead(c *Core, addr uint64, n int64) int64
+	// RetireWake reports the earliest future cycle at which FinalizeReady
+	// for the (currently not-ready) head entry could turn true purely by
+	// time passing — a pending comparison decision's completion cycle, or
+	// the check-latency expiry. 0 means retirement waits on a scheduled
+	// event or on other pipeline activity, either of which wakes the core
+	// through the kernel anyway. Queried only after a Tick in which the
+	// head did not retire, so gate-internal decision queues are settled.
+	RetireWake(c *Core, e *Entry) int64
 }
 
 // Core is one simulated processor core.
@@ -301,6 +317,35 @@ type Core struct {
 	loadsThisCycle  int
 	storesThisCycle int
 
+	// Quiescence tracking for the fast-forward kernel (see QuiesceWake).
+	// progress marks any state change during the current Tick; a
+	// volatileStall is a structural blocker that can clear by itself next
+	// cycle (issue width, a cache port, an L1 retry), so the core must
+	// keep ticking. idleSerStalls and idleSBFull record the per-cycle stat
+	// increments a fully stalled core still accrues; AccountIdle replays
+	// them for skipped cycles. execStamp counts state changes (it
+	// increments with every progress mark), versioning the entry-level
+	// pollStamp memo in the issue stage. pollEvery disables that memo,
+	// restoring the naive kernel's poll-everything issue loop.
+	progress      bool
+	volatileStall bool
+	idleSerStalls int64
+	idleSBFull    int64
+	execStamp     int64
+	pollEvery     bool
+
+	// Self-tick short-circuit (fast-forward kernel): after a tick with no
+	// progress and no volatile blocker, selfQuiet latches with selfWake
+	// (the earliest time-triggered work, 0 = event-driven only). While
+	// quiet, not dirty, and before the wake cycle, Tick reduces to the
+	// idle accounting a full quiescent tick would perform. dirty is set
+	// by every event-context callback that touches core state (cache
+	// fills, store-drain completions, pair comparison decisions, squash/
+	// recovery, fault arming) and forces the next Tick to run in full.
+	dirty     bool
+	selfQuiet bool
+	selfWake  int64
+
 	// devCount numbers committed device reads; unlike Stats it is never
 	// reset, so the replicated device values of a pair stay aligned across
 	// measurement boundaries.
@@ -330,8 +375,29 @@ func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
 	c.fetchPC = th.Entry
 	c.commitPC = th.Entry
 	c.faultSeq = -1
+	c.execStamp = 1 // fresh entries (pollStamp 0) always evaluate once
 	return c
 }
+
+// SetPollEveryCycle selects the issue-stage polling policy: true restores
+// the naive kernel's re-poll-every-entry-every-cycle loop; false (the
+// fast-forward kernel) skips dispatched entries whose blocking condition
+// cannot have changed since they were last evaluated. Both policies are
+// bit-identical in every architectural and statistical outcome.
+func (c *Core) SetPollEveryCycle(poll bool) { c.pollEvery = poll }
+
+// noteProgress records a state change in the current Tick: the core is
+// not quiescent, and any issue-stage skip memo is invalidated.
+func (c *Core) noteProgress() {
+	c.progress = true
+	c.execStamp++
+}
+
+// MarkDirty invalidates the core's self-tick short-circuit. Every
+// event-context mutation of core-visible state must call it (directly or
+// through the closures the core registers); a missed mark would leave
+// the core asleep on work the naive kernel would have seen.
+func (c *Core) MarkDirty() { c.dirty = true }
 
 // ARF returns a copy of the committed architectural register file.
 func (c *Core) ARF() [isa.NumRegs]int64 { return c.arf }
@@ -370,7 +436,7 @@ func (c *Core) head() *Entry {
 // flipped before fingerprinting. Because the flip happens before
 // retirement, detection-and-recovery machinery must catch it for the
 // program to stay architecturally correct.
-func (c *Core) ArmFault(b uint) { c.faultArmed, c.faultBit = true, b%64 }
+func (c *Core) ArmFault(b uint) { c.faultArmed, c.faultBit, c.dirty = true, b%64, true }
 
 // FaultPending reports whether an armed fault has not yet fired.
 func (c *Core) FaultPending() bool { return c.faultArmed }
@@ -381,6 +447,7 @@ func (c *Core) FaultPending() bool { return c.faultArmed }
 func (c *Core) DisarmFault() bool {
 	pending := c.faultArmed
 	c.faultArmed = false
+	c.dirty = true
 	return pending
 }
 
@@ -389,6 +456,7 @@ func (c *Core) DisarmFault() bool {
 // boundary (alongside stats reset); the digest then covers exactly the
 // next target retirements.
 func (c *Core) EnableCommitDigest(target int64) {
+	c.dirty = true
 	c.digestOn = true
 	c.digestCount = 0
 	c.digestTarget = target

@@ -7,14 +7,29 @@ import (
 
 // Tick advances the core by one cycle. Stages run back-to-front so an
 // instruction moves at most one stage per cycle.
+//
+// Under the fast-forward kernel a core that proved itself quiescent on
+// its previous full tick — and has not been dirtied by an event or
+// reached its self-wake cycle since — short-circuits to the idle
+// accounting a full quiescent tick would perform. This is what makes a
+// one-active-core phase cheap: the stalled cores tick in O(1) instead of
+// re-scanning their windows.
 func (c *Core) Tick() {
 	if c.halted {
 		return
 	}
+	if c.selfQuiet && !c.pollEvery && !c.dirty &&
+		(c.selfWake == 0 || c.EQ.Now() < c.selfWake) {
+		c.AccountIdle(1)
+		return
+	}
+	c.dirty = false
 	c.Stats.Cycles++
 	c.Stats.ROBOccupancy += int64(c.robCount)
 	c.Stats.CheckOccupancy += int64(c.offerIdx)
 	c.loadsThisCycle, c.storesThisCycle = 0, 0
+	c.progress, c.volatileStall = false, false
+	c.idleSerStalls, c.idleSBFull = 0, 0
 
 	c.finalize()
 	c.offer()
@@ -23,6 +38,11 @@ func (c *Core) Tick() {
 	c.drainSB()
 	c.dispatch()
 	c.fetch()
+
+	c.selfQuiet = !c.progress && !c.volatileStall
+	if c.selfQuiet {
+		c.selfWake = c.computeWake()
+	}
 }
 
 // --- fetch ----------------------------------------------------------------
@@ -54,18 +74,22 @@ func (c *Core) fetch() {
 		if !c.haveIBlock || block != c.curIBlock {
 			epoch := c.fetchEpoch
 			switch c.L1I.Ifetch(block, func() {
+				c.dirty = true
 				if c.fetchEpoch == epoch {
 					c.icacheWait = false
 				}
 			}) {
 			case cacheRetry:
+				c.volatileStall = true
 				return
 			case cacheMiss:
 				c.icacheWait = true
+				c.noteProgress()
 				return
 			}
 			c.curIBlock = block
 			c.haveIBlock = true
+			c.noteProgress()
 		}
 		slot := fqSlot{seq: c.fetchSeq, pc: c.fetchPC, in: in, readyAt: now + c.Cfg.FrontDepth}
 		taken := false
@@ -91,6 +115,7 @@ func (c *Core) fetch() {
 		}
 		c.fq = append(c.fq, slot)
 		c.fetchSeq++
+		c.noteProgress()
 		if in.Op == isa.Halt {
 			c.fetchHalted = true
 			return
@@ -125,10 +150,12 @@ func (c *Core) dispatch() {
 		slot := c.fq[0]
 		if slot.in.IsStore() && !c.sbHasRoom() {
 			c.Stats.SBFullStalls++
+			c.idleSBFull++
 			return
 		}
 		copy(c.fq, c.fq[1:])
 		c.fq = c.fq[:len(c.fq)-1]
+		c.noteProgress()
 
 		idx := c.robIdx(c.robCount)
 		e := &c.rob[idx]
@@ -225,19 +252,32 @@ func (c *Core) issue() {
 	now := c.EQ.Now()
 	fence := c.serializeFence()
 	issued := 0
+	idx := c.robHead
 	for i := 0; i < c.robCount && issued < c.Cfg.IssueWidth; i++ {
-		idx := c.robIdx(i)
 		e := &c.rob[idx]
+		cur := idx
+		if idx++; idx == len(c.rob) {
+			idx = 0
+		}
 		if fence >= 0 && e.Seq > fence {
 			break // nothing younger than an unretired serializing instr executes
 		}
 		if e.state != stDispatched {
 			continue
 		}
+		// Combinational-work memo (fast-forward kernel): an entry that
+		// failed to issue for a reason only another state change can cure
+		// is skipped — without re-polling operands — until the core's
+		// state actually changes. Serializing entries are exempt: their
+		// ready-but-stalled state accrues a per-cycle statistic below.
+		if !c.pollEvery && !e.Serializing && e.pollStamp == c.execStamp {
+			continue
+		}
 		c.pollSource(&e.src1, &e.src1Rob, &e.src1Seq, e.src1Reg, &e.src1Ready)
 		c.pollSource(&e.src2, &e.src2Rob, &e.src2Seq, e.src2Reg, &e.src2Ready)
 		c.pollSource(&e.src3, &e.src3Rob, &e.src3Seq, e.src3Reg, &e.src3Ready)
 		if !e.src1Ready || !e.src2Ready || !e.src3Ready {
+			e.pollStamp = c.execStamp
 			continue
 		}
 		if e.Serializing {
@@ -246,11 +286,18 @@ func (c *Core) issue() {
 			// non-speculative store buffer drained.
 			if e.Seq != c.commitSeq || c.sbNonspecCount() > 0 {
 				c.Stats.IssueStallSer++
+				c.idleSerStalls++
 				continue
 			}
 		}
-		if c.execute(idx, e, now) {
+		switch c.execute(cur, e, now) {
+		case execOK:
 			issued++
+			c.noteProgress()
+		case execQuiet:
+			e.pollStamp = c.execStamp
+		case execVolatile:
+			c.volatileStall = true
 		}
 	}
 }
@@ -267,9 +314,22 @@ func (c *Core) sbNonspecCount() int {
 
 func (c *Core) sbSpecCount() int { return len(c.sb) - c.sbNonspecCount() }
 
-// execute begins execution of a ready entry. Returns true if it consumed
-// an issue slot.
-func (c *Core) execute(idx int, e *Entry, now int64) bool {
+// execResult classifies an execute attempt for the issue stage.
+type execResult uint8
+
+const (
+	// execOK: the entry consumed an issue slot and began execution.
+	execOK execResult = iota
+	// execQuiet: blocked on a condition only another state change can
+	// cure (memory disambiguation); skip until the core's state changes.
+	execQuiet
+	// execVolatile: blocked on a per-cycle structural resource (a cache
+	// port or an L1 retry); must be re-attempted next cycle.
+	execVolatile
+)
+
+// execute begins execution of a ready entry.
+func (c *Core) execute(idx int, e *Entry, now int64) execResult {
 	in := e.In
 	switch {
 	case in.IsBranch():
@@ -295,14 +355,14 @@ func (c *Core) execute(idx int, e *Entry, now int64) bool {
 			c.BP.Mispredicts++
 			c.squashYounger(e)
 		}
-		return true
+		return execOK
 
 	case in.IsLoad():
 		return c.executeLoad(idx, e, now)
 
 	case in.IsStore():
 		if c.storesThisCycle >= c.Cfg.L1StorePorts {
-			return false
+			return execVolatile
 		}
 		addr := uint64(e.src1 + in.Imm)
 		e.EA = addr
@@ -318,7 +378,7 @@ func (c *Core) execute(idx int, e *Entry, now int64) bool {
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+1, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 
 	case in.IsAtomic():
 		return c.executeAtomic(idx, e, now)
@@ -327,7 +387,7 @@ func (c *Core) execute(idx int, e *Entry, now int64) bool {
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+c.Cfg.TrapLatency, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 
 	case in.Op == isa.DevLd:
 		addr := uint64(e.src1 + in.Imm)
@@ -336,31 +396,31 @@ func (c *Core) execute(idx int, e *Entry, now int64) bool {
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+c.Cfg.DevLatency, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 
 	case in.Op == isa.DevSt:
 		e.EA = uint64(e.src1 + in.Imm)
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+c.Cfg.DevLatency, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 
 	case in.Op == isa.Membar, in.Op == isa.Nop, in.Op == isa.Halt:
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+1, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 
 	default: // ALU
 		e.Result = in.ALUResult(e.src1, e.src2)
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+in.ExecLatency(), true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 	}
 }
 
-func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
+func (c *Core) executeLoad(idx int, e *Entry, now int64) execResult {
 	addr := uint64(e.src1 + e.In.Imm)
 	e.EA = addr
 	block := mem.BlockAddr(addr)
@@ -376,7 +436,9 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
 			break
 		}
 		if !s.addrReady {
-			return false
+			// An older store's address is pending; only that store's
+			// execution (a state change) can unblock this load.
+			return execQuiet
 		}
 		if s.block == block && s.word == word {
 			youngest = i
@@ -387,11 +449,11 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+1, true
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 	}
 
 	if c.loadsThisCycle >= c.Cfg.L1LoadPorts {
-		return false
+		return execVolatile
 	}
 
 	// Re-execution protocol: the first load after rollback issues a
@@ -399,23 +461,25 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
 	if c.Gate.SyncArmed(c) && !e.syncIssued {
 		sseq, sepoch := e.Seq, e.Epoch
 		if !c.Gate.SyncIssue(c, block, word, false, func(v uint64) {
+			c.dirty = true
 			if ee := &c.rob[idx]; ee.Seq == sseq && ee.Epoch == sepoch && ee.state == stIssued {
 				ee.Result = int64(v)
 				ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
 			}
 		}) {
-			return false
+			return execVolatile
 		}
 		e.syncIssued = true
 		e.state = stIssued
 		e.hasDoneAt = false
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 	}
 
 	c.loadsThisCycle++
 	seq, epoch := e.Seq, e.Epoch
 	status, val := c.L1D.Load(block, word, func(v uint64) {
+		c.dirty = true
 		if ee := &c.rob[idx]; ee.Seq == seq && ee.Epoch == epoch && ee.state == stIssued {
 			ee.Result = int64(v)
 			ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
@@ -432,12 +496,12 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) bool {
 		e.hasDoneAt = false
 		c.inExec = append(c.inExec, idx)
 	case cacheRetry:
-		return false
+		return execVolatile
 	}
-	return true
+	return execOK
 }
 
-func (c *Core) executeAtomic(idx int, e *Entry, now int64) bool {
+func (c *Core) executeAtomic(idx int, e *Entry, now int64) execResult {
 	addr := uint64(e.src1)
 	e.EA = addr
 	block := mem.BlockAddr(addr)
@@ -445,6 +509,7 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) bool {
 
 	seq, epoch := e.Seq, e.Epoch
 	finish := func(old uint64) {
+		c.dirty = true
 		ee := &c.rob[idx]
 		if ee.Seq != seq || ee.Epoch != epoch {
 			// Squashed mid-flight: release the lock the fill just took.
@@ -461,13 +526,13 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) bool {
 	// rollback uses the synchronizing request (Definition 11).
 	if c.Gate.SyncArmed(c) && !e.syncIssued {
 		if !c.Gate.SyncIssue(c, block, word, true, finish) {
-			return false
+			return execVolatile
 		}
 		e.syncIssued = true
 		e.state = stIssued
 		e.hasDoneAt = false
 		c.inExec = append(c.inExec, idx)
-		return true
+		return execOK
 	}
 
 	status, old := c.L1D.AtomicBegin(block, word, finish)
@@ -484,9 +549,9 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) bool {
 		e.hasDoneAt = false
 		c.inExec = append(c.inExec, idx)
 	case cacheRetry:
-		return false
+		return execVolatile
 	}
-	return true
+	return execOK
 }
 
 // completeExec moves executing entries whose latency elapsed to Done.
@@ -500,6 +565,7 @@ func (c *Core) completeExec() {
 		}
 		if e.hasDoneAt && e.doneAt <= now {
 			e.state = stDone
+			c.noteProgress()
 			continue
 		}
 		out = append(out, idx)
@@ -531,6 +597,7 @@ func (c *Core) drainSB() {
 	c.storesThisCycle++
 	seq := s.seq
 	complete := func() {
+		c.dirty = true
 		if len(c.sb) == 0 || c.sb[0].seq != seq {
 			panic("cpu: store buffer drained out of order")
 		}
@@ -541,11 +608,14 @@ func (c *Core) drainSB() {
 	switch c.L1D.Store(s.block, s.word, s.data, complete) {
 	case cacheHit:
 		complete()
+		c.noteProgress()
 	case cacheMiss:
 		s.draining = true
 		c.sbDraining = true
+		c.noteProgress()
 	case cacheRetry:
 		// try again next cycle
+		c.volatileStall = true
 	}
 }
 

@@ -85,6 +85,7 @@ func (c *Core) offer() {
 		e.state = stOffered
 		e.OfferedAt = now
 		c.offerIdx++
+		c.noteProgress()
 		c.Gate.Offer(c, e, send, fp)
 	}
 }
@@ -94,6 +95,7 @@ func (c *Core) flushInterval(endSeq int64) {
 	if c.intervalCount == 0 {
 		return
 	}
+	c.noteProgress()
 	fp := c.fpGen.Value()
 	c.fpGen.Reset()
 	c.intervalCount = 0
@@ -122,6 +124,9 @@ func (c *Core) checkTLB(e *Entry, now int64) bool {
 		// instructions compared and retired.
 		return false
 	}
+	// Past the software-handler stall check, the entry's TLB state mutates
+	// exactly once (tlbChecked latches below).
+	c.noteProgress()
 	misses := 0
 	if !c.ITLB.Access(ipage) {
 		c.Stats.ITLBMisses++
@@ -173,6 +178,7 @@ func (c *Core) finalize() {
 		if !c.Gate.FinalizeReady(c, e) {
 			return
 		}
+		c.noteProgress()
 		in := e.In
 		if in.WritesReg() && in.Rd != 0 {
 			c.arf[in.Rd] = e.Result
@@ -296,6 +302,7 @@ func (c *Core) rebuildRename() {
 // state) is preserved and continues draining. Used by rollback recovery
 // (Definition 8).
 func (c *Core) SquashAll() {
+	c.dirty = true // invoked from recovery (event context)
 	for i := 0; i < c.robCount; i++ {
 		c.rob[c.robIdx(i)].state = stFree
 	}

@@ -85,3 +85,7 @@ func (b *BankQueue) Pop(now int64) Item {
 
 // Len returns the current queue depth.
 func (b *BankQueue) Len() int { return len(b.q) }
+
+// ResetStats zeroes the contention counters (measurement-window
+// boundary).
+func (b *BankQueue) ResetStats() { b.Arrivals, b.TotalWait, b.MaxDepth = 0, 0, 0 }

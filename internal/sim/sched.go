@@ -1,0 +1,135 @@
+package sim
+
+// Tickable is a clocked component registered with the Scheduler. The tick
+// contract has three parts:
+//
+//   - Tick advances the component by one cycle. Ticks happen in
+//     registration order, after every event due at the new cycle has
+//     fired.
+//   - QuiesceWake is queried immediately after a Tick. quiet reports that
+//     re-ticking the component — with no intervening event and no activity
+//     from any other component — would change nothing beyond the per-cycle
+//     idle accounting declared via AccountIdle. wake, when positive, is
+//     the earliest future cycle at which the component needs a tick on its
+//     own (a known latency expiring: an execution completing, a TLB walk
+//     finishing, a divergence watchdog deadline). wake == 0 means the
+//     component is purely event-driven: only a scheduled event (or another
+//     component's activity) can give it work.
+//   - AccountIdle(n) applies the accounting n skipped quiescent cycles
+//     would have accrued under per-cycle ticking (cycle counters, occupancy
+//     integrals, stall counters that increment while blocked). It is
+//     called only for cycles the Scheduler proved quiescent, so the rates
+//     observed by the last real Tick are exact.
+//
+// A component may always report quiet=false; that only costs performance.
+// Reporting quiet=true when a tick would have changed state breaks the
+// cycle-exact equivalence between the fast-forward and naive kernels.
+type Tickable interface {
+	Tick()
+	QuiesceWake() (wake int64, quiet bool)
+	AccountIdle(cycles int64)
+}
+
+// Scheduler owns the simulation clock and the registered tickable
+// components. It offers exactly one stepping primitive (Step: fire due
+// events, tick everything) plus FastForward, which jumps the clock over
+// provably idle cycles in one move. A driver that never calls FastForward
+// gets the classic poll-everything kernel; one that calls it after every
+// Step gets the quiescence-aware kernel. Both produce bit-identical
+// simulations.
+type Scheduler struct {
+	eq    *EventQueue
+	comps []Tickable
+
+	// Steps counts real per-cycle steps; FastForwards counts jumps and
+	// SkippedCycles the idle cycles they elided. simulated cycles =
+	// Steps + SkippedCycles.
+	Steps         int64
+	FastForwards  int64
+	SkippedCycles int64
+}
+
+// NewScheduler builds a scheduler over the given event queue.
+func NewScheduler(eq *EventQueue) *Scheduler { return &Scheduler{eq: eq} }
+
+// Register appends a component to the tick order. Registration order is
+// the per-cycle tick order and must not change mid-simulation.
+func (s *Scheduler) Register(c Tickable) { s.comps = append(s.comps, c) }
+
+// Now returns the current cycle.
+func (s *Scheduler) Now() int64 { return s.eq.Now() }
+
+// Step advances one cycle: the clock moves to now+1, every event due at or
+// before the new cycle fires in deterministic order, then every component
+// ticks in registration order.
+func (s *Scheduler) Step() {
+	s.eq.Advance(s.eq.Now() + 1)
+	for _, c := range s.comps {
+		c.Tick()
+	}
+	s.Steps++
+}
+
+// FastForward jumps the clock over idle cycles when every component is
+// quiescent. The jump target is the earliest of: the next scheduled event,
+// every component's self-wake cycle, and limit (an external deadline the
+// caller must observe per-cycle, e.g. a run window boundary or the
+// liveness watchdog). The clock lands on target-1, so the caller's next
+// Step performs the target cycle exactly as the naive kernel would have.
+// Skipped cycles receive their idle accounting via AccountIdle. Returns
+// the number of cycles skipped (0 when any component still has work).
+func (s *Scheduler) FastForward(limit int64) int64 {
+	now := s.eq.Now()
+	if limit <= now+1 {
+		return 0
+	}
+	target := limit
+	for _, c := range s.comps {
+		wake, quiet := c.QuiesceWake()
+		if !quiet {
+			return 0
+		}
+		if wake > now && wake < target {
+			target = wake
+		}
+	}
+	if at, ok := s.eq.NextAt(); ok && at < target {
+		target = at
+	}
+	skip := target - 1 - now
+	if skip <= 0 {
+		return 0
+	}
+	for _, c := range s.comps {
+		c.AccountIdle(skip)
+	}
+	// No event lies in (now, now+skip] by construction of target, so this
+	// advance only moves the clock.
+	s.eq.Advance(now + skip)
+	s.FastForwards++
+	s.SkippedCycles += skip
+	return skip
+}
+
+// Periodic schedules fn to run at every positive multiple of every cycles
+// (the first firing is the next multiple strictly after now). Because the
+// firing is a scheduled event, FastForward can never jump across a
+// boundary — this is how per-cycle modulo checks (external interrupts,
+// deadlines) become event-driven. The returned cancel stops future
+// firings.
+func (s *Scheduler) Periodic(every int64, fn func()) (cancel func()) {
+	if every <= 0 {
+		panic("sim: Periodic with non-positive interval")
+	}
+	stopped := false
+	var fire func()
+	fire = func() {
+		if stopped {
+			return
+		}
+		fn()
+		s.eq.At(s.eq.Now()+every, fire)
+	}
+	s.eq.At((s.eq.Now()/every+1)*every, fire)
+	return func() { stopped = true }
+}

@@ -84,6 +84,15 @@ func (q *EventQueue) Advance(cycle int64) {
 // Pending reports the number of scheduled events not yet fired.
 func (q *EventQueue) Pending() int { return len(q.h) }
 
+// NextAt reports the cycle of the earliest pending event, if any. The
+// quiescence-aware kernel uses it to pick a fast-forward target.
+func (q *EventQueue) NextAt() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
 // Rand is a SplitMix64 PRNG: tiny, fast, seedable, and fully deterministic.
 // It backs workload generation and any randomized choice in the simulator.
 type Rand struct{ state uint64 }

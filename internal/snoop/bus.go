@@ -135,6 +135,32 @@ func (b *Bus) Tick() {
 	}
 }
 
+// QuiesceWake implements sim.Tickable: the bus has work exactly when its
+// queue holds a transaction (memory completions and reply deliveries
+// travel through scheduled events).
+func (b *Bus) QuiesceWake() (int64, bool) {
+	return 0, b.q.Len() == 0
+}
+
+// AccountIdle implements sim.Tickable: the bus keeps no per-cycle
+// counters.
+func (b *Bus) AccountIdle(int64) {}
+
+// ResetStats zeroes every bus statistic, including queue contention and
+// memory-queue wait (measurement-window boundary).
+func (b *Bus) ResetStats() {
+	b.Transactions = 0
+	b.Reads, b.ReadX, b.Ifetches = 0, 0, 0
+	b.SnoopHits = 0
+	b.MemAccesses = 0
+	b.WritebacksRecv = 0
+	b.PhantomReqs, b.PhantomGarbage, b.PhantomPeeks, b.PhantomMemReads = 0, 0, 0, 0
+	b.SyncRequests = 0
+	b.Retries = 0
+	b.MemQueueWait = 0
+	b.q.ResetStats()
+}
+
 func (b *Bus) requeue(r *cache.Req) {
 	b.Retries++
 	b.q.Push(b.eq.Now(), r)

@@ -359,10 +359,3 @@ func (p Params) emitTransaction(b *program.Builder, u int) {
 		b.Label(skip)
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -41,6 +41,11 @@ type Options struct {
 	NoPrefill bool
 	// Config optionally overrides the whole machine configuration.
 	Config *Config
+	// Kernel selects the simulation kernel (default KernelFastForward).
+	// Both kernels are bit-identical in results; KernelNaive ticks every
+	// component every cycle and exists for A/B verification and as a
+	// reference for new tickable components.
+	Kernel Kernel
 
 	// Inject arms one precise single-shot fault (fault-injection campaign
 	// trials): bit Inject.Bit of the next register-writing result entering
@@ -168,6 +173,7 @@ func Run(o Options) (Result, error) {
 
 	w := o.Workload.Build(o.Seed, o.Threads)
 	sys := NewSystem(cfg, o.Mode, w, o.Seed)
+	sys.Kernel = o.Kernel
 	if !o.NoPrefill {
 		sys.Prefill()
 	}

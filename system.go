@@ -16,13 +16,39 @@ import (
 )
 
 // memorySystem is the surface both topologies (directory L2 and snoopy
-// bus) provide to the system.
+// bus) provide to the system: the L1s' downstream port, the scheduler's
+// tick/quiescence contract, and stats management.
 type memorySystem interface {
 	cache.Below
-	Tick()
+	sim.Tickable
 	RegisterL1D(core int, c *cache.L1)
 	CancelSync(pair int, minToken int64)
 	DebugRead(block uint64) mem.Block
+	ResetStats()
+}
+
+// Kernel selects the simulation kernel.
+type Kernel uint8
+
+// Kernels. Both are cycle-exact and bit-identical in every architectural
+// and statistical outcome; they differ only in wall-clock cost.
+const (
+	// KernelFastForward (the default) is the quiescence-aware kernel:
+	// when every component reports itself quiescent, the clock jumps in
+	// one move to the next scheduled event, component wake cycle, or
+	// deadline instead of polling every component every cycle.
+	KernelFastForward Kernel = iota
+	// KernelNaive ticks every component on every cycle (the reference
+	// kernel the A/B equivalence tests compare against).
+	KernelNaive
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	if k == KernelNaive {
+		return "naive"
+	}
+	return "fastforward"
 }
 
 // System is one assembled CMP simulation: memory image, memory-system
@@ -34,13 +60,17 @@ type System struct {
 	Mode Mode
 
 	EQ    *sim.EventQueue
-	Mem   *mem.Memory
-	L2    *coherence.L2 // directory topology (nil under TopologySnoopy)
-	Bus   *snoop.Bus    // snoopy topology (nil under TopologyDirectory)
-	msys  memorySystem
-	Cores []*cpu.Core
-	Pairs []*core.Pair // ModeReunion only
-	W     *workload.Workload
+	Sched *sim.Scheduler
+	// Kernel selects the simulation kernel (default KernelFastForward).
+	// Set it before the first Run; both kernels are bit-identical.
+	Kernel Kernel
+	Mem    *mem.Memory
+	L2     *coherence.L2 // directory topology (nil under TopologySnoopy)
+	Bus    *snoop.Bus    // snoopy topology (nil under TopologyDirectory)
+	msys   memorySystem
+	Cores  []*cpu.Core
+	Pairs  []*core.Pair // ModeReunion only
+	W      *workload.Workload
 
 	gates []core.InterruptSink
 
@@ -52,8 +82,20 @@ type System struct {
 	// InterruptCost is the handler service time in cycles.
 	InterruptCost int64
 
-	watchLast  int64
-	watchCount int64
+	// Interrupt delivery runs as a periodic scheduled event (so the
+	// fast-forward kernel can never jump across a boundary); intArmed is
+	// the interval the event was armed with, re-armed when the public
+	// field changes between runs.
+	intArmed  int64
+	intCancel func()
+
+	// Liveness watchdog (see checkLiveness).
+	watchLast   int64
+	watchSince  int64
+	watchHalted bool
+
+	appliedKernel Kernel
+	kernelApplied bool
 }
 
 // NewSystem builds a system running the given workload under the given
@@ -75,7 +117,7 @@ func NewSystem(cfg Config, mode Mode, w *workload.Workload, seed uint64) *System
 	case TopologySnoopy:
 		s.Bus = snoop.NewBus(snoop.Config{
 			SnoopLatency: cfg.SnoopLatency,
-			BusPerCycle:  maxInt(1, numCores/4),
+			BusPerCycle:  max(1, numCores/4),
 			MemLatency:   cfg.L2.MemLatency,
 			MemBanks:     cfg.L2.MemBanks,
 			MemBankBusy:  cfg.L2.MemBankBusy,
@@ -87,7 +129,7 @@ func NewSystem(cfg Config, mode Mode, w *workload.Workload, seed uint64) *System
 		// On-chip cache bandwidth scales in proportion with the number of
 		// cores (paper §5).
 		l2cfg := cfg.L2
-		l2cfg.PortsPerBank = maxInt(1, numCores/l2cfg.Banks)
+		l2cfg.PortsPerBank = max(1, numCores/l2cfg.Banks)
 		s.L2 = coherence.NewL2(l2cfg, s.EQ, s.Mem, numCores)
 		s.msys = s.L2
 	}
@@ -131,6 +173,17 @@ func NewSystem(cfg Config, mode Mode, w *workload.Workload, seed uint64) *System
 	default:
 		panic("reunion: unknown mode")
 	}
+	// Kernel tick order: memory system, pair gates, cores — the order the
+	// original per-cycle loop used. Registration order is the per-cycle
+	// semantics, so it must not change.
+	s.Sched = sim.NewScheduler(s.EQ)
+	s.Sched.Register(s.msys)
+	for _, p := range s.Pairs {
+		s.Sched.Register(p)
+	}
+	for _, c := range s.Cores {
+		s.Sched.Register(c)
+	}
 	return s
 }
 
@@ -152,13 +205,6 @@ func (s *System) InterruptsServiced() int64 {
 		n += g.InterruptsServiced()
 	}
 	return n
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Prefill emulates launching from a checkpoint with warmed caches: the
@@ -190,11 +236,23 @@ func (s *System) Prefill() {
 	}
 }
 
-// Step advances the simulation by one cycle.
-func (s *System) Step() {
-	next := s.EQ.Now() + 1
-	s.EQ.Advance(next)
-	if s.InterruptEvery > 0 && next%s.InterruptEvery == 0 {
+// armInterrupts (re)installs the periodic interrupt-delivery event when
+// the public InterruptEvery field changed since the last arming. The
+// boundary is a scheduled event, not a per-cycle modulo check, so the
+// fast-forward kernel can never jump across it.
+func (s *System) armInterrupts() {
+	if s.InterruptEvery == s.intArmed {
+		return
+	}
+	if s.intCancel != nil {
+		s.intCancel()
+		s.intCancel = nil
+	}
+	s.intArmed = s.InterruptEvery
+	if s.InterruptEvery <= 0 {
+		return
+	}
+	s.intCancel = s.Sched.Periodic(s.InterruptEvery, func() {
 		cost := s.InterruptCost
 		if cost <= 0 {
 			cost = 150
@@ -202,14 +260,37 @@ func (s *System) Step() {
 		for _, g := range s.gates {
 			g.RaiseInterrupt(cost)
 		}
+	})
+}
+
+// Step advances the simulation by exactly one cycle: due events fire,
+// then every component ticks. This is the shared per-cycle contract of
+// both kernels; the Run methods additionally fast-forward between steps
+// under KernelFastForward.
+func (s *System) Step() {
+	s.armInterrupts()
+	if !s.kernelApplied || s.appliedKernel != s.Kernel {
+		s.kernelApplied, s.appliedKernel = true, s.Kernel
+		for _, c := range s.Cores {
+			c.SetPollEveryCycle(s.Kernel == KernelNaive)
+		}
 	}
-	s.msys.Tick()
-	for _, p := range s.Pairs {
-		p.Tick()
+	s.Sched.Step()
+}
+
+// fastForward jumps over provably idle cycles (KernelFastForward only),
+// bounded by limit and by the liveness watchdog's deadline so a wedged
+// simulation still panics at exactly the cycle the naive kernel would.
+func (s *System) fastForward(limit int64) {
+	if s.Kernel == KernelNaive {
+		return
 	}
-	for _, c := range s.Cores {
-		c.Tick()
+	if !s.watchHalted {
+		if d := s.watchSince + livenessWindow + 1; d < limit {
+			limit = d
+		}
 	}
+	s.Sched.FastForward(limit)
 }
 
 // Run advances the simulation by n cycles (with a liveness watchdog: the
@@ -217,14 +298,17 @@ func (s *System) Step() {
 // committing; a stall of 500k cycles indicates a simulator bug and
 // panics with the pipeline state).
 func (s *System) Run(n int64) {
-	for i := int64(0); i < n; i++ {
+	limit := s.EQ.Now() + n
+	for s.EQ.Now() < limit {
 		s.Step()
 		s.checkLiveness()
+		s.fastForward(limit)
 	}
 }
 
+const livenessWindow = 500_000
+
 func (s *System) checkLiveness() {
-	const window = 500_000
 	var total int64
 	halted := true
 	for _, c := range s.Cores {
@@ -233,17 +317,17 @@ func (s *System) checkLiveness() {
 			halted = false
 		}
 	}
+	s.watchHalted = halted
 	if halted {
 		return
 	}
 	if total != s.watchLast {
 		s.watchLast = total
-		s.watchCount = 0
+		s.watchSince = s.EQ.Now()
 		return
 	}
-	s.watchCount++
-	if s.watchCount > window {
-		msg := fmt.Sprintf("reunion: no commit in %d cycles at cycle %d\n", int64(window), s.EQ.Now())
+	if s.EQ.Now()-s.watchSince > livenessWindow {
+		msg := fmt.Sprintf("reunion: no commit in %d cycles at cycle %d\n", int64(livenessWindow), s.EQ.Now())
 		for _, c := range s.Cores {
 			msg += c.DumpState() + "\n"
 		}
@@ -253,18 +337,26 @@ func (s *System) checkLiveness() {
 
 // RunUntilDone advances until done (checked once per cycle, before the
 // step) reports true or maxCycles elapse, returning the cycles run and
-// whether done fired. Fault-injection trials use it to run to a committed-
-// instruction boundary under a hard cycle deadline — the kilroy lesson:
-// a campaign trial ends in a terminal outcome or a deadline, never a
-// retry loop.
+// whether done fired. done must be a pure predicate of simulation state
+// (the fast-forward kernel evaluates it less often than once per cycle,
+// which is equivalent exactly because skipped cycles change no state).
+// Fault-injection trials use it to run to a committed-instruction
+// boundary under a hard cycle deadline — the kilroy lesson: a campaign
+// trial ends in a terminal outcome or a deadline, never a retry loop.
 func (s *System) RunUntilDone(maxCycles int64, done func() bool) (int64, bool) {
 	start := s.EQ.Now()
-	for s.EQ.Now()-start < maxCycles {
+	limit := start + maxCycles
+	for s.EQ.Now() < limit {
 		if done() {
 			return s.EQ.Now() - start, true
 		}
 		s.Step()
 		s.checkLiveness()
+		// The fast-forward kernel must not jump past a cycle where done
+		// already holds, or the returned cycle count would overshoot.
+		if s.Kernel != KernelNaive && s.EQ.Now() < limit && !done() {
+			s.fastForward(limit)
+		}
 	}
 	return s.EQ.Now() - start, done()
 }
@@ -273,19 +365,14 @@ func (s *System) RunUntilDone(maxCycles int64, done func() bool) (int64, bool) {
 // returns the cycle count and whether all cores halted.
 func (s *System) RunUntilHalted(maxCycles int64) (int64, bool) {
 	start := s.EQ.Now()
-	for s.EQ.Now()-start < maxCycles {
+	limit := start + maxCycles
+	for s.EQ.Now() < limit {
 		s.Step()
 		s.checkLiveness()
-		halted := true
-		for _, c := range s.Cores {
-			if !c.Halted() {
-				halted = false
-				break
-			}
-		}
-		if halted {
+		if s.watchHalted {
 			return s.EQ.Now() - start, true
 		}
+		s.fastForward(limit)
 	}
 	return s.EQ.Now() - start, false
 }
@@ -300,18 +387,23 @@ func (s *System) Failed() bool {
 	return false
 }
 
-// ResetStats zeroes every statistic counter (measurement boundary).
+// ResetStats zeroes every statistic counter (measurement boundary):
+// core, TLB and L1 counters, pair execution-model counters, and the
+// memory system's (shared-cache/bus hit, miss, queue and phantom
+// counters — without this the warmup window would bleed into the
+// measured L2/bus statistics).
 func (s *System) ResetStats() {
 	for _, c := range s.Cores {
 		c.Stats = cpu.Stats{}
 		c.ITLB.ResetStats()
 		c.DTLB.ResetStats()
-		c.L1D.Hits, c.L1D.Misses, c.L1D.MergedMisses, c.L1D.Fills = 0, 0, 0, 0
-		c.L1I.Hits, c.L1I.Misses, c.L1I.MergedMisses, c.L1I.Fills = 0, 0, 0, 0
+		c.L1D.ResetStats()
+		c.L1I.ResetStats()
 	}
 	for _, p := range s.Pairs {
 		p.Stats = core.PairStats{}
 	}
+	s.msys.ResetStats()
 }
 
 // CoherentWord returns the coherent architectural value of the 8-byte
