@@ -1,0 +1,248 @@
+package reunion
+
+import (
+	"fmt"
+	"sync"
+
+	"reunion/internal/coherence"
+	"reunion/internal/core"
+	"reunion/internal/cpu"
+	"reunion/internal/mem"
+	"reunion/internal/sim"
+	"reunion/internal/snoop"
+)
+
+// Checkpoint is a deep copy of a System's complete mutable state: the
+// event queue (clock, pending events), scheduler counters, backing
+// memory, every core pipeline with its private caches/TLBs/predictor,
+// the execution-model gates, the memory-system topology (directory L2 or
+// snoopy bus), the liveness watchdog, and the interrupt-delivery chain.
+//
+// A Checkpoint restores only onto the System it was taken from: pending
+// events and in-flight requests hold callbacks into that system's
+// component objects, and Restore rewrites those objects' state in place
+// so the callbacks replay exactly. Restore after arbitrary further
+// execution (a fault trial, a different measurement window) yields a
+// machine bit-identical to the moment of Snapshot — the invariant the
+// snapshot equivalence tests prove.
+//
+// Not captured: the optional trace ring's contents (observability, not
+// simulation state — a restored run re-records its events) and the
+// OnFault* observer hooks' *own* state (the hook function values are
+// restored, so per-trial wrappers installed after a snapshot are
+// unwound).
+type Checkpoint struct {
+	owner *System
+
+	eq     sim.EventQueueState
+	sched  sim.SchedulerState
+	mem    *mem.MemoryState
+	cores  []*cpu.CoreState
+	pairs  []*core.PairState
+	nr     []*core.NonRedundantGateState
+	strict []*core.StrictGateState
+	l2     *coherence.L2State
+	bus    *snoop.BusState
+
+	kernel        Kernel
+	appliedKernel Kernel
+	kernelApplied bool
+
+	interruptEvery, interruptCost int64
+	intArmed, intGen              int64
+
+	watchLast, watchSince int64
+	watchHalted           bool
+}
+
+// Snapshot captures the complete machine state. It is read-only — a run
+// that snapshots and continues is bit-identical to one that never
+// snapshotted — and may be taken at any cycle, including with memory
+// responses, comparison decisions, and interrupt boundaries in flight.
+func (s *System) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		owner: s,
+		eq:    s.EQ.Snapshot(),
+		sched: s.Sched.Snapshot(),
+		mem:   s.Mem.Snapshot(),
+
+		kernel:        s.Kernel,
+		appliedKernel: s.appliedKernel,
+		kernelApplied: s.kernelApplied,
+
+		interruptEvery: s.InterruptEvery,
+		interruptCost:  s.InterruptCost,
+		intArmed:       s.intArmed,
+		intGen:         s.intGen,
+
+		watchLast:   s.watchLast,
+		watchSince:  s.watchSince,
+		watchHalted: s.watchHalted,
+	}
+	for _, c := range s.Cores {
+		cp.cores = append(cp.cores, c.Snapshot())
+	}
+	for _, p := range s.Pairs {
+		cp.pairs = append(cp.pairs, p.Snapshot())
+	}
+	if len(s.Pairs) == 0 {
+		for _, g := range s.gates {
+			switch g := g.(type) {
+			case *core.NonRedundantGate:
+				cp.nr = append(cp.nr, g.Snapshot())
+			case *core.StrictGate:
+				cp.strict = append(cp.strict, g.Snapshot())
+			}
+		}
+	}
+	if s.L2 != nil {
+		cp.l2 = s.L2.Snapshot()
+	}
+	if s.Bus != nil {
+		cp.bus = s.Bus.Snapshot()
+	}
+	return cp
+}
+
+// Restore rewrites the system's state from a checkpoint taken on this
+// same system, rewinding the clock, the pending-event set, and every
+// component to the snapshotted cycle. A checkpoint restores any number
+// of times; each restored run re-executes bit-identically.
+func (s *System) Restore(cp *Checkpoint) {
+	if cp.owner != s {
+		panic("reunion: Restore with a checkpoint from a different System")
+	}
+	s.EQ.Restore(cp.eq)
+	s.Sched.Restore(cp.sched)
+	s.Mem.Restore(cp.mem)
+	for i, c := range s.Cores {
+		c.Restore(cp.cores[i])
+	}
+	for i, p := range s.Pairs {
+		p.Restore(cp.pairs[i])
+	}
+	if len(s.Pairs) == 0 {
+		ni, si := 0, 0
+		for _, g := range s.gates {
+			switch g := g.(type) {
+			case *core.NonRedundantGate:
+				g.Restore(cp.nr[ni])
+				ni++
+			case *core.StrictGate:
+				g.Restore(cp.strict[si])
+				si++
+			}
+		}
+	}
+	if s.L2 != nil {
+		s.L2.Restore(cp.l2)
+	}
+	if s.Bus != nil {
+		s.Bus.Restore(cp.bus)
+	}
+
+	s.Kernel = cp.kernel
+	s.appliedKernel = cp.appliedKernel
+	s.kernelApplied = cp.kernelApplied
+
+	s.InterruptEvery = cp.interruptEvery
+	s.InterruptCost = cp.interruptCost
+	s.intArmed = cp.intArmed
+	s.intGen = cp.intGen
+
+	s.watchLast = cp.watchLast
+	s.watchSince = cp.watchSince
+	s.watchHalted = cp.watchHalted
+}
+
+// WarmCache reuses checkpointed warm state across measured runs (see
+// Options.Warm). Entries are keyed by the snapshot-invariant axes — every
+// option that shapes the simulation from construction through the warmup
+// window: mode, workload profile, thread count, seed, comparison latency,
+// phantom strength, TLB discipline, consistency model, fingerprint
+// interval, warm window, prefill, machine config, and kernel. Options
+// that only shape the measurement phase (measure window, commit target,
+// trial deadline, injection) are deliberately excluded: runs differing
+// only there share one warmed system, restoring its checkpoint instead of
+// re-warming from cycle 0 — the dominant host-time cost of a
+// fault-injection campaign, where hundreds of trials share one cell's
+// warm state.
+type WarmCache struct {
+	mu sync.Mutex
+	m  map[string]*warmEntry
+
+	// maxEntries bounds the resident warmed systems (each holds a full
+	// machine image). At the cap, runs with new keys fall back to fresh
+	// warmup without caching — results are identical either way.
+	maxEntries int
+}
+
+type warmEntry struct {
+	mu   sync.Mutex
+	init bool
+	sys  *System
+	cp   *Checkpoint
+}
+
+// NewWarmCache returns an empty warm-state cache safe for concurrent use.
+// The default capacity keeps a few dozen warmed machines resident — sized
+// for a campaign's cell matrix; a full machine image is tens of MB.
+func NewWarmCache() *WarmCache {
+	return &WarmCache{m: make(map[string]*warmEntry), maxEntries: 32}
+}
+
+// warmKey fingerprints every option the warm phase depends on. It must
+// include anything that changes the machine, the program, or the warmup
+// execution — a missed field would let two differing configurations share
+// warm state and silently diverge from their straight-through runs.
+func warmKey(o Options) string {
+	cfgKey := ""
+	if o.Config != nil {
+		cfgKey = fmt.Sprintf("%+v", *o.Config)
+	}
+	return fmt.Sprintf("%v|%+v|%d|%d|%d|%v|%v|%v|%d|%d|%v|%v|%s",
+		o.Mode, o.Workload, o.Threads, o.Seed, o.CompareLatency,
+		o.Phantom, o.TLB, o.Consistency, o.FPInterval, o.WarmCycles,
+		o.NoPrefill, o.Kernel, cfgKey)
+}
+
+// run serves one measured run from the cache: the first run for a key
+// warms and snapshots, later runs restore. The entry stays locked through
+// the measurement phase (one system, single-threaded), so runs sharing
+// warm state serialize while distinct keys proceed in parallel.
+func (w *WarmCache) run(o Options) (Result, error) {
+	e := w.entry(warmKey(o))
+	if e == nil {
+		return measure(warmSystem(o), o) // cache full: fresh, uncached run
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		// Mark the entry initialized only once the snapshot exists: if
+		// warmup panics (e.g. the liveness watchdog), the next run for the
+		// key must retry the warmup — and hit the original diagnostic —
+		// rather than restore from a half-built entry.
+		e.sys = warmSystem(o)
+		e.cp = e.sys.Snapshot()
+		e.init = true
+	} else {
+		e.sys.Restore(e.cp)
+	}
+	return measure(e.sys, o)
+}
+
+// entry returns the (possibly new) entry for a key, or nil when the cache
+// is at capacity and the key is new.
+func (w *WarmCache) entry(key string) *warmEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.m[key]
+	if !ok {
+		if len(w.m) >= w.maxEntries {
+			return nil
+		}
+		e = &warmEntry{}
+		w.m[key] = e
+	}
+	return e
+}

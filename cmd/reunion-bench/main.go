@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput] [-full] [-bench-out BENCH_kernel.json]
+//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput|snapshot] [-full] [-bench-out BENCH_kernel.json] [-snapshot-out BENCH_snapshot.json]
 //
 // -full uses the paper-scale sampling methodology (3 matched seeds,
 // 100k/50k-cycle windows, 400k-cycle event windows); the default quick
@@ -26,6 +26,8 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale campaign (slower)")
 	benchOut := flag.String("bench-out", "BENCH_kernel.json",
 		"throughput trajectory file written by -experiment throughput")
+	snapOut := flag.String("snapshot-out", "BENCH_snapshot.json",
+		"warm-reuse trajectory file written by -experiment snapshot")
 	flag.Parse()
 
 	cfg := reunion.QuickExp(os.Stdout)
@@ -58,6 +60,7 @@ func main() {
 	run("rob", func() error { _, err := cfg.ROBSweep(); return err })
 	run("topology", func() error { _, err := cfg.TopologyAblation(); return err })
 	run("throughput", func() error { return runThroughput(*full, *benchOut) })
+	run("snapshot", func() error { return runSnapshot(*full, *snapOut) })
 }
 
 func printConfig() {

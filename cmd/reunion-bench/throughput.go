@@ -67,8 +67,7 @@ func runThroughput(full bool, outPath string) error {
 				sys.Kernel = kern
 				sys.Prefill()
 				sys.Run(warm)
-				sys.ResetStats()
-				warmSkipped := sys.Sched.SkippedCycles
+				sys.ResetStats() // also zeroes the scheduler's skip/jump counters
 				start := time.Now()
 				sys.Run(cycles)
 				host := time.Since(start).Seconds()
@@ -83,7 +82,7 @@ func runThroughput(full bool, outPath string) error {
 					Kernel:        kern.String(),
 					SimCycles:     cycles,
 					Committed:     committed,
-					SkippedCycles: sys.Sched.SkippedCycles - warmSkipped,
+					SkippedCycles: sys.Sched.SkippedCycles,
 					HostSeconds:   host,
 					KCyclesPerSec: float64(cycles) / host / 1e3,
 					KInstrPerSec:  float64(committed) / host / 1e3,

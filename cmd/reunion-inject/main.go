@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -39,6 +40,14 @@ import (
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
+
+// warnOut receives axis-flag warnings (tests capture it).
+var warnOut io.Writer = os.Stderr
+
+// dedupe warns about and drops duplicate axis values (sweep.Dedupe).
+func dedupe[V comparable](axis string, vals []V, format func(V) string) []V {
+	return sweep.Dedupe(warnOut, "inject", axis, vals, format)
+}
 
 func main() {
 	trials := flag.Int("trials", 200, "total trial budget, split evenly across cells (min 1 per cell)")
@@ -202,6 +211,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 			return spec, fmt.Errorf("unknown mode %q", name)
 		}
 	}
+	ms = dedupe("mode", ms, reunion.Mode.String)
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
 		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
 
@@ -218,6 +228,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 			return spec, fmt.Errorf("unknown phantom strength %q", name)
 		}
 	}
+	phs = dedupe("phantom", phs, reunion.Phantom.String)
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
 		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
 
@@ -229,6 +240,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 		}
 		sds = append(sds, v)
 	}
+	sds = dedupe("seed", sds, func(s uint64) string { return strconv.FormatUint(s, 10) })
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("seed", sds,
 		func(s uint64) string { return strconv.FormatUint(s, 10) },
 		func(o *reunion.Options, s uint64) { o.Seed = s }))
@@ -245,6 +257,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 			ps = append(ps, p)
 		}
 	}
+	ps = dedupe("workload", ps, func(p workload.Params) string { return p.Name })
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("workload", ps,
 		func(p workload.Params) string { return p.Name },
 		func(o *reunion.Options, p workload.Params) { o.Workload = p }))

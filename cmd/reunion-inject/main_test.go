@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The campaign flag parsers must reject malformed input and deduplicate
+// repeated axis values (e.g. -seeds 1,1 would run every cell's trials
+// twice and skew the coverage averages).
+
+func captureWarnings(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	old := warnOut
+	warnOut = &buf
+	t.Cleanup(func() { warnOut = old })
+	return &buf
+}
+
+func TestBuildSpecDedupesAxisValues(t *testing.T) {
+	warnings := captureWarnings(t)
+	spec, err := buildSpec("reunion,reunion", "apache,apache,ocean", "global,global",
+		"1,1,2", "0-63", "", 1000, 500, 60000, 40, 0xfa017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mode {reunion} × phantom {global} × seed {1,2} × workload {apache,ocean}
+	if got, want := spec.Matrix.Size(), 1*1*2*2; got != want {
+		t.Errorf("matrix size %d, want %d", got, want)
+	}
+	if got, want := spec.Trials, 40/4; got != want {
+		t.Errorf("trials per cell %d, want %d", got, want)
+	}
+	for _, axis := range []string{"mode", "phantom", "seed", "workload"} {
+		if !strings.Contains(warnings.String(), "duplicate "+axis) {
+			t.Errorf("no duplicate warning for axis %s in %q", axis, warnings.String())
+		}
+	}
+}
+
+func TestBuildSpecRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name                                            string
+		modes, workloads, phantoms, seeds, bits, window string
+	}{
+		{"mode", "warp", "apache", "global", "1", "0-63", ""},
+		{"strict mode", "strict", "apache", "global", "1", "0-63", ""},
+		{"workload", "reunion", "nope", "global", "1", "0-63", ""},
+		{"phantom", "reunion", "apache", "ghost", "1", "0-63", ""},
+		{"seed", "reunion", "apache", "global", "x", "0-63", ""},
+		{"bits", "reunion", "apache", "global", "1", "63-0", ""},
+		{"window", "reunion", "apache", "global", "1", "0-63", "50-10"},
+	}
+	for _, c := range cases {
+		if _, err := buildSpec(c.modes, c.workloads, c.phantoms, c.seeds, c.bits,
+			c.window, 1000, 500, 60000, 40, 1); err == nil {
+			t.Errorf("%s: bad value accepted", c.name)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange("3-9", 0, 63)
+	if err != nil || lo != 3 || hi != 9 {
+		t.Fatalf("parseRange(3-9) = %d,%d,%v", lo, hi, err)
+	}
+	lo, hi, err = parseRange("5", 0, 63)
+	if err != nil || lo != 5 || hi != 5 {
+		t.Fatalf("parseRange(5) = %d,%d,%v", lo, hi, err)
+	}
+	lo, hi, err = parseRange("", 2, 7)
+	if err != nil || lo != 2 || hi != 7 {
+		t.Fatalf("parseRange(\"\") = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := parseRange("9-3", 0, 63); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}

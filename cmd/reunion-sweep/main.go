@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +36,14 @@ import (
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
+
+// warnOut receives axis-flag warnings (tests capture it).
+var warnOut io.Writer = os.Stderr
+
+// dedupe warns about and drops duplicate axis values (sweep.Dedupe).
+func dedupe[V comparable](axis string, vals []V, format func(V) string) []V {
+	return sweep.Dedupe(warnOut, "sweep", axis, vals, format)
+}
 
 func main() {
 	modes := flag.String("modes", "non-redundant,strict,reunion", "execution models to sweep (csv)")
@@ -153,6 +162,11 @@ func main() {
 // the enumeration (and output) order: workload, mode, latency, phantom,
 // tlb, consistency, interval, seed.
 func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, intervals, seeds string, warm, measure int64) (sweep.Spec[reunion.Options], error) {
+	// No reunion.WarmCache here: every axis of this matrix shapes the
+	// warmup itself, so no two cells could share a warm checkpoint —
+	// caching would only pin warmed machines in memory. The caches live
+	// where reuse is real: reunion-inject's per-cell trials and the
+	// reunion-bench experiment campaigns.
 	spec := sweep.Spec[reunion.Options]{
 		Name: "paper-matrix",
 		Base: reunion.Options{WarmCycles: warm, MeasureCycles: measure},
@@ -170,6 +184,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			ps = append(ps, p)
 		}
 	}
+	ps = dedupe("workload", ps, func(p workload.Params) string { return p.Name })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("workload", ps,
 		func(p workload.Params) string { return p.Name },
 		func(o *reunion.Options, p workload.Params) { o.Workload = p }))
@@ -187,6 +202,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			return spec, fmt.Errorf("unknown mode %q", name)
 		}
 	}
+	ms = dedupe("mode", ms, reunion.Mode.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
 		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
 
@@ -194,6 +210,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 	if err != nil {
 		return spec, fmt.Errorf("latencies: %w", err)
 	}
+	lats = dedupe("latency", lats, func(l int64) string { return strconv.FormatInt(l, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("latency", lats,
 		func(l int64) string { return strconv.FormatInt(l, 10) },
 		func(o *reunion.Options, l int64) {
@@ -216,6 +233,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			return spec, fmt.Errorf("unknown phantom strength %q", name)
 		}
 	}
+	phs = dedupe("phantom", phs, reunion.Phantom.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
 		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
 
@@ -230,6 +248,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			return spec, fmt.Errorf("unknown TLB discipline %q", name)
 		}
 	}
+	ts = dedupe("tlb", ts, reunion.TLBMode.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("tlb", ts, reunion.TLBMode.String,
 		func(o *reunion.Options, m reunion.TLBMode) { o.TLB = m }))
 
@@ -244,6 +263,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			return spec, fmt.Errorf("unknown consistency model %q", name)
 		}
 	}
+	cs = dedupe("consistency", cs, reunion.ConsistencyName)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("consistency", cs, reunion.ConsistencyName,
 		func(o *reunion.Options, m reunion.Consistency) { o.Consistency = m }))
 
@@ -251,6 +271,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 	if err != nil {
 		return spec, fmt.Errorf("intervals: %w", err)
 	}
+	ivs = dedupe("interval", ivs, func(iv int64) string { return strconv.FormatInt(iv, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("interval", ivs,
 		func(iv int64) string { return strconv.FormatInt(iv, 10) },
 		func(o *reunion.Options, iv int64) { o.FPInterval = int(iv) }))
@@ -259,6 +280,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 	if err != nil {
 		return spec, fmt.Errorf("seeds: %w", err)
 	}
+	sds = dedupe("seed", sds, func(s uint64) string { return strconv.FormatUint(s, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("seed", sds,
 		func(s uint64) string { return strconv.FormatUint(s, 10) },
 		func(o *reunion.Options, s uint64) { o.Seed = s }))

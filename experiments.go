@@ -45,6 +45,12 @@ type ExpConfig struct {
 	// baseline across latencies and modes, and the singleflight entries
 	// keep concurrent cells from running the same baseline twice.
 	base *memo[Result]
+
+	// warm is the campaign-wide checkpointed warm-state cache: cells that
+	// differ only in measurement-phase knobs (window length, commit
+	// target, injection) restore a shared warm snapshot instead of
+	// re-warming from cycle 0. Results are bit-identical either way.
+	warm *WarmCache
 }
 
 // QuickExp returns a campaign sized for CI and `go test -bench`.
@@ -56,6 +62,7 @@ func QuickExp(out io.Writer) ExpConfig {
 		Table3Cycles:  120_000,
 		Out:           out,
 		base:          newMemo[Result](),
+		warm:          NewWarmCache(),
 	}
 }
 
@@ -68,6 +75,7 @@ func FullExp(out io.Writer) ExpConfig {
 		Table3Cycles:  400_000,
 		Out:           out,
 		base:          newMemo[Result](),
+		warm:          NewWarmCache(),
 	}
 }
 
@@ -130,7 +138,7 @@ func (c ExpConfig) runOpts(mode Mode, p workload.Params, seed uint64) Options {
 	return Options{
 		Mode: mode, Workload: p, Seed: seed,
 		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles,
-		Kernel: c.Kernel,
+		Kernel: c.Kernel, Warm: c.warm,
 	}
 }
 
@@ -141,7 +149,7 @@ func (c ExpConfig) runOpts(mode Mode, p workload.Params, seed uint64) Options {
 func (c ExpConfig) normalized(p workload.Params, mode Mode, common func(*Options)) (float64, error) {
 	base := Options{Mode: ModeNonRedundant, Workload: p,
 		WarmCycles: c.WarmCycles, MeasureCycles: c.MeasureCycles,
-		Kernel: c.Kernel}
+		Kernel: c.Kernel, Warm: c.warm}
 	if common != nil {
 		common(&base)
 	}

@@ -52,14 +52,22 @@ func trialKey(o Options) string {
 // comparing against a memoized golden run of the same cell. The returned
 // function is safe for concurrent use across trials; golden runs are
 // computed once per cell behind a singleflight.
+//
+// Warm state is checkpointed per cell and shared campaign-wide: the
+// golden run warms the cell's system once and snapshots it at the
+// measurement boundary, and every injected trial of that cell restores
+// the snapshot instead of re-warming from cycle 0 — bit-identical
+// classification, several times less host time.
 func TrialRunner(model campaign.FaultModel) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 	golden := newMemo[Result]()
+	warm := NewWarmCache()
 	return func(_ context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 		o := cell.Config
 		if o.CommitTarget <= 0 {
 			o.CommitTarget = DefaultCommitTarget
 		}
 		o.Inject = nil
+		o.Warm = warm
 		g, err := golden.do(trialKey(o), func() (Result, error) {
 			r, err := Run(o)
 			if err == nil && !r.DigestOK {

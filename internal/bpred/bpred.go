@@ -49,6 +49,32 @@ func (p *Predictor) Predict(pc int64) (taken bool, target int64, targetValid boo
 	return taken, 0, false
 }
 
+// PredictorState is a checkpoint of the predictor tables and counters.
+type PredictorState struct {
+	counters             []uint8
+	btbTags              []uint64
+	btbTargets           []int64
+	lookups, mispredicts int64
+}
+
+// Snapshot captures the predictor state. Read-only.
+func (p *Predictor) Snapshot() *PredictorState {
+	return &PredictorState{
+		counters:   append([]uint8(nil), p.counters...),
+		btbTags:    append([]uint64(nil), p.btbTags...),
+		btbTargets: append([]int64(nil), p.btbTargets...),
+		lookups:    p.Lookups, mispredicts: p.Mispredicts,
+	}
+}
+
+// Restore rewrites the predictor from a snapshot.
+func (p *Predictor) Restore(s *PredictorState) {
+	copy(p.counters, s.counters)
+	copy(p.btbTags, s.btbTags)
+	copy(p.btbTargets, s.btbTargets)
+	p.Lookups, p.Mispredicts = s.lookups, s.mispredicts
+}
+
 // Update trains the predictor with the resolved outcome.
 func (p *Predictor) Update(pc int64, taken bool, target int64, conditional bool) {
 	if conditional {

@@ -200,3 +200,46 @@ func (a *Array) ForEachValid(fn func(*Line)) {
 		}
 	}
 }
+
+// ArrayState is a checkpoint of the array: the LRU clock and a sparse
+// copy of the valid lines (flat index = set*ways + way). Invalid lines
+// carry no state the replacement policy or lookups can observe, so only
+// valid lines are stored — which keeps a checkpoint of a mostly-empty
+// shared cache small.
+type ArrayState struct {
+	tick  int64
+	idx   []int32
+	lines []Line
+}
+
+// Snapshot captures the array contents. Read-only.
+func (a *Array) Snapshot() ArrayState {
+	s := ArrayState{tick: a.tick}
+	flat := int32(0)
+	for si := range a.sets {
+		for wi := range a.sets[si] {
+			if l := &a.sets[si][wi]; l.State != Invalid {
+				s.idx = append(s.idx, flat)
+				s.lines = append(s.lines, *l)
+			}
+			flat++
+		}
+	}
+	return s
+}
+
+// Restore rewrites the array from a snapshot: every line is invalidated,
+// then the snapshotted valid lines are written back into their exact
+// ways. The backing storage is reused, so *Line pointers taken before the
+// snapshot keep pointing at the restored lines.
+func (a *Array) Restore(s ArrayState) {
+	a.tick = s.tick
+	for si := range a.sets {
+		for wi := range a.sets[si] {
+			a.sets[si][wi] = Line{}
+		}
+	}
+	for i, flat := range s.idx {
+		a.sets[int(flat)/a.ways][int(flat)%a.ways] = s.lines[i]
+	}
+}

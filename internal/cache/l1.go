@@ -472,6 +472,55 @@ func (c *L1) ResetStats() {
 // OutstandingMisses reports the number of MSHRs in use.
 func (c *L1) OutstandingMisses() int { return len(c.mshrs) - c.free }
 
+// L1State is a checkpoint of the cache: array contents, MSHRs (waiter
+// callbacks are shared — they capture only values and the cache/core
+// pointers, whose state is itself checkpointed), and statistics.
+type L1State struct {
+	arr   ArrayState
+	mshrs []mshr
+	free  int
+
+	hits, misses, merged int64
+	fills                int64
+	wbSent               int64
+	muteDrops            int64
+	retries              int64
+}
+
+// Snapshot captures the cache state. Read-only.
+func (c *L1) Snapshot() *L1State {
+	s := &L1State{
+		arr:   c.Arr.Snapshot(),
+		mshrs: append([]mshr(nil), c.mshrs...),
+		free:  c.free,
+		hits:  c.Hits, misses: c.Misses, merged: c.MergedMisses,
+		fills: c.Fills, wbSent: c.WritebacksSent, muteDrops: c.MuteDropsWB,
+		retries: c.Retries,
+	}
+	for i := range s.mshrs {
+		s.mshrs[i].waiters = append([]mshrWaiter(nil), s.mshrs[i].waiters...)
+	}
+	return s
+}
+
+// Restore rewrites the cache from a snapshot. MSHR slots keep their
+// backing array (outstanding-fill callbacks find their MSHR by block, not
+// by pointer, but identity costs nothing to preserve); waiter slices are
+// copied out so post-restore appends never touch the snapshot.
+func (c *L1) Restore(s *L1State) {
+	c.Arr.Restore(s.arr)
+	copy(c.mshrs, s.mshrs)
+	for i := range c.mshrs {
+		c.mshrs[i].waiters = append([]mshrWaiter(nil), s.mshrs[i].waiters...)
+	}
+	c.free = s.free
+	c.Hits, c.Misses, c.MergedMisses = s.hits, s.misses, s.merged
+	c.Fills = s.fills
+	c.WritebacksSent = s.wbSent
+	c.MuteDropsWB = s.muteDrops
+	c.Retries = s.retries
+}
+
 // HasPendingFill reports whether a miss for block is outstanding (the
 // shared cache controller uses this to distinguish an in-flight fill from
 // a silently evicted clean line when its directory looks stale).

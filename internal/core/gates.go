@@ -30,6 +30,10 @@ type InterruptSink interface {
 	RaiseInterrupt(cost int64)
 	// InterruptsServiced reports how many interrupts have been charged.
 	InterruptsServiced() int64
+	// ResetInterruptStats zeroes the interrupts-serviced counter at a
+	// measurement boundary. A pending-but-unserviced interrupt is live
+	// state, not a statistic, and survives the reset.
+	ResetInterruptStats()
 }
 
 // NonRedundantGate retires instructions as soon as they pass check entry:
@@ -61,6 +65,9 @@ func (g *NonRedundantGate) RaiseInterrupt(cost int64) { g.intPending += cost }
 
 // InterruptsServiced implements InterruptSink.
 func (g *NonRedundantGate) InterruptsServiced() int64 { return g.intServiced }
+
+// ResetInterruptStats implements InterruptSink.
+func (g *NonRedundantGate) ResetInterruptStats() { g.intServiced = 0 }
 
 // FinalizeReady implements cpu.Gate.
 func (g *NonRedundantGate) FinalizeReady(_ *cpu.Core, e *cpu.Entry) bool {
@@ -122,6 +129,9 @@ func (g *StrictGate) RaiseInterrupt(cost int64) { g.intPending += cost }
 
 // InterruptsServiced implements InterruptSink.
 func (g *StrictGate) InterruptsServiced() int64 { return g.intServiced }
+
+// ResetInterruptStats implements InterruptSink.
+func (g *StrictGate) ResetInterruptStats() { g.intServiced = 0 }
 
 // Offer implements cpu.Gate: an interval's comparison completes a full
 // comparison latency after it is sent (plus any software-TLB-handler

@@ -116,6 +116,9 @@ func (p *Pair) RaiseInterrupt(cost int64) { p.intPending += cost }
 // InterruptsServiced implements InterruptSink.
 func (p *Pair) InterruptsServiced() int64 { return p.intServiced }
 
+// ResetInterruptStats implements InterruptSink.
+func (p *Pair) ResetInterruptStats() { p.intServiced = 0 }
+
 // NewPair wires a vocal and mute core into a logical processor pair.
 // Call Bind afterwards (or let the system do it) to install the gate.
 func NewPair(id int, eq *sim.EventQueue, l2 SyncTarget, lat, timeout int64, devSalt uint64) *Pair {

@@ -1,0 +1,67 @@
+package core
+
+// Checkpoint support for the execution-model gates (see the reunion
+// package's System.Snapshot). Snapshots are shallow struct copies plus
+// deep copies of slice fields; Restore writes the copy back into the same
+// object, preserving the core/EQ/controller pointers, and re-copies the
+// slices so one snapshot restores any number of times.
+//
+// The comparison-decision events a Pair scheduled before a snapshot are
+// restored by the system alongside the event queue; their closures
+// capture the pair pointer plus value copies (gen guard, end seqs, match
+// verdict), so they replay exactly against the restored pair state.
+
+// PairState is a checkpoint of a pair's execution-model state.
+type PairState struct {
+	pair Pair // shallow copy; side slices fixed up below
+}
+
+// Snapshot captures the pair state. Read-only.
+func (p *Pair) Snapshot() *PairState {
+	s := &PairState{pair: *p}
+	for i := range s.pair.sides {
+		s.pair.sides[i].sent = append([]sentInterval(nil), p.sides[i].sent...)
+		s.pair.sides[i].decided = append([]decidedInterval(nil), p.sides[i].decided...)
+	}
+	return s
+}
+
+// Restore rewrites the pair from a snapshot.
+func (p *Pair) Restore(s *PairState) {
+	*p = s.pair
+	for i := range p.sides {
+		p.sides[i].sent = append([]sentInterval(nil), s.pair.sides[i].sent...)
+		p.sides[i].decided = append([]decidedInterval(nil), s.pair.sides[i].decided...)
+	}
+}
+
+// NonRedundantGateState is a checkpoint of the non-redundant gate.
+type NonRedundantGateState struct {
+	gate NonRedundantGate
+}
+
+// Snapshot captures the gate state. Read-only.
+func (g *NonRedundantGate) Snapshot() *NonRedundantGateState {
+	return &NonRedundantGateState{gate: *g}
+}
+
+// Restore rewrites the gate from a snapshot.
+func (g *NonRedundantGate) Restore(s *NonRedundantGateState) { *g = s.gate }
+
+// StrictGateState is a checkpoint of the strict-input-replication gate.
+type StrictGateState struct {
+	gate StrictGate // shallow copy; decided slice fixed up below
+}
+
+// Snapshot captures the gate state. Read-only.
+func (g *StrictGate) Snapshot() *StrictGateState {
+	s := &StrictGateState{gate: *g}
+	s.gate.decided = append([]decidedInterval(nil), g.decided...)
+	return s
+}
+
+// Restore rewrites the gate from a snapshot.
+func (g *StrictGate) Restore(s *StrictGateState) {
+	*g = s.gate
+	g.decided = append([]decidedInterval(nil), s.gate.decided...)
+}

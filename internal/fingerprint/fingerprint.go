@@ -130,6 +130,16 @@ func (g *Gen) Instruction(wroteReg bool, rd uint8, result int64,
 // Value returns the fingerprint accumulated so far.
 func (g *Gen) Value() uint16 { return g.crc }
 
+// GenState is a checkpoint of the generator (the accumulated CRC; the
+// mode is fixed at construction).
+type GenState struct{ crc uint16 }
+
+// Snapshot captures the generator state. Read-only.
+func (g *Gen) Snapshot() GenState { return GenState{crc: g.crc} }
+
+// Restore rewrites the generator from a snapshot.
+func (g *Gen) Restore(s GenState) { g.crc = s.crc }
+
 // Reset begins a new comparison interval.
 func (g *Gen) Reset() { g.crc = 0xffff }
 

@@ -89,3 +89,29 @@ func (b *BankQueue) Len() int { return len(b.q) }
 // ResetStats zeroes the contention counters (measurement-window
 // boundary).
 func (b *BankQueue) ResetStats() { b.Arrivals, b.TotalWait, b.MaxDepth = 0, 0, 0 }
+
+// BankQueueState is a checkpoint of the queue: contents (items shared —
+// they are immutable requests), service bookkeeping, and counters.
+type BankQueueState struct {
+	q                 []queued
+	lastSrv           int64
+	served            int
+	arrivals, totWait int64
+	maxDepth          int
+}
+
+// Snapshot captures the queue state. Read-only.
+func (b *BankQueue) Snapshot() BankQueueState {
+	return BankQueueState{
+		q:       append([]queued(nil), b.q...),
+		lastSrv: b.lastSrv, served: b.served,
+		arrivals: b.Arrivals, totWait: b.TotalWait, maxDepth: b.MaxDepth,
+	}
+}
+
+// Restore rewrites the queue from a snapshot.
+func (b *BankQueue) Restore(s BankQueueState) {
+	b.q = append([]queued(nil), s.q...)
+	b.lastSrv, b.served = s.lastSrv, s.served
+	b.Arrivals, b.TotalWait, b.MaxDepth = s.arrivals, s.totWait, s.maxDepth
+}

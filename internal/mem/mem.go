@@ -88,3 +88,30 @@ func (m *Memory) WriteBlock(addr uint64, b *Block) {
 
 // MappedPages returns the number of allocated pages (for footprint stats).
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// MemoryState is a checkpoint of the memory image: a deep copy of every
+// mapped page.
+type MemoryState struct {
+	pages map[uint64][pageWords]uint64
+}
+
+// Snapshot deep-copies the memory image. Read-only.
+func (m *Memory) Snapshot() *MemoryState {
+	s := &MemoryState{pages: make(map[uint64][pageWords]uint64, len(m.pages))}
+	for pn, p := range m.pages {
+		s.pages[pn] = *p
+	}
+	return s
+}
+
+// Restore rewrites the memory image from a snapshot: pages mapped since
+// the snapshot are unmapped, and every snapshotted page gets its saved
+// contents back. The snapshot is copied out, so it restores any number of
+// times.
+func (m *Memory) Restore(s *MemoryState) {
+	m.pages = make(map[uint64]*[pageWords]uint64, len(s.pages))
+	for pn, p := range s.pages {
+		cp := p
+		m.pages[pn] = &cp
+	}
+}

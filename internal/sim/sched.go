@@ -111,25 +111,26 @@ func (s *Scheduler) FastForward(limit int64) int64 {
 	return skip
 }
 
-// Periodic schedules fn to run at every positive multiple of every cycles
-// (the first firing is the next multiple strictly after now). Because the
-// firing is a scheduled event, FastForward can never jump across a
-// boundary — this is how per-cycle modulo checks (external interrupts,
-// deadlines) become event-driven. The returned cancel stops future
-// firings.
-func (s *Scheduler) Periodic(every int64, fn func()) (cancel func()) {
-	if every <= 0 {
-		panic("sim: Periodic with non-positive interval")
-	}
-	stopped := false
-	var fire func()
-	fire = func() {
-		if stopped {
-			return
-		}
-		fn()
-		s.eq.At(s.eq.Now()+every, fire)
-	}
-	s.eq.At((s.eq.Now()/every+1)*every, fire)
-	return func() { stopped = true }
+// ResetStats zeroes the kernel-efficiency counters (measurement-window
+// boundary): without this, warmup-phase steps, jumps and skipped cycles
+// would bleed into measured kernel metrics.
+func (s *Scheduler) ResetStats() {
+	s.Steps, s.FastForwards, s.SkippedCycles = 0, 0, 0
+}
+
+// SchedulerState is a checkpoint of the scheduler's counters (the clock
+// itself lives in the EventQueue, and the component list never changes
+// mid-simulation).
+type SchedulerState struct {
+	steps, fastForwards, skippedCycles int64
+}
+
+// Snapshot captures the scheduler's counters.
+func (s *Scheduler) Snapshot() SchedulerState {
+	return SchedulerState{steps: s.Steps, fastForwards: s.FastForwards, skippedCycles: s.SkippedCycles}
+}
+
+// Restore rewinds the counters to a snapshot.
+func (s *Scheduler) Restore(st SchedulerState) {
+	s.Steps, s.FastForwards, s.SkippedCycles = st.steps, st.fastForwards, st.skippedCycles
 }

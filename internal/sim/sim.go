@@ -13,6 +13,13 @@ package sim
 import "container/heap"
 
 // Event is a callback scheduled to fire at a specific cycle.
+//
+// An Event is immutable once scheduled: the queue moves *Event pointers
+// between heap slots but never rewrites At, Order or Fn. Checkpointing
+// relies on this — EventQueue.Snapshot copies the heap slice and shares
+// the Event pointers, so a scheduled callback must also never mutate the
+// variables its closure captured at scheduling time (capture values, or
+// pointers to components whose state is itself checkpointed).
 type Event struct {
 	At    int64
 	Order int64 // tie-break: schedule order, preserves FIFO among same-cycle events
@@ -83,6 +90,38 @@ func (q *EventQueue) Advance(cycle int64) {
 
 // Pending reports the number of scheduled events not yet fired.
 func (q *EventQueue) Pending() int { return len(q.h) }
+
+// EventQueueState is a checkpoint of the queue: the clock, the order
+// counter, and the pending events. The Event structs are shared with the
+// live queue (they are immutable once scheduled); the slice itself is a
+// copy, so later pushes and pops leave the state untouched.
+type EventQueueState struct {
+	now    int64
+	order  int64
+	events []*Event
+}
+
+// Snapshot captures the queue state. Read-only: the live queue is not
+// perturbed.
+func (q *EventQueue) Snapshot() EventQueueState {
+	return EventQueueState{
+		now:    q.now,
+		order:  q.order,
+		events: append([]*Event(nil), q.h...),
+	}
+}
+
+// Restore rewinds the queue to a snapshot: the clock, order counter and
+// pending-event set become exactly what Snapshot saw. Events scheduled
+// after the snapshot are discarded; events that fired since will fire
+// again. The state slice is copied out, so one snapshot restores any
+// number of times. The heap invariant is positional, so a copy of a valid
+// heap slice is itself a valid heap.
+func (q *EventQueue) Restore(s EventQueueState) {
+	q.now = s.now
+	q.order = s.order
+	q.h = append(eventHeap(nil), s.events...)
+}
 
 // NextAt reports the cycle of the earliest pending event, if any. The
 // quiescence-aware kernel uses it to pick a fast-forward target.

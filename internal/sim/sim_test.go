@@ -166,3 +166,58 @@ func TestRandBoolBias(t *testing.T) {
 		t.Fatalf("Bool(0.25) fired %d/10000", n)
 	}
 }
+
+func TestEventQueueSnapshotRestore(t *testing.T) {
+	eq := NewEventQueue()
+	var fired []int
+	eq.At(3, func() { fired = append(fired, 3) })
+	eq.At(7, func() { fired = append(fired, 7) })
+	eq.Advance(4)
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("pre-snapshot fires %v", fired)
+	}
+
+	snap := eq.Snapshot()
+	if eq.Pending() != 1 || eq.Now() != 4 {
+		t.Fatal("snapshot perturbed the queue")
+	}
+
+	// Diverge: fire the pending event, schedule and fire extra ones.
+	eq.At(5, func() { fired = append(fired, 5) })
+	eq.Advance(10)
+	if len(fired) != 3 {
+		t.Fatalf("divergent fires %v", fired)
+	}
+
+	// Restore twice; each replay fires exactly the snapshotted event.
+	for i := 0; i < 2; i++ {
+		eq.Restore(snap)
+		if eq.Now() != 4 || eq.Pending() != 1 {
+			t.Fatalf("restore #%d: now=%d pending=%d", i, eq.Now(), eq.Pending())
+		}
+		fired = nil
+		eq.Advance(10)
+		if len(fired) != 1 || fired[0] != 7 {
+			t.Fatalf("restore #%d fires %v", i, fired)
+		}
+	}
+}
+
+func TestEventQueueSnapshotPreservesSameCycleOrder(t *testing.T) {
+	eq := NewEventQueue()
+	var got []string
+	for _, tag := range []string{"a", "b", "c"} {
+		tag := tag
+		eq.At(5, func() { got = append(got, tag) })
+	}
+	snap := eq.Snapshot()
+	eq.Advance(5)
+	want := append([]string(nil), got...)
+
+	eq.Restore(snap)
+	got = nil
+	eq.Advance(5)
+	if len(want) != 3 || len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("same-cycle FIFO broke across restore: %v vs %v", got, want)
+	}
+}

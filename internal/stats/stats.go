@@ -57,10 +57,13 @@ func T95(df int) float64 {
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean.
+// With fewer than two observations no interval is estimable; it returns 0
+// rather than ±Inf so degenerate inputs stay finite in serialized results
+// (JSON cannot encode Inf) and downstream arithmetic.
 func CI95(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
-		return math.Inf(1)
+		return 0
 	}
 	return T95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
 }
@@ -142,9 +145,10 @@ func (o *Online) StdDev() float64 {
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean.
+// Like the package-level CI95, it returns 0 (not ±Inf) for n < 2.
 func (o *Online) CI95() float64 {
 	if o.n < 2 {
-		return math.Inf(1)
+		return 0
 	}
 	return T95(o.n-1) * o.StdDev() / math.Sqrt(float64(o.n))
 }

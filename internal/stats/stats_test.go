@@ -38,8 +38,8 @@ func TestCI95(t *testing.T) {
 	if CI95(xs) != 0 {
 		t.Fatal("zero-variance CI must be 0")
 	}
-	if !math.IsInf(CI95([]float64{1}), 1) {
-		t.Fatal("single sample CI must be infinite")
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single sample CI must be 0 (no estimable interval)")
 	}
 	// n=4, std=1: CI = 3.182 * 1/2
 	ys := []float64{-1, 1, -1, 1}
@@ -139,16 +139,112 @@ func TestOnlineMatchesBatch(t *testing.T) {
 
 func TestOnlineDegenerate(t *testing.T) {
 	var o Online
-	if o.Mean() != 0 || o.StdDev() != 0 || !math.IsInf(o.CI95(), 1) {
+	if o.Mean() != 0 || o.StdDev() != 0 || o.CI95() != 0 {
 		t.Fatal("empty accumulator")
 	}
 	o.Add(3)
-	if o.Mean() != 3 || o.StdDev() != 0 || !math.IsInf(o.CI95(), 1) {
+	if o.Mean() != 3 || o.StdDev() != 0 || o.CI95() != 0 {
 		t.Fatal("single observation")
 	}
 	if o.String() != "3.000 (n=1)" {
 		t.Fatalf("string %q", o.String())
 	}
+}
+
+// TestDegenerateInputsDefined is the empty/degenerate-input contract:
+// every summary statistic must return a defined, finite value for n=0 and
+// n=1 — never NaN or ±Inf, which poison downstream aggregation and cannot
+// be serialized to JSON results files.
+func TestDegenerateInputsDefined(t *testing.T) {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+	t.Run("Histogram.Mean", func(t *testing.T) {
+		cases := []struct {
+			name string
+			add  []int64
+			want float64
+		}{
+			{"n=0", nil, 0},
+			{"n=1", []int64{7}, 7},
+			{"n=1 zero", []int64{0}, 0},
+			{"n=1 negative clamps", []int64{-5}, 0},
+		}
+		for _, c := range cases {
+			var h Histogram
+			for _, v := range c.add {
+				h.Add(v)
+			}
+			if got := h.Mean(); !finite(got) || got != c.want {
+				t.Errorf("%s: Mean() = %v, want %v", c.name, got, c.want)
+			}
+			if q := h.Quantile(0.5); q < 0 {
+				t.Errorf("%s: Quantile(0.5) = %v", c.name, q)
+			}
+		}
+	})
+
+	t.Run("Online.CI95", func(t *testing.T) {
+		cases := []struct {
+			name string
+			add  []float64
+			want float64
+		}{
+			{"n=0", nil, 0},
+			{"n=1", []float64{3}, 0},
+			{"n=2", []float64{1, 1}, 0},
+		}
+		for _, c := range cases {
+			var o Online
+			for _, v := range c.add {
+				o.Add(v)
+			}
+			if got := o.CI95(); !finite(got) || got != c.want {
+				t.Errorf("%s: CI95() = %v, want %v", c.name, got, c.want)
+			}
+		}
+	})
+
+	t.Run("GeoMean", func(t *testing.T) {
+		cases := []struct {
+			name string
+			xs   []float64
+			want float64
+		}{
+			{"n=0", nil, 0},
+			{"n=1", []float64{2.5}, 2.5},
+			{"n=1 zero", []float64{0}, 0},
+			{"n=1 negative", []float64{-3}, 0},
+		}
+		for _, c := range cases {
+			if got := GeoMean(c.xs); !finite(got) || got != c.want {
+				t.Errorf("%s: GeoMean(%v) = %v, want %v", c.name, c.xs, got, c.want)
+			}
+		}
+	})
+
+	t.Run("WilsonCI", func(t *testing.T) {
+		cases := []struct {
+			name           string
+			k, n           int64
+			wantLo, wantHi float64 // -1 = only check finiteness and bounds
+		}{
+			{"n=0", 0, 0, 0, 1},
+			{"n=0 k>0", 3, 0, 0, 1},
+			{"n=1 k=0", 0, 1, -1, -1},
+			{"n=1 k=1", 1, 1, -1, -1},
+			{"n negative", 0, -2, 0, 1},
+		}
+		for _, c := range cases {
+			lo, hi := WilsonCI(c.k, c.n)
+			if !finite(lo) || !finite(hi) || lo < 0 || hi > 1 || lo > hi {
+				t.Errorf("%s: WilsonCI(%d,%d) = (%v,%v)", c.name, c.k, c.n, lo, hi)
+			}
+			if c.wantLo >= 0 && (lo != c.wantLo || hi != c.wantHi) {
+				t.Errorf("%s: WilsonCI(%d,%d) = (%v,%v), want (%v,%v)",
+					c.name, c.k, c.n, lo, hi, c.wantLo, c.wantHi)
+			}
+		}
+	})
 }
 
 func TestPerMillion(t *testing.T) {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -57,6 +58,25 @@ func NewAxis[C, V any](name string, vals []V, format func(V) string, apply func(
 		})
 	}
 	return ax
+}
+
+// Dedupe drops duplicate axis values, preserving first-seen order, and
+// writes one "<tool>: ignoring duplicate <axis> value ..." line per
+// duplicate to w. CLI axis-flag parsers use it before NewAxis: a
+// duplicated flag value (e.g. -seeds 1,1) would silently run every
+// matching cell twice and skew aggregate averages.
+func Dedupe[V comparable](w io.Writer, tool, axis string, vals []V, format func(V) string) []V {
+	seen := make(map[V]bool, len(vals))
+	out := vals[:0]
+	for _, v := range vals {
+		if seen[v] {
+			fmt.Fprintf(w, "%s: ignoring duplicate %s value %q\n", tool, axis, format(v))
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
 }
 
 // Spec declares a sweep: a base configuration and the axes whose cross

@@ -135,3 +135,30 @@ func (t *TLB) Preload(page uint64) {
 
 // ResetStats clears hit/miss counters (measurement-window boundaries).
 func (t *TLB) ResetStats() { t.Hits, t.Misses = 0, 0 }
+
+// TLBState is a checkpoint of the TLB: entries, LRU clock, and counters.
+type TLBState struct {
+	entries      []entry
+	tick         int64
+	hits, misses int64
+}
+
+// Snapshot captures the TLB state. Read-only.
+func (t *TLB) Snapshot() *TLBState {
+	s := &TLBState{tick: t.tick, hits: t.Hits, misses: t.Misses}
+	for _, set := range t.sets {
+		s.entries = append(s.entries, set...)
+	}
+	return s
+}
+
+// Restore rewrites the TLB from a snapshot (same geometry by
+// construction: checkpoints restore onto the system they were taken from).
+func (t *TLB) Restore(s *TLBState) {
+	i := 0
+	for _, set := range t.sets {
+		i += copy(set, s.entries[i:])
+	}
+	t.tick = s.tick
+	t.Hits, t.Misses = s.hits, s.misses
+}

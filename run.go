@@ -63,6 +63,17 @@ type Options struct {
 	// CommitTarget is set (default 200k). A trial past its deadline is a
 	// terminal DUE outcome, never a retry.
 	TrialDeadline int64
+
+	// Warm, when set, reuses checkpointed warm state across runs: the
+	// first run for a given warm key (every option that shapes the system
+	// from construction through the warmup window) builds, prefills and
+	// warms a system, snapshots it at the measurement boundary, and every
+	// later run with the same key restores that snapshot instead of
+	// re-warming. Results are bit-identical to fresh runs — only host
+	// time changes. Share one cache across a sweep matrix or a
+	// fault-injection campaign; it is safe for concurrent use (runs that
+	// share warm state serialize on it, distinct keys run in parallel).
+	Warm *WarmCache
 }
 
 // ZeroLatency requests a literal zero-cycle comparison latency (the zero
@@ -159,8 +170,19 @@ type Result struct {
 }
 
 // Run executes one measured simulation: build, prefill, warm, measure.
+// With Options.Warm set, the build/prefill/warm phase is served from the
+// checkpointed warm-state cache (bit-identical results, less host time).
 func Run(o Options) (Result, error) {
 	o = o.withDefaults()
+	if o.Warm != nil {
+		return o.Warm.run(o)
+	}
+	return measure(warmSystem(o), o)
+}
+
+// warmSystem builds a system for the options and runs it through the
+// warmup window (the phase a WarmCache checkpoints and reuses).
+func warmSystem(o Options) *System {
 	cfg := DefaultConfig()
 	if o.Config != nil {
 		cfg = *o.Config
@@ -178,13 +200,20 @@ func Run(o Options) (Result, error) {
 		sys.Prefill()
 	}
 	sys.Run(o.WarmCycles)
+	return sys
+}
+
+// measure runs the measurement phase on a warmed system: statistics reset
+// at the boundary, then either the plain fixed-window path or the
+// fault-injection trial path.
+func measure(sys *System, o Options) (Result, error) {
 	sys.ResetStats()
 	if o.Inject != nil || o.CommitTarget > 0 {
 		return runTrial(sys, o)
 	}
 	sys.Run(o.MeasureCycles)
 	if sys.Failed() {
-		return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", w.Name, o.Mode)
+		return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", sys.W.Name, o.Mode)
 	}
 	return Collect(sys, o.MeasureCycles), nil
 }

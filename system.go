@@ -82,12 +82,15 @@ type System struct {
 	// InterruptCost is the handler service time in cycles.
 	InterruptCost int64
 
-	// Interrupt delivery runs as a periodic scheduled event (so the
-	// fast-forward kernel can never jump across a boundary); intArmed is
-	// the interval the event was armed with, re-armed when the public
-	// field changes between runs.
-	intArmed  int64
-	intCancel func()
+	// Interrupt delivery runs as a self-scheduling chain of events (so
+	// the fast-forward kernel can never jump across a boundary); intArmed
+	// is the interval the chain was armed with, re-armed when the public
+	// field changes between runs. The chain is guarded by a generation
+	// counter rather than a captured cancel flag so Snapshot/Restore can
+	// resurrect a chain exactly as it was: a restored chain event fires
+	// iff its generation matches the restored intGen.
+	intArmed int64
+	intGen   int64
 
 	// Liveness watchdog (see checkLiveness).
 	watchLast   int64
@@ -236,23 +239,31 @@ func (s *System) Prefill() {
 	}
 }
 
-// armInterrupts (re)installs the periodic interrupt-delivery event when
-// the public InterruptEvery field changed since the last arming. The
-// boundary is a scheduled event, not a per-cycle modulo check, so the
-// fast-forward kernel can never jump across it.
+// armInterrupts (re)installs the interrupt-delivery event chain when the
+// public InterruptEvery field changed since the last arming. The boundary
+// is a scheduled event, not a per-cycle modulo check, so the fast-forward
+// kernel can never jump across it. Delivery fires at every positive
+// multiple of the interval; each firing schedules the next. Re-arming
+// bumps the generation, which orphans the old chain (its next firing is a
+// no-op and does not reschedule). The chain closure captures only its
+// generation, the interval, and the system pointer — all checkpointed —
+// so a restored chain event replays exactly.
 func (s *System) armInterrupts() {
 	if s.InterruptEvery == s.intArmed {
 		return
 	}
-	if s.intCancel != nil {
-		s.intCancel()
-		s.intCancel = nil
-	}
+	s.intGen++
 	s.intArmed = s.InterruptEvery
 	if s.InterruptEvery <= 0 {
 		return
 	}
-	s.intCancel = s.Sched.Periodic(s.InterruptEvery, func() {
+	every := s.InterruptEvery
+	gen := s.intGen
+	var fire func()
+	fire = func() {
+		if s.intGen != gen {
+			return
+		}
 		cost := s.InterruptCost
 		if cost <= 0 {
 			cost = 150
@@ -260,7 +271,9 @@ func (s *System) armInterrupts() {
 		for _, g := range s.gates {
 			g.RaiseInterrupt(cost)
 		}
-	})
+		s.EQ.At(s.EQ.Now()+every, fire)
+	}
+	s.EQ.At((s.EQ.Now()/every+1)*every, fire)
 }
 
 // Step advances the simulation by exactly one cycle: due events fire,
@@ -388,10 +401,11 @@ func (s *System) Failed() bool {
 }
 
 // ResetStats zeroes every statistic counter (measurement boundary):
-// core, TLB and L1 counters, pair execution-model counters, and the
-// memory system's (shared-cache/bus hit, miss, queue and phantom
-// counters — without this the warmup window would bleed into the
-// measured L2/bus statistics).
+// core, TLB and L1 counters, pair execution-model counters, the memory
+// system's (shared-cache/bus hit, miss, queue and phantom counters —
+// without this the warmup window would bleed into the measured L2/bus
+// statistics), the scheduler's kernel-efficiency counters (steps, jumps,
+// skipped cycles), and the gates' interrupts-serviced counters.
 func (s *System) ResetStats() {
 	for _, c := range s.Cores {
 		c.Stats = cpu.Stats{}
@@ -403,7 +417,11 @@ func (s *System) ResetStats() {
 	for _, p := range s.Pairs {
 		p.Stats = core.PairStats{}
 	}
+	for _, g := range s.gates {
+		g.ResetInterruptStats()
+	}
 	s.msys.ResetStats()
+	s.Sched.ResetStats()
 }
 
 // CoherentWord returns the coherent architectural value of the 8-byte
