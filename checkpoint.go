@@ -231,6 +231,16 @@ func (w *WarmCache) run(o Options) (Result, error) {
 	return measure(e.sys, o)
 }
 
+// Len returns the number of warm keys the cache holds (entries are
+// created on a key's first run). A sharded campaign's per-worker cache
+// holds only the keys of that shard's own cells — the warm-locality
+// property the distributed-execution tests assert.
+func (w *WarmCache) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.m)
+}
+
 // entry returns the (possibly new) entry for a key, or nil when the cache
 // is at capacity and the key is new.
 func (w *WarmCache) entry(key string) *warmEntry {

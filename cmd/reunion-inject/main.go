@@ -21,6 +21,22 @@
 // summary table (outcome counts, detection coverage with 95% Wilson
 // intervals, latency quantiles) prints to stdout at the end; live
 // progress goes to stderr (-quiet silences it).
+//
+// Long campaigns distribute and resume: -shard i/n runs only the i-th of
+// n contiguous slices of the flattened cells×trials space (each worker
+// warms only its own cells' checkpoints), -journal records the slice
+// resumably (JSONL + checksummed footer), -resume continues a killed
+// shard from its last complete trial record, and reunion-merge
+// reassembles the shard journals into a stream byte-identical to the
+// single-process campaign:
+//
+//	reunion-inject -trials 3000 -shard 0/3 -journal shard-0.jsonl
+//	reunion-merge -out inject.jsonl shard-*.jsonl
+//
+// A sharded run's coverage table covers only that shard's trials — and
+// a resumed run's, only the trials executed in that invocation (a
+// stderr note says so); the journal always holds the full shard stream,
+// and the merged file is the campaign's source of truth.
 package main
 
 import (
@@ -37,6 +53,7 @@ import (
 
 	"reunion"
 	"reunion/internal/campaign"
+	"reunion/internal/dist"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
@@ -64,6 +81,9 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
 	out := flag.String("out", "inject.jsonl", "per-trial results file ('-' = stdout, '' = none)")
 	format := flag.String("format", "jsonl", "results format: jsonl | csv")
+	shardStr := flag.String("shard", "", "run only slice i/n of the flattened trial matrix (e.g. 0/3; default: all trials)")
+	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
+	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete trial record")
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -82,9 +102,56 @@ func main() {
 		os.Exit(2)
 	}
 
+	total := spec.Matrix.Size() * spec.Trials
+	shard, nshards, err := dist.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := dist.NewPlan(spec.Name, total, shard, nshards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Pin the journal to this exact campaign configuration — matrix
+	// axes, base options (warm/target/deadline), trial budget, fault
+	// model, and draw seed — so resuming or merging under different
+	// flags that happen to yield the same name and trial count fails
+	// loudly instead of interleaving two campaigns.
+	plan.Fingerprint = dist.Fingerprint(append(spec.Matrix.FingerprintParts(),
+		fmt.Sprintf("base:%+v", spec.Matrix.Base),
+		fmt.Sprintf("trials:%d", spec.Trials),
+		fmt.Sprintf("campaign-seed:%d", spec.Seed),
+		fmt.Sprintf("model:%+v", spec.Model),
+		fmt.Sprintf("exclude:%v", spec.StreamExclude))...)
+
 	var sink sweep.Sink
 	var outFile *os.File
+	var jnl *dist.Journal
 	switch {
+	case *journal != "":
+		if *format != "jsonl" {
+			fmt.Fprintln(os.Stderr, "inject: a -journal is jsonl-only (merge output is byte-identical to a jsonl run)")
+			os.Exit(2)
+		}
+		if dist.FlagWasSet("out") {
+			fmt.Fprintln(os.Stderr, "inject: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
+			os.Exit(2)
+		}
+		jnl, err = dist.OpenOrCreate(*journal, plan, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if jnl.Complete() {
+			fmt.Fprintf(os.Stderr, "inject: %s already complete (%d trials) — nothing to do\n", plan, jnl.Done())
+			jnl.Close()
+			return
+		}
+		sink = jnl
+	case *resume:
+		fmt.Fprintln(os.Stderr, "inject: -resume requires -journal")
+		os.Exit(2)
 	case *out == "":
 	case *format == "jsonl" || *format == "csv":
 		w := os.Stdout
@@ -103,16 +170,27 @@ func main() {
 			sink = sweep.NewJSONL(w)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (jsonl | csv)\n", *format)
+		fmt.Fprintf(os.Stderr, "unknown format %q (valid: jsonl, csv)\n", *format)
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	total := spec.Matrix.Size() * spec.Trials
-	fmt.Fprintf(os.Stderr, "inject: %d trials (%d per cell × %d cells, %d workers)\n",
-		total, spec.Trials, spec.Matrix.Size(), *parallel)
+	indices := plan.Indices()
+	resumedAt := 0
+	if jnl != nil && jnl.Done() > 0 {
+		resumedAt = jnl.Done()
+		fmt.Fprintf(os.Stderr, "inject: resuming %s at trial record %d\n", plan, resumedAt)
+		indices = jnl.Remaining()
+	}
+	if nshards > 1 {
+		fmt.Fprintf(os.Stderr, "inject: %s: %d of %d trials (%d per cell × %d cells, %d workers)\n",
+			plan, len(indices), total, spec.Trials, spec.Matrix.Size(), *parallel)
+	} else {
+		fmt.Fprintf(os.Stderr, "inject: %d trials (%d per cell × %d cells, %d workers)\n",
+			len(indices), spec.Trials, spec.Matrix.Size(), *parallel)
+	}
 
 	start := time.Now()
 	eng := campaign.Engine[reunion.Options]{
@@ -120,6 +198,9 @@ func main() {
 		RunTrial:    reunion.TrialRunner(spec.Model),
 		Parallelism: *parallel,
 		Sink:        sink,
+	}
+	if jnl != nil || nshards > 1 {
+		eng.Indices = indices
 	}
 	if !*quiet {
 		eng.Progress = func(done, total int, cell sweep.Point[reunion.Options], t campaign.Trial, o campaign.Observation, out campaign.Outcome) {
@@ -132,7 +213,13 @@ func main() {
 		}
 	}
 	rep, err := eng.Run(ctx)
-	if sink != nil {
+	if jnl != nil {
+		// Seal the journal once every slice record is on disk (lost trials
+		// journal deterministic DUE records, exactly as the single-process
+		// stream carries them). An interrupted or write-failed slice stays
+		// footerless — resumable with -resume.
+		err = dist.SealOrClose(jnl, err)
+	} else if sink != nil {
 		if cerr := sink.Close(); err == nil {
 			err = cerr
 		}
@@ -147,6 +234,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if resumedAt > 0 {
+		fmt.Fprintf(os.Stderr, "inject: resumed run: the table covers only the %d trials executed in this invocation; all %d shard records are in the journal (merge for whole-campaign statistics)\n",
+			len(indices), jnl.Done())
+	}
 	rep.WriteTable(os.Stdout)
 	fmt.Fprintf(os.Stderr, "inject: %d trials in %s\n",
 		rep.Total.Trials(), time.Since(start).Round(time.Millisecond))
@@ -208,7 +299,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 		case "reunion":
 			ms = append(ms, reunion.ModeReunion)
 		default:
-			return spec, fmt.Errorf("unknown mode %q", name)
+			return spec, fmt.Errorf("unknown mode %q (valid: reunion, non-redundant)", name)
 		}
 	}
 	ms = dedupe("mode", ms, reunion.Mode.String)
@@ -225,7 +316,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 		case "null":
 			phs = append(phs, reunion.PhantomNull)
 		default:
-			return spec, fmt.Errorf("unknown phantom strength %q", name)
+			return spec, fmt.Errorf("unknown phantom strength %q (valid: global, shared, null)", name)
 		}
 	}
 	phs = dedupe("phantom", phs, reunion.Phantom.String)
@@ -252,7 +343,8 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 		for _, name := range splitCSV(workloads) {
 			p, ok := workload.ByName(name)
 			if !ok {
-				return spec, fmt.Errorf("unknown workload %q (use -list)", name)
+				return spec, fmt.Errorf("unknown workload %q (valid: %s, or 'all')",
+					name, strings.Join(workload.Names(), ", "))
 			}
 			ps = append(ps, p)
 		}

@@ -78,3 +78,20 @@ func TestParseRange(t *testing.T) {
 		t.Fatal("empty range accepted")
 	}
 }
+
+// An unknown axis value must fail fast with the list of valid names —
+// not silently run a partial campaign matrix.
+func TestBuildSpecErrorsListValidNames(t *testing.T) {
+	_, err := buildSpec("warp", "apache", "global", "1", "0-63", "", 100, 100, 1000, 10, 1)
+	if err == nil || !strings.Contains(err.Error(), "reunion, non-redundant") {
+		t.Errorf("mode error does not list valid names: %v", err)
+	}
+	_, err = buildSpec("reunion", "nope", "global", "1", "0-63", "", 100, 100, 1000, 10, 1)
+	if err == nil || !strings.Contains(err.Error(), "apache") || !strings.Contains(err.Error(), "sparse") {
+		t.Errorf("workload error does not list valid names: %v", err)
+	}
+	_, err = buildSpec("reunion", "apache", "ghost", "1", "0-63", "", 100, 100, 1000, 10, 1)
+	if err == nil || !strings.Contains(err.Error(), "global, shared, null") {
+		t.Errorf("phantom error does not list valid names: %v", err)
+	}
+}

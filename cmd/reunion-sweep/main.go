@@ -15,12 +15,23 @@
 // progress goes to stderr; pass -quiet to silence it. A summary with the
 // matched-pair IPC aggregate is printed at the end.
 //
+// The matrix distributes across processes and machines: -shard i/n runs
+// only the i-th of n deterministic contiguous slices, -journal writes
+// the slice as a resumable shard journal (JSONL framed by a header and a
+// checksummed footer), and -resume continues an interrupted journal from
+// its last complete record. reunion-merge reassembles complete shard
+// journals into a stream byte-identical to the single-process run:
+//
+//	reunion-sweep -shard 0/3 -journal shard-0.jsonl   # one per worker
+//	reunion-merge -out sweep.jsonl shard-*.jsonl
+//
 // Run with -list to enumerate workloads, and see EXPERIMENTS.md for the
 // invocation reproducing each paper table and figure.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"reunion"
+	"reunion/internal/dist"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -59,6 +71,10 @@ func main() {
 	measure := flag.Int64("measure", 50_000, "measurement cycles per run")
 	out := flag.String("out", "sweep.jsonl", "results file ('-' = stdout)")
 	format := flag.String("format", "jsonl", "results format: jsonl | csv")
+	kernelName := flag.String("kernel", "fastforward", "simulation kernel: fastforward | naive (results are bit-identical)")
+	shardStr := flag.String("shard", "", "run only slice i/n of the matrix (e.g. 0/3; default: the whole matrix)")
+	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
+	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete record")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -70,33 +86,97 @@ func main() {
 		return
 	}
 
+	kern, err := parseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	spec, err := buildSpec(*modes, *workloads, *latencies, *phantoms, *tlbs,
-		*consistencies, *intervals, *seeds, *warm, *measure)
+		*consistencies, *intervals, *seeds, *warm, *measure, kern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	if *format != "jsonl" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "unknown format %q (jsonl | csv)\n", *format)
+		fmt.Fprintf(os.Stderr, "unknown format %q (valid: jsonl, csv)\n", *format)
 		os.Exit(2)
 	}
-	w := os.Stdout
+	shard, nshards, err := dist.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := dist.NewPlan(spec.Name, spec.Size(), shard, nshards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Pin the journal to this exact run configuration, not just the
+	// (constant) spec name and size: resuming or merging under different
+	// flags must fail loudly instead of interleaving two experiments.
+	// The kernel is deliberately excluded — its outputs are bit-identical
+	// by contract, and CI byte-compares fastforward/naive journals.
+	fpBase := spec.Base
+	fpBase.Kernel = reunion.KernelFastForward
+	plan.Fingerprint = dist.Fingerprint(append(spec.FingerprintParts(),
+		fmt.Sprintf("base:%+v", fpBase))...)
+
+	var sink sweep.Sink
 	var outFile *os.File
-	if *out != "-" {
-		f, err := os.Create(*out)
+	var jnl *dist.Journal
+	switch {
+	case *journal != "":
+		if *format != "jsonl" {
+			fmt.Fprintln(os.Stderr, "sweep: a -journal is jsonl-only (merge output is byte-identical to a jsonl run)")
+			os.Exit(2)
+		}
+		if dist.FlagWasSet("out") {
+			fmt.Fprintln(os.Stderr, "sweep: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
+			os.Exit(2)
+		}
+		jnl, err = dist.OpenOrCreate(*journal, plan, *resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		outFile = f
-		w = f
+		if jnl.Complete() {
+			fmt.Fprintf(os.Stderr, "sweep: %s already complete (%d records, %d failed) — nothing to run\n",
+				plan, jnl.Done(), jnl.Failed())
+			jnl.Close()
+			if jnl.Failed() > 0 {
+				// The sealed slice contains failed runs: exit as the run
+				// that produced them did.
+				os.Exit(1)
+			}
+			return
+		}
+		sink = jnl
+	case *resume:
+		fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
+		os.Exit(2)
+	default:
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			outFile = f
+			w = f
+		}
+		if *format == "csv" {
+			sink = sweep.NewCSV(w)
+		} else {
+			sink = sweep.NewJSONL(w)
+		}
 	}
-	var sink sweep.Sink
-	if *format == "csv" {
-		sink = sweep.NewCSV(w)
-	} else {
-		sink = sweep.NewJSONL(w)
+
+	indices := plan.Indices()
+	if jnl != nil && jnl.Done() > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: resuming %s at record %d\n", plan, jnl.Done())
+		indices = jnl.Remaining()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -127,6 +207,13 @@ func main() {
 				len(strconv.Itoa(total)), done, total, r.Point.Name(), status)
 		},
 		Emit: func(r sweep.Result[reunion.Options, reunion.Result]) error {
+			if jnl != nil && errors.Is(r.Err, sweep.ErrSkipped) {
+				// A cancelled, never-executed run must not reach the
+				// journal: it would be resumed past forever as a bogus
+				// error record. Stop emission at the last executed run;
+				// -resume recomputes from there.
+				return r.Err
+			}
 			var metrics map[string]float64
 			if r.Err == nil {
 				metrics = r.Out.Metrics()
@@ -135,10 +222,26 @@ func main() {
 		},
 	}
 
-	fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workers)\n", spec.Size(), *parallel)
-	_, err = runner.Sweep(ctx, spec)
-	if cerr := sink.Close(); err == nil {
-		err = cerr
+	if nshards > 1 {
+		fmt.Fprintf(os.Stderr, "sweep: %s: %d of %d runs (%d workers)\n", plan, len(indices), spec.Size(), *parallel)
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workers)\n", len(indices), *parallel)
+	}
+	if jnl != nil || nshards > 1 {
+		_, err = runner.SweepIndices(ctx, spec, indices)
+	} else {
+		_, err = runner.Sweep(ctx, spec)
+	}
+	if jnl != nil {
+		// Seal the journal once every slice record is on disk (failed runs
+		// journal deterministic error records, exactly as the single-process
+		// file carries them; the exit code still reports them). An
+		// interrupted or write-failed slice stays footerless — resumable.
+		err = dist.SealOrClose(jnl, err)
+	} else {
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if outFile != nil {
 		// A close error can carry a deferred write failure; it must fail
@@ -151,17 +254,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
+	if jnl != nil {
+		// The exit code reflects the whole journaled slice: a failed run
+		// journaled before a kill still fails the shard after -resume, as
+		// it would have failed the uninterrupted run.
+		failures = jnl.Failed()
+	}
 	fmt.Fprintf(os.Stderr, "sweep: %d runs in %s, user IPC %s, %d failed\n",
-		spec.Size(), time.Since(start).Round(time.Millisecond), ipc.String(), failures)
+		len(indices), time.Since(start).Round(time.Millisecond), ipc.String(), failures)
 	if failures > 0 {
 		os.Exit(1)
 	}
 }
 
+// parseKernel resolves the -kernel flag. Both kernels are bit-identical
+// in results, which is what makes a per-shard fastforward-vs-naive byte
+// comparison of journals a kernel-equivalence check (see CI).
+func parseKernel(name string) (reunion.Kernel, error) {
+	switch name {
+	case "fastforward", "fast-forward":
+		return reunion.KernelFastForward, nil
+	case "naive":
+		return reunion.KernelNaive, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (valid: fastforward, naive)", name)
+}
+
 // buildSpec assembles the matrix from the axis flags. Axis order fixes
 // the enumeration (and output) order: workload, mode, latency, phantom,
 // tlb, consistency, interval, seed.
-func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, intervals, seeds string, warm, measure int64) (sweep.Spec[reunion.Options], error) {
+func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, intervals, seeds string, warm, measure int64, kern reunion.Kernel) (sweep.Spec[reunion.Options], error) {
 	// No reunion.WarmCache here: every axis of this matrix shapes the
 	// warmup itself, so no two cells could share a warm checkpoint —
 	// caching would only pin warmed machines in memory. The caches live
@@ -169,7 +291,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 	// reunion-bench experiment campaigns.
 	spec := sweep.Spec[reunion.Options]{
 		Name: "paper-matrix",
-		Base: reunion.Options{WarmCycles: warm, MeasureCycles: measure},
+		Base: reunion.Options{WarmCycles: warm, MeasureCycles: measure, Kernel: kern},
 	}
 
 	var ps []workload.Params
@@ -179,7 +301,8 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		for _, name := range splitCSV(workloads) {
 			p, ok := workload.ByName(name)
 			if !ok {
-				return spec, fmt.Errorf("unknown workload %q (use -list)", name)
+				return spec, fmt.Errorf("unknown workload %q (valid: %s, or 'all')",
+					name, strings.Join(workload.Names(), ", "))
 			}
 			ps = append(ps, p)
 		}
@@ -199,7 +322,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		case "reunion":
 			ms = append(ms, reunion.ModeReunion)
 		default:
-			return spec, fmt.Errorf("unknown mode %q", name)
+			return spec, fmt.Errorf("unknown mode %q (valid: non-redundant, strict, reunion)", name)
 		}
 	}
 	ms = dedupe("mode", ms, reunion.Mode.String)
@@ -230,7 +353,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		case "null":
 			phs = append(phs, reunion.PhantomNull)
 		default:
-			return spec, fmt.Errorf("unknown phantom strength %q", name)
+			return spec, fmt.Errorf("unknown phantom strength %q (valid: global, shared, null)", name)
 		}
 	}
 	phs = dedupe("phantom", phs, reunion.Phantom.String)
@@ -245,7 +368,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		case "software":
 			ts = append(ts, reunion.TLBSoftware)
 		default:
-			return spec, fmt.Errorf("unknown TLB discipline %q", name)
+			return spec, fmt.Errorf("unknown TLB discipline %q (valid: hardware, software)", name)
 		}
 	}
 	ts = dedupe("tlb", ts, reunion.TLBMode.String)
@@ -260,7 +383,7 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		case "sc":
 			cs = append(cs, reunion.SC)
 		default:
-			return spec, fmt.Errorf("unknown consistency model %q", name)
+			return spec, fmt.Errorf("unknown consistency model %q (valid: tso, sc)", name)
 		}
 	}
 	cs = dedupe("consistency", cs, reunion.ConsistencyName)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"reunion"
 )
 
 // The axis-flag parsers must reject malformed input and deduplicate
@@ -22,7 +24,7 @@ func captureWarnings(t *testing.T) *bytes.Buffer {
 func TestBuildSpecDedupesAxisValues(t *testing.T) {
 	warnings := captureWarnings(t)
 	spec, err := buildSpec("reunion,reunion", "apache,apache,ocean", "10,10,20",
-		"global,global", "hardware,hardware", "tso,tso", "1,1", "1,1,2", 100, 100)
+		"global,global", "hardware,hardware", "tso,tso", "1,1", "1,1,2", 100, 100, reunion.KernelFastForward)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func TestBuildSpecDedupesAxisValues(t *testing.T) {
 
 func TestBuildSpecNoWarningsWithoutDuplicates(t *testing.T) {
 	warnings := captureWarnings(t)
-	spec, err := buildSpec("reunion,strict", "apache", "0,10", "global", "hardware", "tso", "1", "1,2", 100, 100)
+	spec, err := buildSpec("reunion,strict", "apache", "0,10", "global", "hardware", "tso", "1", "1,2", 100, 100, reunion.KernelFastForward)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestBuildSpecRejectsBadValues(t *testing.T) {
 	}
 	for _, c := range cases {
 		if _, err := buildSpec(c.modes, c.workloads, c.lats, c.phantoms, c.tlbs,
-			c.consistencies, c.intervals, c.seeds, 100, 100); err == nil {
+			c.consistencies, c.intervals, c.seeds, 100, 100, reunion.KernelFastForward); err == nil {
 			t.Errorf("%s: bad value accepted", c.name)
 		}
 	}
@@ -82,5 +84,38 @@ func TestSplitCSV(t *testing.T) {
 	}
 	if out := splitCSV(""); len(out) != 0 {
 		t.Fatalf("splitCSV(\"\") = %v", out)
+	}
+}
+
+// An unknown axis value must fail fast with the list of valid names —
+// not silently run a partial matrix, and not leave the user guessing.
+func TestBuildSpecErrorsListValidNames(t *testing.T) {
+	_, err := buildSpec("warp", "apache", "10", "global", "hardware", "tso", "1", "1", 100, 100, reunion.KernelFastForward)
+	if err == nil || !strings.Contains(err.Error(), "non-redundant, strict, reunion") {
+		t.Errorf("mode error does not list valid names: %v", err)
+	}
+	_, err = buildSpec("reunion", "nope", "10", "global", "hardware", "tso", "1", "1", 100, 100, reunion.KernelFastForward)
+	if err == nil || !strings.Contains(err.Error(), "apache") || !strings.Contains(err.Error(), "sparse") {
+		t.Errorf("workload error does not list valid names: %v", err)
+	}
+	_, err = buildSpec("reunion", "apache", "10", "ghost", "hardware", "tso", "1", "1", 100, 100, reunion.KernelFastForward)
+	if err == nil || !strings.Contains(err.Error(), "global, shared, null") {
+		t.Errorf("phantom error does not list valid names: %v", err)
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for in, want := range map[string]reunion.Kernel{
+		"fastforward":  reunion.KernelFastForward,
+		"fast-forward": reunion.KernelFastForward,
+		"naive":        reunion.KernelNaive,
+	} {
+		got, err := parseKernel(in)
+		if err != nil || got != want {
+			t.Errorf("parseKernel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseKernel("warp"); err == nil || !strings.Contains(err.Error(), "fastforward, naive") {
+		t.Errorf("parseKernel error does not list valid kernels: %v", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"reunion/internal/campaign"
+	"reunion/internal/dist"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -40,6 +41,15 @@ type ExpConfig struct {
 	// Kernel selects the simulation kernel for every run in the campaign
 	// (default KernelFastForward; results are bit-identical either way).
 	Kernel Kernel
+
+	// Shard/NShards restrict the Monte-Carlo campaigns (CoverageExperiment)
+	// to one contiguous slice of the flattened cells×trials space, the
+	// slice a dist.Plan assigns to Shard — how a long campaign fans out
+	// across processes and machines. Per-trial draws and classification
+	// are unchanged (both are pure functions of trial coordinates); the
+	// worker runs, and therefore warms, only its own cells, and its
+	// report covers only its slice. Zero values mean unsharded.
+	Shard, NShards int
 
 	// base memoizes non-redundant baseline runs: sweeps reuse the same
 	// baseline across latencies and modes, and the singleflight entries
@@ -779,6 +789,18 @@ func (c ExpConfig) CoverageExperiment(trialsPerCell int) (*campaign.Report, erro
 	}
 	if err := eng.Spec.Validate(); err != nil {
 		return nil, err
+	}
+	if c.NShards > 1 || c.Shard != 0 {
+		trials := eng.Spec.Trials
+		if trials < 1 {
+			trials = 1
+		}
+		plan, err := dist.NewPlan(eng.Spec.Name, eng.Spec.Matrix.Size()*trials, c.Shard, c.NShards)
+		if err != nil {
+			return nil, err
+		}
+		eng.Indices = plan.Indices()
+		c.printf("%s: %d of %d trials\n", plan, plan.Count(), plan.Total)
 	}
 	rep, err := eng.Run(context.Background())
 	if err != nil {

@@ -59,8 +59,20 @@ func trialKey(o Options) string {
 // the snapshot instead of re-warming from cycle 0 — bit-identical
 // classification, several times less host time.
 func TrialRunner(model campaign.FaultModel) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
+	return TrialRunnerWarm(model, NewWarmCache())
+}
+
+// TrialRunnerWarm is TrialRunner over a caller-owned warm-state cache.
+// Both caches are lazy — a cell's golden run and warm checkpoint are
+// built the first time one of its trials executes — which is what makes
+// sharded campaigns warm-local: under the dist layer's contiguous plans
+// a shard's trials land on the fewest possible cells, so each worker
+// process warms exactly the checkpoints its own cells need and no
+// others (asserted via WarmCache.Len in the shard byte-identity tests).
+// Passing the cache also lets one cache serve several engines of the
+// same campaign, e.g. a resumed shard's second Engine run.
+func TrialRunnerWarm(model campaign.FaultModel, warm *WarmCache) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 	golden := newMemo[Result]()
-	warm := NewWarmCache()
 	return func(_ context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 		o := cell.Config
 		if o.CommitTarget <= 0 {

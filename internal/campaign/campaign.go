@@ -37,6 +37,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -283,6 +284,14 @@ type Engine[C any] struct {
 	// byte-identical output at any parallelism. The engine does not close
 	// the sink.
 	Sink sweep.Sink
+	// Indices, if non-nil, restricts the run to these global indices of
+	// the flattened cells×trials matrix (a shard's slice, in the order
+	// given — ascending for a distribution plan). Draws, classification,
+	// and record bytes are unchanged: a trial's fault stream depends only
+	// on its coordinates, so the same index yields the same record
+	// whether the whole matrix or one shard runs it. The report covers
+	// only the executed trials.
+	Indices []int
 	// Progress, if set, observes completed trials in completion order
 	// (live reporting only).
 	Progress func(done, total int, cell sweep.Point[C], t Trial, o Observation, out Outcome)
@@ -324,8 +333,16 @@ func (e *Engine[C]) Run(ctx context.Context) (*Report, error) {
 		Emit: func(r sweep.Result[C, trialRun]) error {
 			tr := r.Out
 			if r.Err != nil {
-				// A panic in RunTrial (or a skip after cancellation) is a
-				// lost trial: terminal DUE, preserved in the stream.
+				if errors.Is(r.Err, sweep.ErrSkipped) {
+					// A cancelled, never-executed trial must not enter the
+					// stream: it is not a lost trial (nothing ran), and a
+					// resumable journal would otherwise persist it as a
+					// bogus DUE record that resume skips forever. Stop
+					// emission at the last executed trial instead.
+					return r.Err
+				}
+				// A panic in RunTrial is a lost trial: terminal DUE,
+				// preserved in the stream.
 				tr = trialRun{trial: spec.draw(r.Point), obs: Observation{Err: r.Err}, out: DUE}
 			}
 			rep.add(tr)
@@ -336,7 +353,12 @@ func (e *Engine[C]) Run(ctx context.Context) (*Report, error) {
 		},
 	}
 
-	_, err := runner.Sweep(ctx, combined)
+	var err error
+	if e.Indices != nil {
+		_, err = runner.SweepIndices(ctx, combined, e.Indices)
+	} else {
+		_, err = runner.Sweep(ctx, combined)
+	}
 	rep.finish()
 	return rep, err
 }

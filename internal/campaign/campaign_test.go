@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -304,5 +305,102 @@ func TestValidate(t *testing.T) {
 	wide.Model = FaultModel{BitLo: 48, BitHi: 70}
 	if err := wide.Validate(); err == nil {
 		t.Fatal("bit range beyond 63 validated (ArmFault would alias it mod 64)")
+	}
+}
+
+// TestShardedRunReassemblesByteIdentical: splitting the flattened trial
+// space across Engine.Indices slices and concatenating the slices' JSONL
+// reproduces the whole-campaign stream byte for byte — draws and
+// classification depend only on trial coordinates, never on which shard
+// runs them.
+func TestShardedRunReassemblesByteIdentical(t *testing.T) {
+	spec := Spec[fakeCell]{
+		Matrix:        fakeMatrix(),
+		Model:         FaultModel{WindowHi: 500},
+		Trials:        10,
+		Seed:          99,
+		StreamExclude: []string{"mode"},
+	}
+	total := fakeMatrix().Size() * spec.Trials
+
+	var ref bytes.Buffer
+	eng := Engine[fakeCell]{Spec: spec, RunTrial: fakeRun, Sink: sweep.NewJSONL(&ref)}
+	refRep, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nshards = 4
+	var merged bytes.Buffer
+	var shardTrials int64
+	for s := 0; s < nshards; s++ {
+		lo, hi := total*s/nshards, total*(s+1)/nshards
+		indices := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			indices = append(indices, i)
+		}
+		sharded := Engine[fakeCell]{
+			Spec:        spec,
+			RunTrial:    fakeRun,
+			Sink:        sweep.NewJSONL(&merged),
+			Indices:     indices,
+			Parallelism: 3,
+		}
+		rep, err := sharded.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Total.Trials(); got != int64(len(indices)) {
+			t.Fatalf("shard %d report covers %d trials, want %d", s, got, len(indices))
+		}
+		shardTrials += rep.Total.Trials()
+	}
+	if shardTrials != refRep.Total.Trials() {
+		t.Fatalf("shards classified %d trials, whole run %d", shardTrials, refRep.Total.Trials())
+	}
+	if !bytes.Equal(merged.Bytes(), ref.Bytes()) {
+		t.Fatal("concatenated shard JSONL differs from the single-run stream")
+	}
+}
+
+// TestCancelledTrialsNeverEnterTheStream: a trial skipped by
+// cancellation (never executed) must stop emission, not be written as a
+// DUE record — a resumable journal downstream would otherwise persist
+// it and skip past it forever. Repeated iterations chase the scheduling
+// race where a worker receives a job after the cancel.
+func TestCancelledTrialsNeverEnterTheStream(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int64
+		sink := sweep.NewMemory()
+		eng := Engine[fakeCell]{
+			Spec: Spec[fakeCell]{
+				Matrix: fakeMatrix(),
+				Model:  FaultModel{WindowHi: 100},
+				Trials: 5,
+				Seed:   uint64(iter + 1),
+			},
+			Parallelism: 4,
+			Sink:        sink,
+			RunTrial: func(_ context.Context, cell sweep.Point[fakeCell], tr Trial) Observation {
+				if executed.Add(1) == 3 {
+					cancel()
+				}
+				return Observation{Completed: true, DigestOK: true}
+			},
+		}
+		_, err := eng.Run(ctx)
+		cancel()
+		if err == nil {
+			t.Fatalf("iter %d: cancelled campaign returned nil error", iter)
+		}
+		for _, r := range sink.Records() {
+			if strings.Contains(r.Err, "skipped") {
+				t.Fatalf("iter %d: never-executed trial entered the stream: %+v", iter, r)
+			}
+		}
+		if got := len(sink.Records()); int64(got) > executed.Load() {
+			t.Fatalf("iter %d: %d records for %d executed trials", iter, got, executed.Load())
+		}
 	}
 }

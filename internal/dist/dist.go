@@ -1,0 +1,161 @@
+// Package dist shards the experiment matrices across processes and
+// machines and makes long campaigns resumable.
+//
+// The sweep and campaign engines flatten their matrices into one index
+// space — cells for a sweep, cells × trials for a fault campaign — where
+// every index is a pure function of the spec, never of scheduling. That
+// purity is what makes distribution trivial to get right: a Plan
+// partitions [0, Total) into contiguous slices by a pure function of
+// (total, shard, nshards), so any worker can claim its slice with no
+// coordination beyond agreeing on the spec and the shard count.
+//
+// Each shard streams its records through a Journal: a JSONL file framed
+// by a header (identifying the plan slice) and a footer (record count +
+// CRC-64 of the payload bytes). Appends happen in index order, so an
+// interrupted shard resumes from its last complete record — a torn final
+// line is discarded and recomputed, which is safe because every record
+// is a deterministic function of its index.
+//
+// Merge reassembles complete shard journals into one stream that is
+// byte-identical to the single-process run, verifying record-by-record:
+// per-record index sequence, per-shard payload checksum, and exact
+// shard-set coverage of the plan. The merged bytes carry no trace of how
+// many shards produced them.
+package dist
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Plan assigns one shard its contiguous slice of a flattened run matrix.
+// The slice bounds are a pure function of (Total, Shard, NShards):
+// shard s owns [Total*s/NShards, Total*(s+1)/NShards), so the shards
+// partition [0, Total) exactly, with sizes differing by at most one.
+//
+// Contiguity is deliberate: the matrices enumerate trials of a cell (and
+// cells of a workload) adjacently, so a contiguous slice keeps a shard's
+// trials on as few cells as possible — each worker warms only the
+// checkpoints its own cells need — and lets Merge reassemble the
+// single-process stream by validated concatenation.
+type Plan struct {
+	// Spec names the run (sweep or campaign spec name); journals refuse
+	// to resume under a different spec name.
+	Spec string
+	// Fingerprint pins the run's full configuration — everything that
+	// determines the record bytes, not just the spec's (often constant)
+	// name. Journals and merges refuse to mix plans whose fingerprints
+	// differ, so a shard resumed or merged under different flags that
+	// happen to produce the same name and total fails loudly instead of
+	// silently interleaving records from two different experiments. Set
+	// it with Fingerprint over the run's defining strings; zero means
+	// "unpinned" (library callers that construct specs in one process).
+	Fingerprint uint64
+	// Total is the size of the flattened index space.
+	Total int
+	// Shard/NShards select this worker's slice.
+	Shard, NShards int
+}
+
+// NewPlan validates and returns the plan for one shard.
+func NewPlan(spec string, total, shard, nshards int) (Plan, error) {
+	if total < 0 {
+		return Plan{}, fmt.Errorf("dist: negative total %d", total)
+	}
+	if nshards < 1 {
+		return Plan{}, fmt.Errorf("dist: nshards %d, need at least 1", nshards)
+	}
+	if shard < 0 || shard >= nshards {
+		return Plan{}, fmt.Errorf("dist: shard %d out of range [0,%d)", shard, nshards)
+	}
+	return Plan{Spec: spec, Total: total, Shard: shard, NShards: nshards}, nil
+}
+
+// Lo returns the first global index of the shard's slice.
+func (p Plan) Lo() int { return p.Total * p.Shard / p.NShards }
+
+// Hi returns one past the last global index of the shard's slice.
+func (p Plan) Hi() int { return p.Total * (p.Shard + 1) / p.NShards }
+
+// Count returns the number of indices in the shard's slice.
+func (p Plan) Count() int { return p.Hi() - p.Lo() }
+
+// Index returns the k-th global index of the slice (k in [0, Count)).
+func (p Plan) Index(k int) int { return p.Lo() + k }
+
+// Owns reports whether the shard's slice contains global index i.
+func (p Plan) Owns(i int) bool { return i >= p.Lo() && i < p.Hi() }
+
+// Indices enumerates the shard's global indices in ascending order — the
+// order the shard runs and journals them.
+func (p Plan) Indices() []int {
+	out := make([]int, p.Count())
+	for k := range out {
+		out[k] = p.Lo() + k
+	}
+	return out
+}
+
+// String renders the slice for progress messages: "shard 1/3 [8,16)".
+func (p Plan) String() string {
+	return fmt.Sprintf("shard %d/%d [%d,%d)", p.Shard, p.NShards, p.Lo(), p.Hi())
+}
+
+// Fingerprint hashes the given strings (FNV-1a 64, length-delimited)
+// into a Plan.Fingerprint. Callers pass every run parameter that shapes
+// the record stream — the spec's axes and values, the base
+// configuration, campaign draw parameters — but nothing that provably
+// does not (e.g. the simulation kernel, whose outputs are bit-identical
+// by contract and A/B-compared through equal journals in CI).
+func Fingerprint(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // delimit, so ("ab","c") != ("a","bc")
+	}
+	return h.Sum64()
+}
+
+// FlagWasSet reports whether the named command-line flag was passed
+// explicitly. CLI support for the shard flag wiring both shard-aware
+// CLIs share: -journal must reject an explicit -out, but -out also has
+// a non-empty default, so presence can't be read from the value.
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// ParseShard parses a -shard flag value "i/n" (e.g. "0/3"). The empty
+// string means unsharded: 0/1.
+func ParseShard(s string) (shard, nshards int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	lo, hi, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("dist: shard %q is not of the form i/n", s)
+	}
+	shard, err = strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: shard %q: %w", s, err)
+	}
+	nshards, err = strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: shard %q: %w", s, err)
+	}
+	if nshards < 1 {
+		return 0, 0, fmt.Errorf("dist: shard %q: need at least 1 shard", s)
+	}
+	if shard < 0 || shard >= nshards {
+		return 0, 0, fmt.Errorf("dist: shard %q: index out of range [0,%d)", s, nshards)
+	}
+	return shard, nshards, nil
+}

@@ -1,0 +1,382 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"reunion/internal/sweep"
+)
+
+// FormatV1 identifies the journal file format in the header line.
+const FormatV1 = "reunion-dist-journal/1"
+
+// crcTable is the CRC-64 (ECMA) polynomial the footer checksum uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// header is the first line of a journal: which slice of which run the
+// file holds, so resume and merge can refuse a journal written under a
+// different spec or plan.
+type header struct {
+	Format      string `json:"format"`
+	Spec        string `json:"spec"`
+	Fingerprint uint64 `json:"fingerprint,omitempty"`
+	Shard       int    `json:"shard"`
+	NShards     int    `json:"nshards"`
+	Total       int    `json:"total"`
+}
+
+// footer is the last line of a complete journal: the record count and
+// the CRC-64 of every payload byte (records including their newlines).
+// Its presence marks the shard finished; its checksum lets resume and
+// merge distinguish "complete" from "complete-looking but corrupt".
+type footer struct {
+	Count int    `json:"count"`
+	CRC64 string `json:"crc64"`
+}
+
+type headerLine struct {
+	Header *header `json:"dist_header"`
+}
+
+type footerLine struct {
+	Footer *footer `json:"dist_footer"`
+}
+
+func (p Plan) header() header {
+	return header{Format: FormatV1, Spec: p.Spec, Fingerprint: p.Fingerprint,
+		Shard: p.Shard, NShards: p.NShards, Total: p.Total}
+}
+
+func (h header) check(p Plan) error {
+	if h.Format != FormatV1 {
+		return fmt.Errorf("unsupported journal format %q", h.Format)
+	}
+	if h.Spec != p.Spec || h.Shard != p.Shard || h.NShards != p.NShards || h.Total != p.Total {
+		return fmt.Errorf("journal is for spec=%q shard %d/%d total %d, want spec=%q shard %d/%d total %d",
+			h.Spec, h.Shard, h.NShards, h.Total, p.Spec, p.Shard, p.NShards, p.Total)
+	}
+	if h.Fingerprint != p.Fingerprint {
+		return fmt.Errorf("journal was written by a run with a different configuration (fingerprint %016x, want %016x) — same spec name and size, different flags",
+			h.Fingerprint, p.Fingerprint)
+	}
+	return nil
+}
+
+// Journal is one shard's resumable results file. It implements
+// sweep.Sink: records must arrive in the plan's index order (the order
+// the engines emit), each is appended as one JSONL payload line whose
+// bytes are exactly what the single-process JSONL sink would write, and
+// Finish seals the file with the checksummed footer once the slice is
+// complete. Close without Finish leaves the journal resumable.
+type Journal struct {
+	plan     Plan
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	crc      hash.Hash64
+	done     int
+	failed   int
+	complete bool
+	closed   bool
+}
+
+// Create starts a fresh journal at path (truncating any existing file)
+// and writes the header immediately, so even a shard killed before its
+// first record leaves a resumable file.
+func Create(path string, plan Plan) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{plan: plan, path: path, f: f, w: bufio.NewWriter(f), crc: crc64.New(crcTable)}
+	hb, err := json.Marshal(headerLine{Header: ptr(plan.header())})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	hb = append(hb, '\n')
+	if _, err := j.w.Write(hb); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := j.w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open resumes the journal at path: it validates the header against the
+// plan, replays the payload — verifying that record k carries global
+// index plan.Index(k) — and truncates the file back to the last complete
+// record. A torn or index-mismatched tail (the kill-mid-record case) is
+// discarded and recomputed — safe, because every record is a pure
+// function of its index. A missing file starts fresh; a file whose
+// footer verifies is reported complete via Complete. A journal that
+// belongs to a different plan (wrong spec, shard, or total) or whose
+// footer contradicts its payload checksum is an error, never a silent
+// partial resume.
+func Open(path string, plan Plan) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return Create(path, plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	j, err := scan(f, path, plan)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: resume %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// scan replays an existing journal file and positions it for appending.
+func scan(f *os.File, path string, plan Plan) (*Journal, error) {
+	r := bufio.NewReader(f)
+	headLine, err := r.ReadBytes('\n')
+	if err == io.EOF {
+		// No complete header (torn first line or empty file): start over.
+		f.Close()
+		return Create(path, plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hl headerLine
+	if err := json.Unmarshal(headLine, &hl); err != nil || hl.Header == nil {
+		return nil, fmt.Errorf("first line is not a journal header")
+	}
+	if err := hl.Header.check(plan); err != nil {
+		return nil, err
+	}
+
+	st, err := replay(r, len(headLine), plan, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(st.keep); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(st.keep, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &Journal{plan: plan, path: path, f: f, w: bufio.NewWriter(f), crc: st.crc,
+		done: st.done, failed: st.failed, complete: st.complete}, nil
+}
+
+// replayState is what replay learned about a journal's body.
+type replayState struct {
+	done, failed int
+	crc          hash.Hash64
+	// keep is the byte length of the trustworthy prefix: header plus
+	// verified payload, plus the footer once complete.
+	keep     int64
+	complete bool
+}
+
+// replay walks a journal body (reader positioned just past the header,
+// whose byte length seeds keep), verifying every line against the plan:
+// payload records must carry consecutive slice indices, a footer must
+// match the payload's count and checksum and fill the whole slice, and
+// nothing may follow it. It is the ONE verifier behind both ends of the
+// journal contract — resume (strict=false: the walk stops at the first
+// torn or mismatched line and reports the verified prefix for
+// truncate-and-recompute) and merge (strict=true: any torn, mismatched,
+// or missing piece, including a missing footer, is an error) — so
+// "complete" and "corrupt" cannot mean different things to the two.
+// onPayload, when non-nil, receives each verified payload line.
+func replay(r *bufio.Reader, headerLen int, plan Plan, strict bool, onPayload func([]byte) error) (replayState, error) {
+	st := replayState{crc: crc64.New(crcTable), keep: int64(headerLen)}
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if strict {
+				return st, fmt.Errorf("journal has no footer (shard incomplete — run it to completion or -resume it first)")
+			}
+			// A torn final line (or a clean kill): recompute from here.
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		var fl footerLine
+		if json.Unmarshal(line, &fl) == nil && fl.Footer != nil {
+			if _, err := r.Peek(1); err != io.EOF {
+				return st, fmt.Errorf("data after footer")
+			}
+			if fl.Footer.Count != st.done || fl.Footer.CRC64 != crcHex(st.crc) {
+				return st, fmt.Errorf("footer mismatch: footer says %d records crc %s, payload has %d records crc %s",
+					fl.Footer.Count, fl.Footer.CRC64, st.done, crcHex(st.crc))
+			}
+			if st.done != plan.Count() {
+				// A footer consistent with its payload but short of the
+				// slice: sealed-but-incomplete fails at resume exactly as
+				// it fails at merge.
+				return st, fmt.Errorf("journal sealed with %d records, shard slice needs %d", st.done, plan.Count())
+			}
+			st.keep += int64(len(line))
+			st.complete = true
+			return st, nil
+		}
+		var rec struct {
+			Index *int   `json:"index"`
+			Err   string `json:"err"`
+		}
+		if st.done >= plan.Count() || json.Unmarshal(line, &rec) != nil || rec.Index == nil || *rec.Index != plan.Index(st.done) {
+			if strict {
+				if rec.Index == nil {
+					return st, fmt.Errorf("record %d is not a valid payload line", st.done)
+				}
+				return st, fmt.Errorf("record %d carries index %d, plan expects %d", st.done, *rec.Index, plan.Index(st.done))
+			}
+			// An intact line that is not the expected record: the tail is
+			// untrustworthy. Drop it and everything after; the records are
+			// deterministic, so recomputing is always safe.
+			return st, nil
+		}
+		if onPayload != nil {
+			if err := onPayload(line); err != nil {
+				return st, err
+			}
+		}
+		if rec.Err != "" {
+			st.failed++
+		}
+		st.crc.Write(line)
+		st.keep += int64(len(line))
+		st.done++
+	}
+}
+
+// OpenOrCreate resolves a CLI's -journal/-resume pair: Open (resume
+// from the last complete record) when resume is set, Create (start the
+// slice fresh, truncating any previous attempt) otherwise.
+func OpenOrCreate(path string, plan Plan, resume bool) (*Journal, error) {
+	if resume {
+		return Open(path, plan)
+	}
+	return Create(path, plan)
+}
+
+// SealOrClose is the one correct way to put a journal down after a run:
+// a fully successful slice is sealed with its footer (Finish); any
+// failure leaves the journal footerless — resumable — and the run's
+// error is returned unchanged. Both CLIs share this epilogue so the
+// sealing contract cannot drift between them.
+func SealOrClose(j *Journal, runErr error) error {
+	if runErr == nil {
+		return j.Finish()
+	}
+	j.Close() // best-effort flush; the run error is what matters
+	return runErr
+}
+
+// Plan returns the slice this journal records.
+func (j *Journal) Plan() Plan { return j.plan }
+
+// Done returns the number of records already journaled; the shard's next
+// record must carry global index Plan().Index(Done()).
+func (j *Journal) Done() int { return j.done }
+
+// Remaining returns the shard's still-unjournaled global indices — what
+// a resumed shard passes to the engines.
+func (j *Journal) Remaining() []int { return j.plan.Indices()[j.done:] }
+
+// Complete reports whether the journal carries a verified footer (the
+// shard finished; nothing to run).
+func (j *Journal) Complete() bool { return j.complete }
+
+// Failed counts the journal's error records — runs that failed and were
+// journaled as deterministic error records, both in this process and in
+// the replayed prefix of a resumed journal. A CLI's exit code must
+// reflect the whole slice, not just the records run since the last
+// resume.
+func (j *Journal) Failed() int { return j.failed }
+
+// Write appends one record. Records must arrive in the plan's index
+// order; anything else means the caller and the journal disagree about
+// the resume point, which must fail loudly rather than corrupt the file.
+func (j *Journal) Write(rec sweep.Record) error {
+	if j.closed || j.complete {
+		return fmt.Errorf("dist: write to %s journal", map[bool]string{true: "a completed", false: "a closed"}[j.complete])
+	}
+	if j.done >= j.plan.Count() {
+		return fmt.Errorf("dist: record %d past the shard's %d-record slice", rec.Index, j.plan.Count())
+	}
+	if want := j.plan.Index(j.done); rec.Index != want {
+		return fmt.Errorf("dist: out-of-order record: got index %d, want %d", rec.Index, want)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.crc.Write(b)
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	j.done++
+	if rec.Err != "" {
+		j.failed++
+	}
+	return nil
+}
+
+// Finish seals a complete journal: it verifies every slice record was
+// written, appends the checksummed footer, and syncs and closes the
+// file. Finishing an already-complete journal just closes it.
+func (j *Journal) Finish() error {
+	if j.closed {
+		return fmt.Errorf("dist: Finish on a closed journal")
+	}
+	if !j.complete {
+		if j.done != j.plan.Count() {
+			return fmt.Errorf("dist: Finish with %d of %d records journaled", j.done, j.plan.Count())
+		}
+		fb, err := json.Marshal(footerLine{Footer: &footer{Count: j.done, CRC64: crcHex(j.crc)}})
+		if err != nil {
+			return err
+		}
+		fb = append(fb, '\n')
+		if _, err := j.w.Write(fb); err != nil {
+			return err
+		}
+		j.complete = true
+	}
+	return j.close(true)
+}
+
+// Close flushes and closes without writing a footer, leaving the journal
+// resumable. It satisfies sweep.Sink.Close and is safe to call after
+// Finish (a no-op then).
+func (j *Journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	return j.close(false)
+}
+
+func (j *Journal) close(sync bool) error {
+	j.closed = true
+	err := j.w.Flush()
+	if sync {
+		if serr := j.f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func crcHex(h hash.Hash64) string { return fmt.Sprintf("%016x", h.Sum64()) }
+
+func ptr[T any](v T) *T { return &v }

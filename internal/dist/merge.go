@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// MergeInfo summarizes a successful merge.
+type MergeInfo struct {
+	Spec    string
+	NShards int
+	// Records is the number of payload records written — always the
+	// plan's Total on success.
+	Records int
+}
+
+// Merge validates the shard journals at paths and writes their records
+// to w in global index order, producing a stream byte-identical to the
+// single-process run. Paths may arrive in any order; the journals must
+// form exactly one complete shard set — same spec and total, nshards
+// equal to the number of paths, every shard present once, every journal
+// sealed by a verified footer. Each record is verified as it is copied:
+// the payload index sequence must match the shard's plan and the payload
+// bytes must reproduce the footer checksum. On error the bytes already
+// written to w are meaningless; merge to a temporary destination.
+func Merge(w io.Writer, paths []string) (*MergeInfo, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dist: merge of zero journals")
+	}
+	shards := make([]*shardFile, 0, len(paths))
+	defer func() {
+		for _, s := range shards {
+			s.f.Close()
+		}
+	}()
+	for _, path := range paths {
+		s, err := openShard(path)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, s)
+	}
+
+	first := shards[0].head
+	for _, s := range shards {
+		if s.head.Spec != first.Spec || s.head.Total != first.Total || s.head.NShards != first.NShards {
+			return nil, fmt.Errorf("dist: %s is from a different run: spec=%q shards=%d total=%d, want spec=%q shards=%d total=%d",
+				s.path, s.head.Spec, s.head.NShards, s.head.Total, first.Spec, first.NShards, first.Total)
+		}
+		if s.head.Fingerprint != first.Fingerprint {
+			return nil, fmt.Errorf("dist: %s was written by a run with a different configuration (fingerprint %016x vs %016x) — same spec name and size, different flags",
+				s.path, s.head.Fingerprint, first.Fingerprint)
+		}
+	}
+	// The shard-count check precedes the slot allocation: NShards comes
+	// from a file header, so it must bound the journals actually given
+	// before it sizes anything.
+	if len(paths) != first.NShards {
+		return nil, fmt.Errorf("dist: run has %d shards but %d journals given", first.NShards, len(paths))
+	}
+	bySlot := make([]*shardFile, first.NShards)
+	for _, s := range shards {
+		if s.head.Shard < 0 || s.head.Shard >= first.NShards {
+			return nil, fmt.Errorf("dist: %s claims shard %d of %d", s.path, s.head.Shard, first.NShards)
+		}
+		if bySlot[s.head.Shard] != nil {
+			return nil, fmt.Errorf("dist: shard %d appears twice: %s and %s",
+				s.head.Shard, bySlot[s.head.Shard].path, s.path)
+		}
+		bySlot[s.head.Shard] = s
+	}
+	for i, s := range bySlot {
+		if s == nil {
+			return nil, fmt.Errorf("dist: shard %d journal missing", i)
+		}
+	}
+
+	records := 0
+	for _, s := range bySlot {
+		n, err := s.copyVerified(w)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s: %w", s.path, err)
+		}
+		records += n
+	}
+	if records != first.Total {
+		// Unreachable if every per-shard verification passed (the plans
+		// tile [0,Total)), kept as a last-line invariant check.
+		return nil, fmt.Errorf("dist: merged %d records, plan total is %d", records, first.Total)
+	}
+	return &MergeInfo{Spec: first.Spec, NShards: first.NShards, Records: records}, nil
+}
+
+// MergeFile merges into outPath via a temporary file in the same
+// directory, renaming over the destination only on success, so a failed
+// merge never leaves a truncated or half-verified results file behind.
+// A non-nil tee additionally receives the merged bytes as they are
+// written (a digest, a progress meter) without a second read of the
+// output file.
+func MergeFile(outPath string, paths []string, tee io.Writer) (*MergeInfo, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".merge-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	var w io.Writer = bw
+	if tee != nil {
+		w = io.MultiWriter(bw, tee)
+	}
+	info, err := Merge(w, paths)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), outPath); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// shardFile is one journal being merged: header parsed, reader
+// positioned at the first payload line.
+type shardFile struct {
+	path string
+	f    *os.File
+	r    *bufio.Reader
+	head header
+}
+
+func openShard(path string) (*shardFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: %s: reading header: %w", path, err)
+	}
+	var hl headerLine
+	if err := json.Unmarshal(line, &hl); err != nil || hl.Header == nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: %s is not a shard journal (bad header line)", path)
+	}
+	if hl.Header.Format != FormatV1 {
+		f.Close()
+		return nil, fmt.Errorf("dist: %s: unsupported journal format %q", path, hl.Header.Format)
+	}
+	return &shardFile{path: path, f: f, r: r, head: *hl.Header}, nil
+}
+
+// copyVerified streams the shard's payload to w through the shared
+// journal verifier (replay in strict mode): every record's index is
+// checked against the shard's plan slice, the whole payload against the
+// footer checksum, and a missing or short footer is an error. It
+// returns the number of records copied.
+func (s *shardFile) copyVerified(w io.Writer) (int, error) {
+	plan := Plan{Spec: s.head.Spec, Fingerprint: s.head.Fingerprint,
+		Total: s.head.Total, Shard: s.head.Shard, NShards: s.head.NShards}
+	st, err := replay(s.r, 0, plan, true, func(line []byte) error {
+		_, werr := w.Write(line)
+		return werr
+	})
+	return st.done, err
+}

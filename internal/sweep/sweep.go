@@ -118,6 +118,23 @@ func (p Point[C]) LabelMap() map[string]string {
 	return m
 }
 
+// FingerprintParts renders the spec's identity — its name plus every
+// axis and value name, in order — for a distribution-layer run
+// fingerprint (dist.Fingerprint): two specs that could produce
+// different record streams render different parts. Callers append
+// whatever the axes do not capture (the base configuration, campaign
+// draw parameters).
+func (s Spec[C]) FingerprintParts() []string {
+	parts := []string{"spec:" + s.Name}
+	for _, ax := range s.Axes {
+		parts = append(parts, "axis:"+ax.Name)
+		for _, v := range ax.Values {
+			parts = append(parts, v.Name)
+		}
+	}
+	return parts
+}
+
 // Size returns the number of points in the cross product.
 func (s Spec[C]) Size() int {
 	n := 1
@@ -194,7 +211,32 @@ type Runner[C, R any] struct {
 // are isolated into their point's Result.Err rather than failing the
 // sweep.
 func (r *Runner[C, R]) Sweep(ctx context.Context, spec Spec[C]) ([]Result[C, R], error) {
-	points := spec.Points()
+	return r.sweepPoints(ctx, spec.Points())
+}
+
+// SweepIndices runs only the given points of the spec, identified by
+// their global matrix indices, in the given order: results come back (and
+// Emit fires) by position in indices, carrying each point's global Index
+// and labels unchanged. It is how a distribution layer runs one shard's
+// slice of a matrix — because Spec.Point is a pure function of the index,
+// a subset run's records are byte-identical to the same points of a
+// whole-matrix run at any parallelism. Every index must lie in
+// [0, spec.Size()); duplicates are legal (each runs independently).
+func (r *Runner[C, R]) SweepIndices(ctx context.Context, spec Spec[C], indices []int) ([]Result[C, R], error) {
+	size := spec.Size()
+	points := make([]Point[C], len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= size {
+			return nil, fmt.Errorf("sweep: index %d out of range [0,%d)", i, size)
+		}
+		points[k] = spec.Point(i)
+	}
+	return r.sweepPoints(ctx, points)
+}
+
+// sweepPoints is the shared worker-pool body: results, Progress, and the
+// in-order Emit stream are all positional over the given points.
+func (r *Runner[C, R]) sweepPoints(ctx context.Context, points []Point[C]) ([]Result[C, R], error) {
 	n := len(points)
 	results := make([]Result[C, R], n)
 	for i := range results {

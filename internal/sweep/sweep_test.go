@@ -298,3 +298,69 @@ func TestEmptyAxisYieldsEmptySweep(t *testing.T) {
 		t.Fatalf("results=%v err=%v", results, err)
 	}
 }
+
+// TestSweepIndicesSubset: a subset run yields the same per-point results
+// and records as the whole-matrix run, in the order the indices were
+// given, at any parallelism — the contract the distribution layer's
+// shard byte-identity rests on.
+func TestSweepIndicesSubset(t *testing.T) {
+	s := testSpec(3, 4) // 12 points
+	run := func(c *cfg) (int, error) { return c.A*100 + c.B, nil }
+	full, err := (&Runner[cfg, int]{
+		Run: func(_ context.Context, p Point[cfg]) (int, error) { return run(&p.Config) },
+	}).Sweep(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	indices := []int{7, 2, 11, 2} // arbitrary order, one duplicate
+	for _, par := range []int{1, 4} {
+		var emitted []int
+		r := Runner[cfg, int]{
+			Parallelism: par,
+			Run: func(_ context.Context, p Point[cfg]) (int, error) {
+				time.Sleep(time.Duration(p.Index) * 50 * time.Microsecond)
+				return run(&p.Config)
+			},
+			Emit: func(res Result[cfg, int]) error {
+				emitted = append(emitted, res.Point.Index)
+				return nil
+			},
+		}
+		sub, err := r.SweepIndices(context.Background(), s, indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) != len(indices) {
+			t.Fatalf("par=%d: %d results for %d indices", par, len(sub), len(indices))
+		}
+		for k, i := range indices {
+			if sub[k].Err != nil {
+				t.Fatalf("par=%d: index %d: %v", par, i, sub[k].Err)
+			}
+			if sub[k].Point.Index != i || sub[k].Point.Name() != full[i].Point.Name() || sub[k].Out != full[i].Out {
+				t.Errorf("par=%d position %d: got point %d (%s) out=%d, want point %d (%s) out=%d",
+					par, k, sub[k].Point.Index, sub[k].Point.Name(), sub[k].Out,
+					i, full[i].Point.Name(), full[i].Out)
+			}
+		}
+		if !reflect.DeepEqual(emitted, indices) {
+			t.Errorf("par=%d: emit order %v, want %v", par, emitted, indices)
+		}
+	}
+}
+
+func TestSweepIndicesValidation(t *testing.T) {
+	s := testSpec(2, 2)
+	r := Runner[cfg, int]{Run: func(_ context.Context, p Point[cfg]) (int, error) { return 0, nil }}
+	if _, err := r.SweepIndices(context.Background(), s, []int{0, 4}); err == nil {
+		t.Fatal("index past Size accepted")
+	}
+	if _, err := r.SweepIndices(context.Background(), s, []int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	res, err := r.SweepIndices(context.Background(), s, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty indices: res=%v err=%v", res, err)
+	}
+}
