@@ -3,7 +3,9 @@ package reunion
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"reunion/internal/ckptstore"
 	"reunion/internal/coherence"
 	"reunion/internal/core"
 	"reunion/internal/cpu"
@@ -175,6 +177,18 @@ type WarmCache struct {
 	// machine image). At the cap, runs with new keys fall back to fresh
 	// warmup without caching — results are identical either way.
 	maxEntries int
+
+	// store, when set (UseStore), backs the in-memory cache with a
+	// persistent content-addressed checkpoint store: a key's first run
+	// here tries a fetch+restore before warming from cycle 0, and a
+	// locally-computed warmup is uploaded for other processes. Every
+	// store-path failure — miss, network error, corrupt blob, format or
+	// fingerprint mismatch — silently falls back to local warmup:
+	// results never depend on the store, only host time does.
+	store ckptstore.Store
+
+	warmups   atomic.Int64 // full local warmups performed
+	storeHits atomic.Int64 // warmups avoided via a fetched checkpoint
 }
 
 type warmEntry struct {
@@ -217,6 +231,9 @@ func (w *WarmCache) run(o Options) (Result, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if !e.init && w.store != nil {
+		w.tryFetch(e, o)
+	}
 	if !e.init {
 		// Mark the entry initialized only once the snapshot exists: if
 		// warmup panics (e.g. the liveness watchdog), the next run for the
@@ -225,10 +242,57 @@ func (w *WarmCache) run(o Options) (Result, error) {
 		e.sys = warmSystem(o)
 		e.cp = e.sys.Snapshot()
 		e.init = true
+		w.warmups.Add(1)
+		if w.store != nil {
+			if blob, err := EncodeCheckpoint(e.cp, CheckpointKey(o)); err == nil {
+				_ = w.store.Put(CheckpointKey(o), blob)
+			}
+		}
 	} else {
 		e.sys.Restore(e.cp)
 	}
 	return measure(e.sys, o)
+}
+
+// UseStore backs the cache with a persistent checkpoint store (a local
+// directory or a reunion-ckptd client). Call before the first run.
+func (w *WarmCache) UseStore(s ckptstore.Store) { w.store = s }
+
+// Warmups returns how many full local warmups this cache has performed;
+// StoreHits returns how many it avoided by restoring a fetched
+// checkpoint. Together they are the fleet-wide "one warmup per cell"
+// measurement the store-equivalence benchmark reports.
+func (w *WarmCache) Warmups() int64 { return w.warmups.Load() }
+
+// StoreHits returns the number of warmups served from the store.
+func (w *WarmCache) StoreHits() int64 { return w.storeHits.Load() }
+
+// tryFetch attempts to initialize a warm entry from the persistent
+// store: fetch, decode, bind onto a freshly built cold system, restore.
+// Every failure leaves the entry uninitialized — the caller warms
+// locally, exactly as if the store did not exist. The decoder's
+// checksum and structural validation plus Bind's key and geometry
+// checks stand between a hostile or stale blob and a restore; a blob
+// encoded under a different format version or options fingerprint is a
+// recompute, never an error.
+func (w *WarmCache) tryFetch(e *warmEntry, o Options) {
+	key := CheckpointKey(o)
+	blob, err := w.store.Get(key)
+	if err != nil {
+		return
+	}
+	d, err := DecodeCheckpoint(blob)
+	if err != nil {
+		return
+	}
+	sys := buildSystem(o)
+	cp, err := d.Bind(sys, key)
+	if err != nil {
+		return
+	}
+	sys.Restore(cp)
+	e.sys, e.cp, e.init = sys, cp, true
+	w.storeHits.Add(1)
 }
 
 // Len returns the number of warm keys the cache holds (entries are

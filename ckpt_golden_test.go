@@ -1,0 +1,150 @@
+package reunion
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"reunion/internal/workload"
+)
+
+// The golden-format tests pin the checkpoint byte layout: committed
+// blobs under testdata/ckpt must both decode to deep-equal snapshots
+// and match the current encoder byte for byte. An encoding change that
+// forgets to bump ckptFormatVersion fails here with instructions, not
+// in production as a store full of silently unreadable checkpoints.
+
+var updateGolden = flag.Bool("update", false, "regenerate golden checkpoint blobs under testdata/ckpt")
+
+// tinyWorkload shrinks a profile's memory footprint so a pinned (or
+// fuzz-corpus) blob is a few hundred kilobytes instead of the tens of
+// megabytes a production cell's memory image occupies. Access behavior
+// is unchanged in kind — same mix, same sharing — only the private set
+// is smaller.
+func tinyWorkload() workload.Params {
+	p := workload.Apache()
+	p.Name = "apache-tiny"
+	p.PrivateBytes = 64 << 10
+	p.HotBytes = 32 << 10
+	return p
+}
+
+// goldenCells are the pinned format exemplars: one per structural
+// variant the encoding branches on (topology, execution mode, kernel).
+func goldenCells() []struct {
+	name string
+	o    Options
+} {
+	cell := func(name string, topo Topology, mode Mode, kern Kernel) struct {
+		name string
+		o    Options
+	} {
+		cfg := DefaultConfig()
+		cfg.Topology = topo
+		return struct {
+			name string
+			o    Options
+		}{name, Options{
+			Mode:       mode,
+			Workload:   tinyWorkload(),
+			Seed:       23,
+			WarmCycles: 3_000,
+			Config:     &cfg,
+			Kernel:     kern,
+		}.withDefaults()}
+	}
+	return []struct {
+		name string
+		o    Options
+	}{
+		cell("dir-reunion-ff", TopologyDirectory, ModeReunion, KernelFastForward),
+		cell("dir-nonred-naive", TopologyDirectory, ModeNonRedundant, KernelNaive),
+		cell("snoop-reunion-naive", TopologySnoopy, ModeReunion, KernelNaive),
+		cell("snoop-strict-ff", TopologySnoopy, ModeStrict, KernelFastForward),
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "ckpt", name+".bin")
+}
+
+// TestCheckpointGoldenFormat re-encodes each pinned cell and compares
+// against the committed blob. With -update it regenerates the files
+// instead (do this only together with a ckptFormatVersion bump, or for
+// brand-new cells).
+func TestCheckpointGoldenFormat(t *testing.T) {
+	for _, cell := range goldenCells() {
+		blob, err := EncodeCheckpoint(warmSystem(cell.o).Snapshot(), CheckpointKey(cell.o))
+		if err != nil {
+			t.Fatalf("%s: encode: %v", cell.name, err)
+		}
+		path := goldenPath(cell.name)
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: wrote %d bytes", path, len(blob))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: no golden blob (generate with -update): %v", cell.name, err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Errorf("%s: checkpoint encoding changed without a version bump "+
+				"(golden %d bytes, current %d). If the format change is intentional, "+
+				"bump ckptFormatVersion and regenerate with "+
+				"`go test -run TestCheckpointGoldenFormat -update ./...`; "+
+				"otherwise the change breaks every stored checkpoint.",
+				cell.name, len(want), len(blob))
+		}
+	}
+}
+
+// TestCheckpointGoldenDecode proves the committed blobs still decode to
+// snapshots deep-equal to freshly encoded ones — the decoder-side half
+// of the compatibility pin (an encoder could drift in ways byte
+// comparison alone would blame on the wrong side).
+func TestCheckpointGoldenDecode(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating golden blobs")
+	}
+	for _, cell := range goldenCells() {
+		committed, err := os.ReadFile(goldenPath(cell.name))
+		if err != nil {
+			t.Fatalf("%s: no golden blob (generate with -update): %v", cell.name, err)
+		}
+		fromDisk, err := DecodeCheckpoint(committed)
+		if err != nil {
+			t.Fatalf("%s: committed golden blob no longer decodes: %v", cell.name, err)
+		}
+		blob, err := EncodeCheckpoint(warmSystem(cell.o).Snapshot(), CheckpointKey(cell.o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := DecodeCheckpoint(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromDisk, fresh) {
+			t.Errorf("%s: committed golden blob decodes to a different snapshot than a fresh encoding", cell.name)
+		}
+		// And the pinned blob must still bind and restore.
+		sys := buildSystem(cell.o)
+		cp, err := fromDisk.Bind(sys, CheckpointKey(cell.o))
+		if err != nil {
+			t.Fatalf("%s: committed golden blob no longer binds: %v", cell.name, err)
+		}
+		sys.Restore(cp)
+		if got, want := fmt.Sprint(sys.EQ.Now() > 0), "true"; got != want {
+			t.Errorf("%s: restored clock did not advance past zero", cell.name)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package reunion
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"reunion/internal/ckptstore"
+)
+
+// WarmCache + persistent store integration: the fleet-wide reuse
+// contract (one warmup per cell across all workers), the
+// silent-recompute policy for anything the store hands back that cannot
+// be restored, and Len's safety under concurrent sharded access.
+
+// storeCell builds a small, fast cell keyed by seed.
+func storeCell(seed uint64) Options {
+	return Options{
+		Mode:          ModeReunion,
+		Workload:      tinyWorkload(),
+		Seed:          seed,
+		WarmCycles:    2_000,
+		MeasureCycles: 2_000,
+	}
+}
+
+// memStore is an in-test Store whose contents the tests poison at will.
+type memStore struct {
+	mu sync.Mutex
+	m  map[uint64][]byte
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[uint64][]byte)} }
+
+func (s *memStore) Get(key uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.m[key]
+	if !ok {
+		return nil, ckptstore.ErrNotFound
+	}
+	return blob, nil
+}
+
+func (s *memStore) Put(key uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// TestWarmCacheStoreFleet is the fleet-reuse contract over both real
+// backends: worker A warms every cell once and uploads; workers B (same
+// disk) and C (over HTTP) restore every cell from the store, warm
+// nothing, and produce bit-identical Results.
+func TestWarmCacheStoreFleet(t *testing.T) {
+	cells := []Options{storeCell(31), storeCell(32), storeCell(33)}
+	want := make([]Result, len(cells))
+	for i, o := range cells {
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("fresh cell %d: %v", i, err)
+		}
+		want[i] = r
+	}
+
+	disk, err := ckptstore.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ckptstore.Handler(disk))
+	defer srv.Close()
+
+	workers := []struct {
+		name  string
+		store ckptstore.Store
+		hits  int64 // expected StoreHits
+		warms int64 // expected Warmups
+	}{
+		{"warming-worker", disk, 0, int64(len(cells))},
+		{"cold-worker-disk", disk, int64(len(cells)), 0},
+		{"cold-worker-http", ckptstore.NewClient(srv.URL), int64(len(cells)), 0},
+	}
+	for _, wk := range workers {
+		warm := NewWarmCache()
+		warm.UseStore(wk.store)
+		for i, o := range cells {
+			o.Warm = warm
+			got, err := Run(o)
+			if err != nil {
+				t.Fatalf("%s cell %d: %v", wk.name, i, err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("%s cell %d diverged from fresh run:\nfresh: %+v\nstore: %+v",
+					wk.name, i, want[i], got)
+			}
+		}
+		if h := warm.StoreHits(); h != wk.hits {
+			t.Errorf("%s: %d store hits, want %d", wk.name, h, wk.hits)
+		}
+		if w := warm.Warmups(); w != wk.warms {
+			t.Errorf("%s: %d local warmups, want %d", wk.name, w, wk.warms)
+		}
+	}
+}
+
+// TestWarmCacheStoreRecompute is the silent-fallback table: whatever
+// the store returns — garbage, a truncated blob, a checkpoint for
+// different options, a future format version — the run recomputes
+// locally and matches the fresh result. A bad store costs time, never
+// correctness, and never an error.
+func TestWarmCacheStoreRecompute(t *testing.T) {
+	o := storeCell(57)
+	key := CheckpointKey(o)
+	want, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A genuine blob for *different* options (another seed), filed under
+	// our key — the fingerprint gate must reject it.
+	other := storeCell(58).withDefaults()
+	otherBlob, err := EncodeCheckpoint(warmSystem(other).Snapshot(), CheckpointKey(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-sealed blob claiming a future format version.
+	ourBlob, err := EncodeCheckpoint(warmSystem(o.withDefaults()).Snapshot(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := resealCheckpoint(t, ourBlob, func(b []byte) { b[4]++ })
+
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"garbage", []byte("not a checkpoint at all")},
+		{"truncated", ourBlob[:len(ourBlob)/3]},
+		{"wrong-options", otherBlob},
+		{"future-version", future},
+	}
+	for _, tc := range cases {
+		store := newMemStore()
+		store.m[key] = tc.blob
+		warm := NewWarmCache()
+		warm.UseStore(store)
+		co := o
+		co.Warm = warm
+		got, err := Run(co)
+		if err != nil {
+			t.Fatalf("%s: run errored instead of recomputing: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: recomputed run diverged from fresh run", tc.name)
+		}
+		if warm.StoreHits() != 0 || warm.Warmups() != 1 {
+			t.Errorf("%s: hits=%d warmups=%d, want 0/1 (poisoned blob must recompute)",
+				tc.name, warm.StoreHits(), warm.Warmups())
+		}
+	}
+}
+
+// TestWarmCacheLenConcurrent hammers one store-backed cache from
+// concurrent workers on distinct keys while polling Len — the sharded
+// campaign's access pattern, run under -race in CI.
+func TestWarmCacheLenConcurrent(t *testing.T) {
+	warm := NewWarmCache()
+	warm.UseStore(newMemStore())
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			o := storeCell(seed)
+			o.WarmCycles, o.MeasureCycles = 1_000, 500
+			o.Warm = warm
+			if _, err := Run(o); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+			_ = warm.Len()
+		}(uint64(100 + i))
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = warm.Len()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if n := warm.Len(); n != workers {
+		t.Errorf("cache holds %d keys, want %d", n, workers)
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"reunion"
+	"reunion/internal/ckptstore"
+	"reunion/internal/fault"
+	"reunion/internal/workload"
+)
+
+// Persistent checkpoint-store benchmark: a sharded fault campaign where
+// every shard (a worker process stand-in with its own WarmCache) runs
+// trials over the same cells. Without a shared store each shard pays for
+// every cell's warmup itself; with one, the fleet pays one warmup per
+// cell total — the first shard uploads, the rest restore from the
+// fetched blob. Trial results must stay bit-identical between the two
+// fleets; the warmup counts and host times go to BENCH_ckptstore.json.
+
+type ckptReport struct {
+	Schema         string  `json:"schema"`
+	Full           bool    `json:"full"`
+	Shards         int     `json:"shards"`
+	Cells          int     `json:"cells"`
+	TrialsPerCell  int     `json:"trials_per_cell"` // per shard
+	WarmCycles     int64   `json:"warm_cycles"`
+	CommitTarget   int64   `json:"commit_target"`
+	LocalWarmups   int64   `json:"local_warmups"` // fleet total, no store (= shards × cells)
+	StoreWarmups   int64   `json:"store_warmups"` // fleet total, shared store (= cells)
+	StoreHits      int64   `json:"store_hits"`    // (= (shards-1) × cells)
+	LocalSecs      float64 `json:"local_seconds"`
+	StoreSecs      float64 `json:"store_seconds"`
+	WarmupsSkipped int64   `json:"warmups_skipped"`
+	BitIdentical   bool    `json:"bit_identical"`
+}
+
+func runCkptStore(full bool, outPath string) error {
+	const shards = 3
+	warm, target, trials := int64(40_000), int64(800), 4
+	if full {
+		warm, trials = 100_000, 8
+	}
+	cells := []struct {
+		p    workload.Params
+		mode reunion.Mode
+	}{
+		{workload.Apache(), reunion.ModeReunion},
+		{workload.OracleOLTP(), reunion.ModeReunion},
+		{workload.Ocean(), reunion.ModeNonRedundant},
+	}
+
+	baseOpts := func(c int) reunion.Options {
+		return reunion.Options{
+			Mode:         cells[c].mode,
+			Workload:     cells[c].p,
+			Seed:         3,
+			WarmCycles:   warm,
+			CommitTarget: target,
+		}
+	}
+
+	// runFleet runs the 3-shard campaign sequentially (each shard is a
+	// fresh worker: its own WarmCache, optionally sharing store) and
+	// returns every trial result in fleet order plus warmup/hit totals.
+	runFleet := func(store ckptstore.Store) ([]reunion.Result, int64, int64, float64, error) {
+		var results []reunion.Result
+		var warmups, hits int64
+		start := time.Now()
+		for s := 0; s < shards; s++ {
+			wc := reunion.NewWarmCache()
+			if store != nil {
+				wc.UseStore(store)
+			}
+			for c := range cells {
+				cores := baseOpts(c).CoresUnderTest()
+				for i := 0; i < trials; i++ {
+					o := baseOpts(c)
+					o.Warm = wc
+					if t := s*trials + i; t > 0 { // fleet trial 0 is the golden run
+						o.Inject = &fault.Injection{
+							Core:  (t - 1) % cores,
+							Cycle: int64(100 + 37*t),
+							Bit:   uint(t * 7 % 64),
+						}
+					}
+					r, err := reunion.Run(o)
+					if err != nil {
+						return nil, 0, 0, 0, fmt.Errorf("shard %d %s/%v trial %d: %w",
+							s, cells[c].p.Name, cells[c].mode, i, err)
+					}
+					results = append(results, r)
+				}
+			}
+			warmups += wc.Warmups()
+			hits += wc.StoreHits()
+		}
+		return results, warmups, hits, time.Since(start).Seconds(), nil
+	}
+
+	fmt.Println("Sharded fault campaign: per-shard local warmup vs shared checkpoint store")
+
+	localRes, localWarm, _, localSecs, err := runFleet(nil)
+	if err != nil {
+		return err
+	}
+
+	root, err := os.MkdirTemp("", "reunion-ckpts-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	disk, err := ckptstore.NewDisk(root)
+	if err != nil {
+		return err
+	}
+	storeRes, storeWarm, hits, storeSecs, err := runFleet(disk)
+	if err != nil {
+		return err
+	}
+
+	identical := reflect.DeepEqual(localRes, storeRes)
+	if !identical {
+		return fmt.Errorf("store-backed fleet diverged from locally-warming fleet")
+	}
+	if want := int64(len(cells)); storeWarm != want {
+		return fmt.Errorf("store-backed fleet warmed %d times, want one per cell (%d)", storeWarm, want)
+	}
+
+	rep := ckptReport{
+		Schema:        "reunion-bench/ckptstore-fleet/v1",
+		Full:          full,
+		Shards:        shards,
+		Cells:         len(cells),
+		TrialsPerCell: trials,
+		WarmCycles:    warm, CommitTarget: target,
+		LocalWarmups: localWarm, StoreWarmups: storeWarm, StoreHits: hits,
+		LocalSecs: localSecs, StoreSecs: storeSecs,
+		WarmupsSkipped: localWarm - storeWarm,
+		BitIdentical:   identical,
+	}
+	fmt.Printf("  %d shards × %d cells × %d trials\n", shards, len(cells), trials)
+	fmt.Printf("  no store:     %3d warmups  %8.3fs\n", localWarm, localSecs)
+	fmt.Printf("  shared store: %3d warmups  %8.3fs  (%d store hits, results bit-identical)\n",
+		storeWarm, storeSecs, hits)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput|snapshot] [-full] [-bench-out BENCH_kernel.json] [-snapshot-out BENCH_snapshot.json]
+//	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput|snapshot|ckptstore] [-full] [-bench-out BENCH_kernel.json] [-snapshot-out BENCH_snapshot.json] [-ckptstore-out BENCH_ckptstore.json]
 //
 // -full uses the paper-scale sampling methodology (3 matched seeds,
 // 100k/50k-cycle windows, 400k-cycle event windows); the default quick
@@ -28,6 +28,8 @@ func main() {
 		"throughput trajectory file written by -experiment throughput")
 	snapOut := flag.String("snapshot-out", "BENCH_snapshot.json",
 		"warm-reuse trajectory file written by -experiment snapshot")
+	ckptOut := flag.String("ckptstore-out", "BENCH_ckptstore.json",
+		"shared-store fleet trajectory file written by -experiment ckptstore")
 	flag.Parse()
 
 	cfg := reunion.QuickExp(os.Stdout)
@@ -61,6 +63,7 @@ func main() {
 	run("topology", func() error { _, err := cfg.TopologyAblation(); return err })
 	run("throughput", func() error { return runThroughput(*full, *benchOut) })
 	run("snapshot", func() error { return runSnapshot(*full, *snapOut) })
+	run("ckptstore", func() error { return runCkptStore(*full, *ckptOut) })
 }
 
 func printConfig() {

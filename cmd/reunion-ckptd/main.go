@@ -1,0 +1,33 @@
+// reunion-ckptd serves a content-addressed checkpoint store over HTTP,
+// so the workers of a distributed sweep or fault campaign share warm
+// state across machines: the first worker to warm a cell uploads its
+// checkpoint, every later worker (or a restarted one) fetches and
+// restores it instead of re-warming — bit-identical results, one warmup
+// per cell fleet-wide.
+//
+//	reunion-ckptd -addr :9347 -root /var/tmp/reunion-ckpts
+//
+// Workers point at it with -ckpt-url http://host:9347 (reunion-sweep,
+// reunion-inject).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"reunion/internal/ckptstore"
+)
+
+func main() {
+	addr := flag.String("addr", ":9347", "listen address")
+	root := flag.String("root", "reunion-ckpts", "checkpoint storage directory")
+	flag.Parse()
+
+	disk, err := ckptstore.NewDisk(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("reunion-ckptd: serving %s on %s", *root, *addr)
+	log.Fatal(http.ListenAndServe(*addr, ckptstore.Handler(disk)))
+}

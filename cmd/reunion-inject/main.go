@@ -41,6 +41,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ import (
 
 	"reunion"
 	"reunion/internal/campaign"
+	"reunion/internal/ckptstore"
 	"reunion/internal/dist"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -85,6 +87,8 @@ func main() {
 	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete trial record")
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
+	ckptDir := flag.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)")
+	ckptURL := flag.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -192,10 +196,25 @@ func main() {
 			len(indices), spec.Trials, spec.Matrix.Size(), *parallel)
 	}
 
+	// A sharded worker warms only its own cells' checkpoints; with a
+	// shared store it also skips the ones a fleet-mate (or a previous,
+	// killed incarnation of this shard resuming via -journal) already
+	// warmed. Restores are bit-identical to local warmup, so trial
+	// records are unchanged.
+	warmCache := reunion.NewWarmCache()
+	store, err := openCkptStore(*ckptDir, *ckptURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inject: %v\n", err)
+		os.Exit(2)
+	}
+	if store != nil {
+		warmCache.UseStore(store)
+	}
+
 	start := time.Now()
 	eng := campaign.Engine[reunion.Options]{
 		Spec:        spec,
-		RunTrial:    reunion.TrialRunner(spec.Model),
+		RunTrial:    reunion.TrialRunnerWarm(spec.Model, warmCache),
 		Parallelism: *parallel,
 		Sink:        sink,
 	}
@@ -245,6 +264,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "inject: %d DUE trials (deadline/unrecoverable) — inspect the results file\n",
 			rep.Total.Count(campaign.DUE))
 	}
+}
+
+// openCkptStore resolves the -ckpt-store/-ckpt-url flag pair into a
+// checkpoint-store backend, or nil when neither is set.
+func openCkptStore(dir, url string) (ckptstore.Store, error) {
+	switch {
+	case dir != "" && url != "":
+		return nil, errors.New("-ckpt-store and -ckpt-url are mutually exclusive")
+	case dir != "":
+		return ckptstore.NewDisk(dir)
+	case url != "":
+		return ckptstore.NewClient(url), nil
+	}
+	return nil, nil
 }
 
 // buildSpec assembles the campaign from the flags. Axis order fixes the

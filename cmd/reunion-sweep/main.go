@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"reunion"
+	"reunion/internal/ckptstore"
 	"reunion/internal/dist"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
@@ -72,6 +73,8 @@ func main() {
 	out := flag.String("out", "sweep.jsonl", "results file ('-' = stdout)")
 	format := flag.String("format", "jsonl", "results format: jsonl | csv")
 	kernelName := flag.String("kernel", "fastforward", "simulation kernel: fastforward | naive (results are bit-identical)")
+	ckptDir := flag.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)")
+	ckptURL := flag.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)")
 	shardStr := flag.String("shard", "", "run only slice i/n of the matrix (e.g. 0/3; default: the whole matrix)")
 	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete record")
@@ -97,6 +100,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	store, err := openCkptStore(*ckptDir, *ckptURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+	if store != nil {
+		// Every point starts from a copy of Base, so one store-backed
+		// cache serves the whole matrix: each cell fetches its own warm
+		// checkpoint if a fleet-mate already paid for it, and uploads it
+		// otherwise. Restores are bit-identical to local warmup, so the
+		// results stream is unchanged.
+		wc := reunion.NewWarmCache()
+		wc.UseStore(store)
+		spec.Base.Warm = wc
+	}
 
 	if *format != "jsonl" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (valid: jsonl, csv)\n", *format)
@@ -116,9 +134,13 @@ func main() {
 	// (constant) spec name and size: resuming or merging under different
 	// flags must fail loudly instead of interleaving two experiments.
 	// The kernel is deliberately excluded — its outputs are bit-identical
-	// by contract, and CI byte-compares fastforward/naive journals.
+	// by contract, and CI byte-compares fastforward/naive journals. So is
+	// the checkpoint store: it is a cache, not configuration (restores are
+	// bit-identical to local warmup), and as a pointer it would render as
+	// an address and ruin fingerprint determinism anyway.
 	fpBase := spec.Base
 	fpBase.Kernel = reunion.KernelFastForward
+	fpBase.Warm = nil
 	plan.Fingerprint = dist.Fingerprint(append(spec.FingerprintParts(),
 		fmt.Sprintf("base:%+v", fpBase))...)
 
@@ -270,6 +292,20 @@ func main() {
 // parseKernel resolves the -kernel flag. Both kernels are bit-identical
 // in results, which is what makes a per-shard fastforward-vs-naive byte
 // comparison of journals a kernel-equivalence check (see CI).
+// openCkptStore resolves the -ckpt-store/-ckpt-url flag pair into a
+// checkpoint-store backend, or nil when neither is set.
+func openCkptStore(dir, url string) (ckptstore.Store, error) {
+	switch {
+	case dir != "" && url != "":
+		return nil, errors.New("-ckpt-store and -ckpt-url are mutually exclusive")
+	case dir != "":
+		return ckptstore.NewDisk(dir)
+	case url != "":
+		return ckptstore.NewClient(url), nil
+	}
+	return nil, nil
+}
+
 func parseKernel(name string) (reunion.Kernel, error) {
 	switch name {
 	case "fastforward", "fast-forward":

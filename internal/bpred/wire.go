@@ -1,0 +1,42 @@
+package bpred
+
+import "reunion/internal/bin"
+
+// Wire codec for predictor snapshots (checkpoint serialization).
+
+// Encode writes the snapshot.
+func (s *PredictorState) Encode(w *bin.Writer) {
+	w.Bytes64(s.counters)
+	w.Uvarint(uint64(len(s.btbTags)))
+	for _, t := range s.btbTags {
+		w.U64(t)
+	}
+	for _, t := range s.btbTargets {
+		w.I64(t)
+	}
+	w.I64(s.lookups)
+	w.I64(s.mispredicts)
+}
+
+// DecodePredictorState reads a snapshot written by Encode.
+func DecodePredictorState(r *bin.Reader) *PredictorState {
+	s := &PredictorState{counters: r.Bytes64()}
+	n := r.Len(16) // every tag is paired with a target
+	for i := 0; i < n; i++ {
+		s.btbTags = append(s.btbTags, r.U64())
+	}
+	for i := 0; i < n; i++ {
+		s.btbTargets = append(s.btbTargets, r.I64())
+	}
+	s.lookups = r.I64()
+	s.mispredicts = r.I64()
+	if r.Err() != nil {
+		return nil
+	}
+	return s
+}
+
+// Geometry returns the snapshotted table sizes (bind-time check).
+func (s *PredictorState) Geometry() (counters, btb int) {
+	return len(s.counters), len(s.btbTags)
+}

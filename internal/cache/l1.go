@@ -89,6 +89,7 @@ type mshrWaiter struct {
 	isAtomic bool
 	word     int
 	data     uint64
+	cb       *CB // serializable descriptor for the callbacks (nil from the plain entry points)
 	loadFn   func(val uint64)
 	storeFn  func()
 }
@@ -162,15 +163,22 @@ func (c *L1) allocMSHR(block uint64, forX bool) *mshr {
 
 // sendMiss issues the downstream request for a freshly allocated MSHR.
 func (c *L1) sendMiss(m *mshr, kind ReqKind) {
-	block := m.block
 	c.below.Request(&Req{
 		Kind:  kind,
-		Block: block,
+		Block: m.block,
 		Core:  c.Core,
 		Pair:  c.Pair,
 		Vocal: c.Vocal,
-		Done:  func(r Resp) { c.fill(block, r) },
+		Done:  c.FillFn(m.block),
 	})
+}
+
+// FillFn returns the downstream completion callback for a miss on block —
+// the Done every request this cache issues carries. Exposed so the
+// checkpoint decoder can rebind a deserialized in-flight request to the
+// same closure the live cache registered.
+func (c *L1) FillFn(block uint64) func(Resp) {
+	return func(r Resp) { c.fill(block, r) }
 }
 
 // fill completes an outstanding miss: installs the line, performs waiting
@@ -242,12 +250,19 @@ func (c *L1) evict(victim Line) {
 
 // Load attempts to read the 64-bit word at block + 8*word.
 func (c *L1) Load(block uint64, word int, done func(val uint64)) (AccessStatus, uint64) {
+	return c.LoadD(block, word, nil, done)
+}
+
+// LoadD is Load with a serializable descriptor for done (see CB). Callers
+// whose caches get checkpointed must use the D entry points; the plain ones
+// register callbacks no checkpoint can carry.
+func (c *L1) LoadD(block uint64, word int, cb *CB, done func(val uint64)) (AccessStatus, uint64) {
 	if l := c.Arr.Lookup(block); l != nil {
 		c.Hits++
 		return Hit, l.Data[word]
 	}
 	if m := c.findMSHR(block); m != nil {
-		m.waiters = append(m.waiters, mshrWaiter{word: word, loadFn: done})
+		m.waiters = append(m.waiters, mshrWaiter{word: word, cb: cb, loadFn: done})
 		c.MergedMisses++
 		return Miss, 0
 	}
@@ -256,7 +271,7 @@ func (c *L1) Load(block uint64, word int, done func(val uint64)) (AccessStatus, 
 		c.Retries++
 		return Retry, 0
 	}
-	m.waiters = append(m.waiters, mshrWaiter{word: word, loadFn: done})
+	m.waiters = append(m.waiters, mshrWaiter{word: word, cb: cb, loadFn: done})
 	c.Misses++
 	kind := GetS
 	if c.iscache {
@@ -269,7 +284,12 @@ func (c *L1) Load(block uint64, word int, done func(val uint64)) (AccessStatus, 
 // Ifetch attempts to fetch the instruction block (timing only; instruction
 // bytes themselves come from the Thread).
 func (c *L1) Ifetch(block uint64, done func()) AccessStatus {
-	st, _ := c.Load(block, 0, func(uint64) {
+	return c.IfetchD(block, nil, done)
+}
+
+// IfetchD is Ifetch with a serializable descriptor for done.
+func (c *L1) IfetchD(block uint64, cb *CB, done func()) AccessStatus {
+	st, _ := c.LoadD(block, 0, cb, func(uint64) {
 		if done != nil {
 			done()
 		}
@@ -281,6 +301,11 @@ func (c *L1) Ifetch(block uint64, done func()) AccessStatus {
 // write permission the store completes immediately; otherwise the line is
 // (re)fetched exclusively and the store is applied at fill time.
 func (c *L1) Store(block uint64, word int, val uint64, done func()) AccessStatus {
+	return c.StoreD(block, word, val, nil, done)
+}
+
+// StoreD is Store with a serializable descriptor for done.
+func (c *L1) StoreD(block uint64, word int, val uint64, cb *CB, done func()) AccessStatus {
 	if l := c.Arr.Lookup(block); l != nil {
 		switch l.State {
 		case Modified, Exclusive:
@@ -301,7 +326,7 @@ func (c *L1) Store(block uint64, word int, val uint64, done func()) AccessStatus
 			c.Retries++
 			return Retry
 		}
-		m.waiters = append(m.waiters, mshrWaiter{isStore: true, word: word, data: val, storeFn: done})
+		m.waiters = append(m.waiters, mshrWaiter{isStore: true, word: word, data: val, cb: cb, storeFn: done})
 		c.MergedMisses++
 		return Miss
 	}
@@ -310,7 +335,7 @@ func (c *L1) Store(block uint64, word int, val uint64, done func()) AccessStatus
 		c.Retries++
 		return Retry
 	}
-	m.waiters = append(m.waiters, mshrWaiter{isStore: true, word: word, data: val, storeFn: done})
+	m.waiters = append(m.waiters, mshrWaiter{isStore: true, word: word, data: val, cb: cb, storeFn: done})
 	c.Misses++
 	c.sendMiss(m, GetX)
 	return Miss
@@ -321,6 +346,11 @@ func (c *L1) Store(block uint64, word int, val uint64, done func()) AccessStatus
 // calls AtomicEnd at retirement to apply (or discard) the write and
 // unlock. Used by CAS.
 func (c *L1) AtomicBegin(block uint64, word int, done func(old uint64)) (AccessStatus, uint64) {
+	return c.AtomicBeginD(block, word, nil, done)
+}
+
+// AtomicBeginD is AtomicBegin with a serializable descriptor for done.
+func (c *L1) AtomicBeginD(block uint64, word int, cb *CB, done func(old uint64)) (AccessStatus, uint64) {
 	if l := c.Arr.Lookup(block); l != nil && (l.State == Modified || l.State == Exclusive) {
 		l.Locked = true
 		c.Hits++
@@ -337,19 +367,26 @@ func (c *L1) AtomicBegin(block uint64, word int, done func(old uint64)) (AccessS
 		c.Retries++
 		return Retry, 0
 	}
-	blockCopy := block
-	m.waiters = append(m.waiters, mshrWaiter{word: word, loadFn: func(v uint64) {
-		if l := c.Arr.Peek(blockCopy); l != nil {
+	m.waiters = append(m.waiters, mshrWaiter{word: word, cb: cb, loadFn: c.AtomicFillWrap(block, done)})
+	c.Misses++
+	c.sendMiss(m, GetX)
+	return Miss, 0
+}
+
+// AtomicFillWrap returns the fill completion an AtomicBegin miss registers:
+// lock the just-filled line (write permission was granted by the GetX),
+// then finish the atomic. Exposed so the checkpoint decoder can rebuild the
+// exact waiter closure from a CBAtomicBegin descriptor.
+func (c *L1) AtomicFillWrap(block uint64, done func(old uint64)) func(uint64) {
+	return func(v uint64) {
+		if l := c.Arr.Peek(block); l != nil {
 			l.Locked = true
-			l.State = Modified // write permission was granted by the GetX
+			l.State = Modified
 		}
 		if done != nil {
 			done(v)
 		}
-	}})
-	c.Misses++
-	c.sendMiss(m, GetX)
-	return Miss, 0
+	}
 }
 
 // AtomicEnd completes an atomic: optionally writes the new value, marks
@@ -377,6 +414,11 @@ func (c *L1) AtomicEnd(block uint64, word int, val uint64, write bool) {
 // would. done receives the coherent word value. Returns false while a
 // prior miss on the block is still outstanding or MSHRs are exhausted.
 func (c *L1) SyncFill(block uint64, word int, atomic bool, token int64, done func(old uint64)) bool {
+	return c.SyncFillD(block, word, atomic, token, nil, done)
+}
+
+// SyncFillD is SyncFill with a serializable descriptor for done.
+func (c *L1) SyncFillD(block uint64, word int, atomic bool, token int64, cb *CB, done func(old uint64)) bool {
 	if c.findMSHR(block) != nil {
 		return false
 	}
@@ -384,7 +426,7 @@ func (c *L1) SyncFill(block uint64, word int, atomic bool, token int64, done fun
 	if m == nil {
 		return false
 	}
-	m.waiters = append(m.waiters, mshrWaiter{isAtomic: atomic, word: word, loadFn: done})
+	m.waiters = append(m.waiters, mshrWaiter{isAtomic: atomic, word: word, cb: cb, loadFn: done})
 	c.below.Request(&Req{
 		Kind:  Sync,
 		Block: block,
@@ -392,7 +434,7 @@ func (c *L1) SyncFill(block uint64, word int, atomic bool, token int64, done fun
 		Pair:  c.Pair,
 		Vocal: c.Vocal,
 		Token: token,
-		Done:  func(r Resp) { c.fill(block, r) },
+		Done:  c.FillFn(block),
 	})
 	return true
 }

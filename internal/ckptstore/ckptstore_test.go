@@ -1,0 +1,275 @@
+package ckptstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// seal wraps a payload in the store's CRC-64 footer, producing a valid
+// blob without involving the checkpoint encoder.
+func seal(payload []byte) []byte {
+	sum := crc64.Checksum(payload, crc64.MakeTable(crc64.ECMA))
+	return binary.LittleEndian.AppendUint64(append([]byte(nil), payload...), sum)
+}
+
+func TestVerify(t *testing.T) {
+	good := seal([]byte("machine state"))
+	if err := Verify(good); err != nil {
+		t.Fatalf("valid blob rejected: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[3] ^= 0x40
+	if Verify(bad) == nil {
+		t.Error("bit-flipped blob passed verification")
+	}
+	if Verify(good[:len(good)-1]) == nil {
+		t.Error("truncated blob passed verification")
+	}
+	if Verify([]byte{1, 2, 3}) == nil {
+		t.Error("blob shorter than its footer passed verification")
+	}
+}
+
+func TestKeyNameRoundTrip(t *testing.T) {
+	for _, key := range []uint64{0, 1, 0xdeadbeefcafe0123, ^uint64(0)} {
+		got, err := ParseKey(KeyName(key))
+		if err != nil || got != key {
+			t.Errorf("ParseKey(KeyName(%#x)) = %#x, %v", key, got, err)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "00112233445566", "00112233445566778", "0011223344556G77"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(0x1122334455667788)
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: %v, want ErrNotFound", err)
+	}
+	blob := seal([]byte("warm state"))
+	if err := d.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(key)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get after Put: %q, %v", got, err)
+	}
+	// Overwrite with identical content is idempotent.
+	if err := d.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(key, []byte("unsealed")); err == nil {
+		t.Error("Put accepted a blob without a valid footer")
+	}
+}
+
+// TestDiskCrashDuringPut simulates a writer dying between temp-file
+// write and rename: the orphaned temp file must be invisible to Get,
+// and a later Put of the same key must still land atomically.
+func TestDiskCrashDuringPut(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(0xabcdef)
+	blob := seal([]byte("complete checkpoint"))
+
+	// The crash: a torn temp file sits in the final directory, holding a
+	// prefix of the blob, never renamed.
+	dir := filepath.Dir(d.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, filepath.Base(d.path(key))+".tmp123456")
+	if err := os.WriteFile(torn, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get with only a torn temp file present: %v, want ErrNotFound", err)
+	}
+	if err := d.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(key)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get after recovery Put: %v", err)
+	}
+}
+
+// TestDiskCorruptAtRest proves a blob corrupted on disk is an error at
+// Get, never handed to the decoder.
+func TestDiskCorruptAtRest(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(42)
+	if err := d.Put(key, seal([]byte("pristine"))); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(d.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x01
+	if err := os.WriteFile(d.path(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of corrupted blob: %v, want checksum error", err)
+	}
+}
+
+func newTestClient(url string) *Client {
+	c := NewClient(url)
+	c.retryWait = 0
+	return c
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	c := newTestClient(srv.URL)
+
+	key := uint64(0x5ca1ab1e)
+	if _, err := c.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: %v, want ErrNotFound", err)
+	}
+	blob := seal([]byte("over the wire"))
+	if err := c.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(key)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get after Put: %v", err)
+	}
+	// The server's copy is the disk store's copy.
+	onDisk, err := d.Get(key)
+	if err != nil || string(onDisk) != string(blob) {
+		t.Fatalf("server-side store: %v", err)
+	}
+}
+
+// TestHTTPRetryOnce proves the client's transient-failure policy: a 503
+// answered by a 200 succeeds after exactly one retry; persistent 503s
+// fail after exactly two attempts total.
+func TestHTTPRetryOnce(t *testing.T) {
+	blob := seal([]byte("flaky"))
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gets.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(blob)
+	}))
+	defer srv.Close()
+	c := newTestClient(srv.URL)
+	got, err := c.Get(1)
+	if err != nil || string(got) != string(blob) {
+		t.Fatalf("Get through one 503: %v", err)
+	}
+	if n := gets.Load(); n != 2 {
+		t.Errorf("server saw %d requests, want exactly 2 (one retry)", n)
+	}
+
+	var always atomic.Int64
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		always.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	if _, err := newTestClient(down.URL).Get(1); err == nil {
+		t.Error("Get from a persistently failing server succeeded")
+	}
+	if n := always.Load(); n != 2 {
+		t.Errorf("server saw %d requests, want exactly 2 (one retry, then give up)", n)
+	}
+}
+
+// TestHTTPChecksumRejection proves the client re-verifies fetched
+// bodies: a corrupted response is an immediate error with no retry
+// (the server's copy is bad; re-fetching cannot help).
+func TestHTTPChecksumRejection(t *testing.T) {
+	blob := seal([]byte("will be corrupted"))
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		bad := append([]byte(nil), blob...)
+		bad[2] ^= 0x80
+		w.Write(bad)
+	}))
+	defer srv.Close()
+	_, err := newTestClient(srv.URL).Get(1)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of checksum-mismatched body: %v, want checksum error", err)
+	}
+	if n := gets.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1 (checksum mismatch is not retried)", n)
+	}
+}
+
+// TestHTTPTruncatedBody proves a response cut short mid-body fails
+// verification client-side.
+func TestHTTPTruncatedBody(t *testing.T) {
+	blob := seal(make([]byte, 4096))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(blob[:1000])
+	}))
+	defer srv.Close()
+	if _, err := newTestClient(srv.URL).Get(1); err == nil {
+		t.Error("Get of truncated body succeeded")
+	}
+}
+
+// TestHandlerBadRequests covers the server's input validation.
+func TestHandlerBadRequests(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/ckpt/nothex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET bad key: status %d, want 400", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/ckpt/"+KeyName(7),
+		bytes.NewReader([]byte("not a sealed blob")))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT unsealed blob: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,77 @@
+package ckptstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Disk is the local filesystem backend: one file per checkpoint at
+// <root>/<kk>/<keyname>.ckpt, fanned out by the key's leading byte so a
+// campaign's store never piles thousands of files into one directory.
+//
+// Writes are atomic — blob bytes land in a temp file in the final
+// directory, then rename into place — so a crash mid-write leaves only
+// a *.tmp orphan that Get never reads, never a torn checkpoint. Reads
+// re-verify the CRC footer so a blob corrupted at rest is an error, not
+// a restore.
+type Disk struct {
+	root string
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckptstore: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+func (d *Disk) path(key uint64) string {
+	name := KeyName(key)
+	return filepath.Join(d.root, name[:2], name+".ckpt")
+}
+
+// Get reads and verifies the blob stored under key.
+func (d *Disk) Get(key uint64) ([]byte, error) {
+	blob, err := os.ReadFile(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: %w", err)
+	}
+	if err := Verify(blob); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// Put verifies blob and writes it under key via temp-file + rename.
+func (d *Disk) Put(key uint64, blob []byte) error {
+	if err := Verify(blob); err != nil {
+		return err
+	}
+	final := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), filepath.Base(final)+".tmp")
+	if err != nil {
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	return nil
+}

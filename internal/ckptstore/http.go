@@ -1,0 +1,165 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The HTTP backend: Handler serves any Store over a two-verb protocol
+// (GET/PUT /ckpt/<keyname>), and Client is the matching Store
+// implementation a sweep or campaign worker points at a reunion-ckptd.
+//
+// The client never trusts the wire: every fetched body is re-verified
+// against its CRC footer before it is returned, so a truncated or
+// bit-flipped response is an error the caller handles by re-warming —
+// exactly like a local miss. Transient server errors (5xx) and
+// transport failures are retried exactly once after a short backoff;
+// 404 maps to ErrNotFound and is never retried.
+
+// Handler serves s over HTTP. Routes:
+//
+//	GET /ckpt/<16-hex-key>  -> 200 blob | 404 | 500
+//	PUT /ckpt/<16-hex-key>  -> 204     | 400 (bad key/blob) | 500
+func Handler(s Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ckpt/", func(w http.ResponseWriter, r *http.Request) {
+		key, err := ParseKey(strings.TrimPrefix(r.URL.Path, "/ckpt/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			blob, err := s.Get(key)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				http.Error(w, err.Error(), http.StatusNotFound)
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			default:
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Write(blob)
+			}
+		case http.MethodPut:
+			blob, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := Verify(blob); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := s.Put(key, blob); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// Client is the Store a worker points at a checkpoint server.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// retryWait is the backoff before the single retry of a transient
+	// failure (tests shrink it).
+	retryWait time.Duration
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://ckpt-host:9347"). Requests time out after a bound suited to
+// multi-megabyte machine images on a LAN.
+func NewClient(base string) *Client {
+	return &Client{
+		base:      strings.TrimRight(base, "/"),
+		hc:        &http.Client{Timeout: 30 * time.Second},
+		retryWait: 250 * time.Millisecond,
+	}
+}
+
+func (c *Client) url(key uint64) string { return c.base + "/ckpt/" + KeyName(key) }
+
+// retryable reports whether a failed attempt is worth one retry:
+// transport errors and 5xx responses are transient; 4xx are not.
+func retryable(status int, err error) bool {
+	return err != nil || status >= 500
+}
+
+// Get fetches and re-verifies the blob stored under key. A transient
+// failure is retried exactly once; a checksum-mismatched body is an
+// immediate error (the server's copy is bad — re-fetching cannot fix
+// it).
+func (c *Client) Get(key uint64) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.retryWait)
+		}
+		resp, err := c.hc.Get(c.url(key))
+		if err != nil {
+			lastErr = fmt.Errorf("ckptstore: %w", err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, ErrNotFound
+		case retryable(resp.StatusCode, err):
+			lastErr = fmt.Errorf("ckptstore: GET %s: status %d, %v", KeyName(key), resp.StatusCode, err)
+			continue
+		case resp.StatusCode != http.StatusOK:
+			return nil, fmt.Errorf("ckptstore: GET %s: status %d", KeyName(key), resp.StatusCode)
+		}
+		if err := Verify(body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	return nil, lastErr
+}
+
+// Put verifies blob and uploads it under key, retrying a transient
+// failure exactly once.
+func (c *Client) Put(key uint64, blob []byte) error {
+	if err := Verify(blob); err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.retryWait)
+		}
+		req, err := http.NewRequest(http.MethodPut, c.url(key), bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("ckptstore: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("ckptstore: %w", err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if retryable(resp.StatusCode, nil) {
+			lastErr = fmt.Errorf("ckptstore: PUT %s: status %d", KeyName(key), resp.StatusCode)
+			continue
+		}
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ckptstore: PUT %s: status %d", KeyName(key), resp.StatusCode)
+		}
+		return nil
+	}
+	return lastErr
+}

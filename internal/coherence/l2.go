@@ -204,9 +204,14 @@ func (l2 *L2) bankOf(block uint64) *interconnect.BankQueue {
 // Request accepts an L1 (or pair) request. It arrives at its bank after
 // the crossbar latency.
 func (l2 *L2) Request(r *cache.Req) {
-	l2.eq.After(l2.cfg.XBarLatency, func() {
-		l2.bankOf(r.Block).Push(l2.eq.Now(), r)
-	})
+	l2.eq.AfterD(l2.cfg.XBarLatency, &EvXbar{R: r}, l2.XbarArrive(r))
+}
+
+// XbarArrive returns the fire closure for a crossbar-traversal event:
+// the request lands in its bank queue. The checkpoint decoder rebuilds
+// pending traversals from EvXbar descriptors through this factory.
+func (l2 *L2) XbarArrive(r *cache.Req) func() {
+	return func() { l2.bankOf(r.Block).Push(l2.eq.Now(), r) }
 }
 
 // Tick services every bank once per cycle. Call exactly once per cycle.
@@ -274,20 +279,29 @@ func (l2 *L2) reply(r *cache.Req, data *mem.Block, exclusive bool, extra int64) 
 	if lat < 1 {
 		lat = 1
 	}
-	resp := cache.Resp{Data: *data, Exclusive: exclusive}
 	track := r.Kind != cache.Ifetch
-	key := flightKey{core: r.Core, block: r.Block}
 	if track {
-		l2.fillsInFlight[key]++
+		l2.fillsInFlight[flightKey{core: r.Core, block: r.Block}]++
 	}
-	l2.eq.After(lat, func() {
-		r.Done(resp)
-		if track {
+	d := &EvReply{R: r, Data: *data, Exclusive: exclusive, Track: track}
+	l2.eq.AfterD(lat, d, l2.DeliverReply(d))
+}
+
+// DeliverReply returns the fire closure for a scheduled reply: deliver
+// the response, then retire the in-flight fill-tracking entry. The
+// tracking increment happened at schedule time and is captured in the
+// snapshotted fillsInFlight map, so a checkpoint rebind must only attach
+// this closure — never re-increment.
+func (l2 *L2) DeliverReply(d *EvReply) func() {
+	return func() {
+		d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
+		if d.Track {
+			key := flightKey{core: d.R.Core, block: d.R.Block}
 			if l2.fillsInFlight[key]--; l2.fillsInFlight[key] == 0 {
 				delete(l2.fillsInFlight, key)
 			}
 		}
-	})
+	}
 }
 
 func (l2 *L2) fillInFlight(core int, block uint64) bool {
@@ -440,13 +454,16 @@ func (l2 *L2) invalidateSharers(r *cache.Req, block uint64, d *dirEntry, keep in
 	return true
 }
 
-// ensureLine obtains the L2 line for r.Block, fetching from memory when
-// absent. cont runs when the line is resident, with extra latency already
-// accumulated for the reply. Returns false if the request was deferred.
-func (l2 *L2) ensureLine(r *cache.Req, cont func(line *cache.Line, extra int64)) bool {
+// ensureLine obtains the L2 line for d.R.Block, fetching from memory when
+// absent. The continuation named by d runs when the line is resident, with
+// extra latency already accumulated for the reply. Returns false if the
+// request was deferred. The continuation is carried as plain data (not a
+// closure) so a pending off-chip fetch survives checkpoint serialization.
+func (l2 *L2) ensureLine(d *EvMemCont) bool {
+	r := d.R
 	if l := l2.arr.Lookup(r.Block); l != nil {
 		l2.HitsL2++
-		cont(l, 0)
+		l2.runCont(d, l, 0)
 		return true
 	}
 	if l2.memInFlight >= l2.cfg.MemMSHRs {
@@ -456,17 +473,40 @@ func (l2 *L2) ensureLine(r *cache.Req, cont func(line *cache.Line, extra int64))
 	l2.MissesL2++
 	l2.MemAccesses++
 	l2.memInFlight++
-	block := r.Block
-	l2.eq.After(l2.memAccessLatency(block), func() {
+	l2.eq.AfterD(l2.memAccessLatency(r.Block), d, l2.MemFetchDone(d))
+	return true
+}
+
+// MemFetchDone returns the fire closure for an off-chip fetch completion:
+// install the block and resume the request's continuation. The off-chip
+// latency was paid by the event itself; the reply adds only its normal
+// on-chip service and crossbar time. The memInFlight increment happened at
+// schedule time and is captured in the snapshot, so a checkpoint rebind
+// must only attach this closure.
+func (l2 *L2) MemFetchDone(d *EvMemCont) func() {
+	return func() {
 		l2.memInFlight--
 		var data mem.Block
-		l2.mem.ReadBlock(block, &data)
-		line := l2.installL2(block, &data)
-		// The off-chip latency was paid by this event; the reply adds only
-		// its normal on-chip service and crossbar time.
-		cont(line, 0)
-	})
-	return true
+		l2.mem.ReadBlock(d.R.Block, &data)
+		line := l2.installL2(d.R.Block, &data)
+		l2.runCont(d, line, 0)
+	}
+}
+
+// runCont dispatches a resident-line continuation by kind.
+func (l2 *L2) runCont(d *EvMemCont, line *cache.Line, extra int64) {
+	switch d.Cont {
+	case ContIfetch:
+		l2.reply(d.R, &line.Data, false, extra)
+	case ContGetS:
+		l2.contGetS(d.R, line, extra)
+	case ContGetX:
+		l2.contGetX(d.R, line, extra)
+	case ContSync:
+		l2.contSync(d, line, extra)
+	default:
+		panic(fmt.Sprintf("coherence: unknown continuation kind %d", d.Cont))
+	}
 }
 
 // installL2 places a block into the L2 array, handling inclusive eviction
@@ -525,43 +565,47 @@ func (l2 *L2) processVocal(r *cache.Req) {
 	switch r.Kind {
 	case cache.Ifetch:
 		l2.Ifetches++
-		l2.ensureLine(r, func(line *cache.Line, extra int64) {
-			l2.reply(r, &line.Data, false, extra)
-		})
+		l2.ensureLine(&EvMemCont{R: r, Cont: ContIfetch})
 	case cache.GetS:
 		l2.Reads++
-		l2.ensureLine(r, func(line *cache.Line, extra int64) {
-			d := l2.dirFor(r.Block)
-			ok, rextra := l2.recallOwner(r, line, d, false)
-			if !ok {
-				return
-			}
-			exclusive := d.sharers == 0 && d.owner < 0
-			if exclusive {
-				d.owner = int8(r.Core)
-			} else {
-				d.sharers |= 1 << uint(r.Core)
-			}
-			l2.reply(r, &line.Data, exclusive, extra+rextra)
-		})
+		l2.ensureLine(&EvMemCont{R: r, Cont: ContGetS})
 	case cache.GetX:
 		l2.ReadX++
-		l2.ensureLine(r, func(line *cache.Line, extra int64) {
-			d := l2.dirFor(r.Block)
-			ok, rextra := l2.recallOwner(r, line, d, true)
-			if !ok {
-				return
-			}
-			if !l2.invalidateSharers(r, r.Block, d, r.Core) {
-				return
-			}
-			d.sharers = 0
-			d.owner = int8(r.Core)
-			l2.reply(r, &line.Data, true, extra+rextra)
-		})
+		l2.ensureLine(&EvMemCont{R: r, Cont: ContGetX})
 	default:
 		panic(fmt.Sprintf("coherence: unexpected vocal request kind %v", r.Kind))
 	}
+}
+
+// contGetS resumes a vocal read once the line is resident.
+func (l2 *L2) contGetS(r *cache.Req, line *cache.Line, extra int64) {
+	d := l2.dirFor(r.Block)
+	ok, rextra := l2.recallOwner(r, line, d, false)
+	if !ok {
+		return
+	}
+	exclusive := d.sharers == 0 && d.owner < 0
+	if exclusive {
+		d.owner = int8(r.Core)
+	} else {
+		d.sharers |= 1 << uint(r.Core)
+	}
+	l2.reply(r, &line.Data, exclusive, extra+rextra)
+}
+
+// contGetX resumes a vocal read-exclusive once the line is resident.
+func (l2 *L2) contGetX(r *cache.Req, line *cache.Line, extra int64) {
+	d := l2.dirFor(r.Block)
+	ok, rextra := l2.recallOwner(r, line, d, true)
+	if !ok {
+		return
+	}
+	if !l2.invalidateSharers(r, r.Block, d, r.Core) {
+		return
+	}
+	d.sharers = 0
+	d.owner = int8(r.Core)
+	l2.reply(r, &line.Data, true, extra+rextra)
 }
 
 // processPhantom serves a mute request at the configured strength.
@@ -608,13 +652,20 @@ func (l2 *L2) processPhantom(r *cache.Req) {
 		l2.PhantomMemReads++
 		l2.MemAccesses++
 		l2.memInFlight++
-		block := r.Block
-		l2.eq.After(l2.memAccessLatency(block), func() {
-			l2.memInFlight--
-			var data mem.Block
-			l2.mem.ReadBlock(block, &data)
-			l2.reply(r, &data, true, 0)
-		})
+		l2.eq.AfterD(l2.memAccessLatency(r.Block), &EvPhantomMem{R: r}, l2.PhantomMemDone(r))
+	}
+}
+
+// PhantomMemDone returns the fire closure for a phantom off-chip read:
+// reply with the memory image without installing anything. The memInFlight
+// increment happened at schedule time and is captured in the snapshot, so
+// a checkpoint rebind must only attach this closure.
+func (l2 *L2) PhantomMemDone(r *cache.Req) func() {
+	return func() {
+		l2.memInFlight--
+		var data mem.Block
+		l2.mem.ReadBlock(r.Block, &data)
+		l2.reply(r, &data, true, 0)
 	}
 }
 
@@ -752,37 +803,46 @@ func (l2 *L2) processSync(r *cache.Req) {
 	l2.l1d[mute.Core].ProbeInvalidate(r.Block)
 	delete(l2.pendingSync, r.Pair)
 
-	l2.ensureLine(r, func(line *cache.Line, extra int64) {
-		d := l2.dirFor(r.Block)
-		ok, rextra := l2.recallOwner(r, line, d, true)
-		if !ok {
-			// recallOwner requeued r; re-park its partner so the retried
-			// request finds it and the pair combines again.
-			partner := vocal
-			if r == vocal {
-				partner = mute
-			}
-			l2.pendingSync[r.Pair] = partner
-			return
-		}
-		if vhad && vdirty {
-			line.Data = vd
-			line.Dirty = true
-		}
-		if !l2.invalidateSharers(r, r.Block, d, vocal.Core) {
-			// r was requeued; re-park its partner so the retried request
-			// finds it and the pair combines again.
-			partner := vocal
-			if r == vocal {
-				partner = mute
-			}
-			l2.pendingSync[r.Pair] = partner
-			return
-		}
-		d.sharers = 0
-		d.owner = int8(vocal.Core)
-		// Atomic reply to both members of the pair.
-		l2.reply(vocal, &line.Data, true, extra+rextra)
-		l2.reply(mute, &line.Data, true, extra+rextra)
+	l2.ensureLine(&EvMemCont{
+		R: r, Cont: ContSync,
+		Vocal: vocal, Mute: mute,
+		VHad: vhad, VDirty: vdirty, VData: vd,
 	})
+}
+
+// contSync resumes a combined synchronizing request once the line is
+// resident. d carries the pair's two requests and the flushed vocal copy.
+func (l2 *L2) contSync(c *EvMemCont, line *cache.Line, extra int64) {
+	r := c.R
+	d := l2.dirFor(r.Block)
+	ok, rextra := l2.recallOwner(r, line, d, true)
+	if !ok {
+		// recallOwner requeued r; re-park its partner so the retried
+		// request finds it and the pair combines again.
+		partner := c.Vocal
+		if r == c.Vocal {
+			partner = c.Mute
+		}
+		l2.pendingSync[r.Pair] = partner
+		return
+	}
+	if c.VHad && c.VDirty {
+		line.Data = c.VData
+		line.Dirty = true
+	}
+	if !l2.invalidateSharers(r, r.Block, d, c.Vocal.Core) {
+		// r was requeued; re-park its partner so the retried request
+		// finds it and the pair combines again.
+		partner := c.Vocal
+		if r == c.Vocal {
+			partner = c.Mute
+		}
+		l2.pendingSync[r.Pair] = partner
+		return
+	}
+	d.sharers = 0
+	d.owner = int8(c.Vocal.Core)
+	// Atomic reply to both members of the pair.
+	l2.reply(c.Vocal, &line.Data, true, extra+rextra)
+	l2.reply(c.Mute, &line.Data, true, extra+rextra)
 }

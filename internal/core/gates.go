@@ -12,6 +12,7 @@
 package core
 
 import (
+	"reunion/internal/cache"
 	"reunion/internal/cpu"
 	"reunion/internal/sim"
 )
@@ -81,7 +82,7 @@ func (*NonRedundantGate) Stepping(*cpu.Core) bool { return false }
 func (*NonRedundantGate) SyncArmed(*cpu.Core) bool { return false }
 
 // SyncIssue implements cpu.Gate.
-func (*NonRedundantGate) SyncIssue(*cpu.Core, uint64, int, bool, func(uint64)) bool {
+func (*NonRedundantGate) SyncIssue(*cpu.Core, uint64, int, bool, *cache.CB, func(uint64)) bool {
 	panic("core: synchronizing request without redundancy")
 }
 
@@ -188,7 +189,7 @@ func (*StrictGate) SyncArmed(*cpu.Core) bool { return false }
 
 // SyncIssue implements cpu.Gate. Strict input replication never sees input
 // incoherence, so the re-execution protocol is never invoked.
-func (*StrictGate) SyncIssue(*cpu.Core, uint64, int, bool, func(uint64)) bool {
+func (*StrictGate) SyncIssue(*cpu.Core, uint64, int, bool, *cache.CB, func(uint64)) bool {
 	panic("core: synchronizing request under strict input replication")
 }
 

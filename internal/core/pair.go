@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"reunion/internal/cache"
 	"reunion/internal/cpu"
 	"reunion/internal/sim"
 	"reunion/internal/trace"
@@ -223,30 +224,8 @@ func (p *Pair) Tick() {
 			p.Trace.Addf(p.EQ.Now(), p.VocalC.ID, trace.Compare,
 				"mismatch endSeq=%d fp=%04x/%04x stepping=%v", aEnd, a.fp, b.fp, p.stepping)
 		}
-		p.EQ.At(at, func() {
-			if p.gen != gen {
-				return
-			}
-			// Event-context mutation of the cores' retirement state: both
-			// must leave their self-tick short-circuit.
-			p.VocalC.MarkDirty()
-			p.MuteC.MarkDirty()
-			if !match {
-				p.recover()
-				return
-			}
-			now := p.EQ.Now()
-			p.sides[0].decided = append(p.sides[0].decided, decidedInterval{endSeq: aEnd, at: now})
-			p.sides[1].decided = append(p.sides[1].decided, decidedInterval{endSeq: bEnd, at: now})
-			if p.stepping && endsMem {
-				// Re-execution protocol complete: the first memory
-				// operation after rollback compared successfully; normal
-				// execution resumes (Definition 11).
-				p.stepping = false
-				p.syncArmed = false
-				p.phase = 0
-			}
-		})
+		desc := &EvDecide{PairID: p.ID, Gen: gen, Match: match, AEnd: aEnd, BEnd: bEnd, EndsMem: endsMem}
+		p.EQ.AtD(at, desc, p.FireDecide(gen, match, aEnd, bEnd, endsMem))
 	}
 	// Divergence watchdog: if one side keeps sending while the other is
 	// silent (e.g., the mute wandered off a garbage-value branch with a
@@ -260,6 +239,37 @@ func (p *Pair) Tick() {
 	case p.EQ.Now()-p.lonelySince > p.Timeout:
 		p.Stats.Timeouts++
 		p.recover()
+	}
+}
+
+// FireDecide returns the comparison-decision event body for one matched
+// interval: generation-guarded, it either commits the decided interval to
+// both sides or starts recovery. The checkpoint decoder rebuilds scheduled
+// decisions from their EvDecide descriptors through this same factory.
+func (p *Pair) FireDecide(gen int64, match bool, aEnd, bEnd int64, endsMem bool) func() {
+	return func() {
+		if p.gen != gen {
+			return
+		}
+		// Event-context mutation of the cores' retirement state: both
+		// must leave their self-tick short-circuit.
+		p.VocalC.MarkDirty()
+		p.MuteC.MarkDirty()
+		if !match {
+			p.recover()
+			return
+		}
+		now := p.EQ.Now()
+		p.sides[0].decided = append(p.sides[0].decided, decidedInterval{endSeq: aEnd, at: now})
+		p.sides[1].decided = append(p.sides[1].decided, decidedInterval{endSeq: bEnd, at: now})
+		if p.stepping && endsMem {
+			// Re-execution protocol complete: the first memory
+			// operation after rollback compared successfully; normal
+			// execution resumes (Definition 11).
+			p.stepping = false
+			p.syncArmed = false
+			p.phase = 0
+		}
 	}
 }
 
@@ -401,7 +411,7 @@ func (p *Pair) SyncArmed(*cpu.Core) bool { return p.syncArmed }
 // through its L1 to the shared cache controller, which combines the
 // pair's two requests into one coherent transaction and replies to both
 // atomically (Definition 10).
-func (p *Pair) SyncIssue(c *cpu.Core, block uint64, word int, atomic bool, done func(old uint64)) bool {
+func (p *Pair) SyncIssue(c *cpu.Core, block uint64, word int, atomic bool, cb *cache.CB, done func(old uint64)) bool {
 	side := p.sideOf(c)
 	if p.syncIssued[side] {
 		return false
@@ -414,7 +424,25 @@ func (p *Pair) SyncIssue(c *cpu.Core, block uint64, word int, atomic bool, done 
 		return false
 	}
 	gen := p.gen
-	if !c.L1D.SyncFill(block, word, atomic, gen, func(v uint64) {
+	wcb := &cache.CB{Kind: cache.CBSyncWrap, Pair: p.ID, Gen: gen, Inner: cb}
+	if !c.L1D.SyncFillD(block, word, atomic, gen, wcb, p.SyncDoneFn(gen, done)) {
+		return false
+	}
+	p.syncBlock, p.syncBlockSet = block, true
+	p.syncIssued[side] = true
+	if c.Vocal {
+		p.Stats.SyncRequests++
+	}
+	return true
+}
+
+// SyncDoneFn returns the pair-level wrapper around one side's
+// synchronizing-fill completion: under the generation guard it counts the
+// pair's completed fills (both done resets the sync bookkeeping), then runs
+// the core's own completion. The checkpoint decoder rebuilds CBSyncWrap
+// waiters through this same factory.
+func (p *Pair) SyncDoneFn(gen int64, done func(uint64)) func(uint64) {
+	return func(v uint64) {
 		if p.gen == gen {
 			p.syncDone++
 			if p.syncDone == 2 {
@@ -424,15 +452,7 @@ func (p *Pair) SyncIssue(c *cpu.Core, block uint64, word int, atomic bool, done 
 			}
 		}
 		done(v)
-	}) {
-		return false
 	}
-	p.syncBlock, p.syncBlockSet = block, true
-	p.syncIssued[side] = true
-	if c.Vocal {
-		p.Stats.SyncRequests++
-	}
-	return true
 }
 
 // DeviceRead implements cpu.Gate: device values are replicated to both

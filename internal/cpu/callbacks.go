@@ -1,0 +1,69 @@
+package cpu
+
+// Completion-callback factories. The pipeline registers these closures with
+// the L1s (and, via the gate, with the pair's synchronizing-request path);
+// the checkpoint decoder rebuilds the very same closures from their CB
+// descriptors. Keeping one factory per closure shape is what makes a
+// restored machine bit-identical to the live one: there is no second
+// implementation to drift.
+
+// IfetchDoneFn returns the instruction-cache miss completion for a fetch
+// issued in the given fetch epoch: clear the icache wait unless fetch has
+// since been redirected.
+func (c *Core) IfetchDoneFn(epoch int64) func() {
+	return func() {
+		c.dirty = true
+		if c.fetchEpoch == epoch {
+			c.icacheWait = false
+		}
+	}
+}
+
+// LoadDoneFn returns the load-miss completion for ROB slot idx, guarded by
+// (seq, epoch) against slot reuse and squash.
+func (c *Core) LoadDoneFn(idx int, seq, epoch int64) func(uint64) {
+	return func(v uint64) {
+		c.dirty = true
+		if ee := &c.rob[idx]; ee.Seq == seq && ee.Epoch == epoch && ee.state == stIssued {
+			ee.Result = int64(v)
+			ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
+		}
+	}
+}
+
+// AtomicFinishFn returns the CAS completion for ROB slot idx: record the
+// old value and CAS outcome, or — when the entry was squashed mid-flight —
+// release the line lock the fill just took.
+func (c *Core) AtomicFinishFn(idx int, seq, epoch int64, block uint64, word int) func(uint64) {
+	return func(old uint64) {
+		c.dirty = true
+		ee := &c.rob[idx]
+		if ee.Seq != seq || ee.Epoch != epoch {
+			c.L1D.AtomicEnd(block, word, 0, false)
+			return
+		}
+		ee.Result = int64(old)
+		ee.casSuccess = int64(old) == ee.src3
+		ee.casNew = ee.src2
+		ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
+	}
+}
+
+// StoreDoneFn returns the store-drain completion for the store buffer head
+// holding seq.
+func (c *Core) StoreDoneFn(seq int64) func() {
+	return func() {
+		c.dirty = true
+		if len(c.sb) == 0 || c.sb[0].seq != seq {
+			panic("cpu: store buffer drained out of order")
+		}
+		copy(c.sb, c.sb[1:])
+		c.sb = c.sb[:len(c.sb)-1]
+		c.sbDraining = false
+	}
+}
+
+// ROBLen returns the reorder-buffer capacity. The checkpoint binder
+// bounds-checks decoded callback descriptors' ROB slots against it before
+// building closures that index the buffer.
+func (c *Core) ROBLen() int { return len(c.rob) }

@@ -211,9 +211,11 @@ type Gate interface {
 	SyncArmed(c *Core) bool
 	// SyncIssue sends the synchronizing request for this core; done fires
 	// with the coherent word value once the block has been filled into the
-	// core's L1 (locked and Modified when atomic is set). It returns false
-	// if the request could not be sent yet.
-	SyncIssue(c *Core, block uint64, word int, atomic bool, done func(old uint64)) bool
+	// core's L1 (locked and Modified when atomic is set). cb is the
+	// serializable descriptor for done (the gate wraps both together before
+	// registering them with the L1). It returns false if the request could
+	// not be sent yet.
+	SyncIssue(c *Core, block uint64, word int, atomic bool, cb *cache.CB, done func(old uint64)) bool
 	// DeviceRead returns the value of the n-th committed non-idempotent
 	// device read at addr for this logical processor (replicated so both
 	// members of a pair observe identical device values).

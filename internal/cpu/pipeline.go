@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"reunion/internal/cache"
 	"reunion/internal/isa"
 	"reunion/internal/mem"
 )
@@ -73,12 +74,8 @@ func (c *Core) fetch() {
 		block := mem.BlockAddr(c.Thread.PCAddr(c.fetchPC))
 		if !c.haveIBlock || block != c.curIBlock {
 			epoch := c.fetchEpoch
-			switch c.L1I.Ifetch(block, func() {
-				c.dirty = true
-				if c.fetchEpoch == epoch {
-					c.icacheWait = false
-				}
-			}) {
+			cb := &cache.CB{Kind: cache.CBIfetchDone, Core: c.ID, Epoch: epoch}
+			switch c.L1I.IfetchD(block, cb, c.IfetchDoneFn(epoch)) {
 			case cacheRetry:
 				c.volatileStall = true
 				return
@@ -460,13 +457,8 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) execResult {
 	// synchronizing request instead of a normal access (Definition 11).
 	if c.Gate.SyncArmed(c) && !e.syncIssued {
 		sseq, sepoch := e.Seq, e.Epoch
-		if !c.Gate.SyncIssue(c, block, word, false, func(v uint64) {
-			c.dirty = true
-			if ee := &c.rob[idx]; ee.Seq == sseq && ee.Epoch == sepoch && ee.state == stIssued {
-				ee.Result = int64(v)
-				ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
-			}
-		}) {
+		scb := &cache.CB{Kind: cache.CBLoadDone, Core: c.ID, Idx: idx, Seq: sseq, Epoch: sepoch}
+		if !c.Gate.SyncIssue(c, block, word, false, scb, c.LoadDoneFn(idx, sseq, sepoch)) {
 			return execVolatile
 		}
 		e.syncIssued = true
@@ -478,13 +470,8 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) execResult {
 
 	c.loadsThisCycle++
 	seq, epoch := e.Seq, e.Epoch
-	status, val := c.L1D.Load(block, word, func(v uint64) {
-		c.dirty = true
-		if ee := &c.rob[idx]; ee.Seq == seq && ee.Epoch == epoch && ee.state == stIssued {
-			ee.Result = int64(v)
-			ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
-		}
-	})
+	cb := &cache.CB{Kind: cache.CBLoadDone, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch}
+	status, val := c.L1D.LoadD(block, word, cb, c.LoadDoneFn(idx, seq, epoch))
 	switch status {
 	case cacheHit:
 		e.Result = int64(val)
@@ -508,24 +495,13 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) execResult {
 	word := wordIndex(addr)
 
 	seq, epoch := e.Seq, e.Epoch
-	finish := func(old uint64) {
-		c.dirty = true
-		ee := &c.rob[idx]
-		if ee.Seq != seq || ee.Epoch != epoch {
-			// Squashed mid-flight: release the lock the fill just took.
-			c.L1D.AtomicEnd(block, word, 0, false)
-			return
-		}
-		ee.Result = int64(old)
-		ee.casSuccess = int64(old) == ee.src3
-		ee.casNew = ee.src2
-		ee.doneAt, ee.hasDoneAt = c.EQ.Now()+1, true
-	}
+	finish := c.AtomicFinishFn(idx, seq, epoch, block, word)
 
 	// Re-execution protocol: an atomic as the first memory operation after
 	// rollback uses the synchronizing request (Definition 11).
 	if c.Gate.SyncArmed(c) && !e.syncIssued {
-		if !c.Gate.SyncIssue(c, block, word, true, finish) {
+		scb := &cache.CB{Kind: cache.CBAtomicFin, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch, Block: block, Word: word}
+		if !c.Gate.SyncIssue(c, block, word, true, scb, finish) {
 			return execVolatile
 		}
 		e.syncIssued = true
@@ -535,7 +511,8 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) execResult {
 		return execOK
 	}
 
-	status, old := c.L1D.AtomicBegin(block, word, finish)
+	cb := &cache.CB{Kind: cache.CBAtomicBegin, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch, Block: block, Word: word}
+	status, old := c.L1D.AtomicBeginD(block, word, cb, finish)
 	switch status {
 	case cacheHit:
 		e.Result = int64(old)
@@ -596,16 +573,9 @@ func (c *Core) drainSB() {
 	}
 	c.storesThisCycle++
 	seq := s.seq
-	complete := func() {
-		c.dirty = true
-		if len(c.sb) == 0 || c.sb[0].seq != seq {
-			panic("cpu: store buffer drained out of order")
-		}
-		copy(c.sb, c.sb[1:])
-		c.sb = c.sb[:len(c.sb)-1]
-		c.sbDraining = false
-	}
-	switch c.L1D.Store(s.block, s.word, s.data, complete) {
+	complete := c.StoreDoneFn(seq)
+	cb := &cache.CB{Kind: cache.CBStoreDone, Core: c.ID, Seq: seq}
+	switch c.L1D.StoreD(s.block, s.word, s.data, cb, complete) {
 	case cacheHit:
 		complete()
 		c.noteProgress()

@@ -134,6 +134,12 @@ func (g *Gen) Value() uint16 { return g.crc }
 // mode is fixed at construction).
 type GenState struct{ crc uint16 }
 
+// CRC returns the snapshot's accumulated CRC (checkpoint serialization).
+func (s GenState) CRC() uint16 { return s.crc }
+
+// NewGenState assembles a generator snapshot from a decoded CRC.
+func NewGenState(crc uint16) GenState { return GenState{crc: crc} }
+
 // Snapshot captures the generator state. Read-only.
 func (g *Gen) Snapshot() GenState { return GenState{crc: g.crc} }
 

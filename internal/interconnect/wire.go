@@ -1,0 +1,34 @@
+package interconnect
+
+// Checkpoint-serialization accessors. The queue items are requests owned
+// by the coherence layer, so the byte codec lives there; this file only
+// exposes the snapshot's contents and a constructor for decoded parts.
+
+// Each calls fn for every queued item in FIFO order.
+func (s *BankQueueState) Each(fn func(item Item, arrived int64)) {
+	for _, e := range s.q {
+		fn(e.item, e.arrived)
+	}
+}
+
+// Len returns the snapshot's queue depth.
+func (s *BankQueueState) Len() int { return len(s.q) }
+
+// Meta returns the snapshot's service bookkeeping and counters.
+func (s *BankQueueState) Meta() (lastSrv int64, served int, arrivals, totWait int64, maxDepth int) {
+	return s.lastSrv, s.served, s.arrivals, s.totWait, s.maxDepth
+}
+
+// NewBankQueueState assembles a queue snapshot from decoded parts. items
+// and arrived must have equal length and FIFO order.
+func NewBankQueueState(items []Item, arrived []int64,
+	lastSrv int64, served int, arrivals, totWait int64, maxDepth int) BankQueueState {
+	s := BankQueueState{
+		lastSrv: lastSrv, served: served,
+		arrivals: arrivals, totWait: totWait, maxDepth: maxDepth,
+	}
+	for i := range items {
+		s.q = append(s.q, queued{item: items[i], arrived: arrived[i]})
+	}
+	return s
+}

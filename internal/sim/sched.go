@@ -125,6 +125,17 @@ type SchedulerState struct {
 	steps, fastForwards, skippedCycles int64
 }
 
+// Counters returns the snapshot's counter values (checkpoint
+// serialization).
+func (s SchedulerState) Counters() (steps, fastForwards, skippedCycles int64) {
+	return s.steps, s.fastForwards, s.skippedCycles
+}
+
+// NewSchedulerState assembles a scheduler snapshot from decoded counters.
+func NewSchedulerState(steps, fastForwards, skippedCycles int64) SchedulerState {
+	return SchedulerState{steps: steps, fastForwards: fastForwards, skippedCycles: skippedCycles}
+}
+
 // Snapshot captures the scheduler's counters.
 func (s *Scheduler) Snapshot() SchedulerState {
 	return SchedulerState{steps: s.Steps, fastForwards: s.FastForwards, skippedCycles: s.SkippedCycles}

@@ -24,6 +24,12 @@ type Event struct {
 	At    int64
 	Order int64 // tie-break: schedule order, preserves FIFO among same-cycle events
 	Fn    func()
+	// Desc is the event's serializable descriptor: a plain-data value a
+	// checkpoint encoder can write and a decoder can rebind to a fresh Fn
+	// (the closure's captures, reified). Events scheduled without a
+	// descriptor cannot cross a process boundary; the checkpoint encoder
+	// rejects them.
+	Desc any
 }
 
 type eventHeap []*Event
@@ -73,6 +79,19 @@ func (q *EventQueue) At(cycle int64, fn func()) {
 // After schedules fn to run delay cycles from now.
 func (q *EventQueue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
 
+// AtD schedules fn at an absolute cycle with a serializable descriptor
+// (see Event.Desc).
+func (q *EventQueue) AtD(cycle int64, desc any, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.order++
+	heap.Push(&q.h, &Event{At: cycle, Order: q.order, Fn: fn, Desc: desc})
+}
+
+// AfterD schedules fn delay cycles from now with a serializable descriptor.
+func (q *EventQueue) AfterD(delay int64, desc any, fn func()) { q.AtD(q.now+delay, desc, fn) }
+
 // Advance moves the clock to the given cycle and fires every event due at
 // or before it, in order.
 func (q *EventQueue) Advance(cycle int64) {
@@ -121,6 +140,23 @@ func (q *EventQueue) Restore(s EventQueueState) {
 	q.now = s.now
 	q.order = s.order
 	q.h = append(eventHeap(nil), s.events...)
+}
+
+// Clock returns the snapshot's cycle and order counter (checkpoint
+// serialization).
+func (s EventQueueState) Clock() (now, order int64) { return s.now, s.order }
+
+// Events returns the snapshot's pending events in heap-slice order. The
+// slice is shared with the state; callers must not mutate it. The order is
+// significant: the heap invariant is positional, so a decoder that
+// preserves it byte-for-byte reproduces the exact pop order.
+func (s EventQueueState) Events() []*Event { return s.events }
+
+// NewEventQueueState assembles a queue snapshot from decoded parts
+// (checkpoint deserialization). The events slice must be a valid heap in
+// (At, Order) — which it is when it round-trips through Events in order.
+func NewEventQueueState(now, order int64, events []*Event) EventQueueState {
+	return EventQueueState{now: now, order: order, events: events}
 }
 
 // NextAt reports the cycle of the earliest pending event, if any. The

@@ -166,34 +166,46 @@ func (b *Bus) requeue(r *cache.Req) {
 	b.q.Push(b.eq.Now(), r)
 }
 
-// trackFill marks a granted-but-undelivered fill. The returned release
+// trackFill marks a granted-but-undelivered fill. A matching releaseFill
 // must run after the fill lands. Grants are tracked from the moment the
 // bus transaction decides them — the decision's side effects (snoops,
 // invalidations) happen at process time, so later transactions must see
 // the grant immediately or they would re-grant exclusivity.
-func (b *Bus) trackFill(core int, block uint64) func() {
+func (b *Bus) trackFill(core int, block uint64) {
+	b.fillsInFlight[flightKey{core: core, block: block}]++
+}
+
+func (b *Bus) releaseFill(core int, block uint64) {
 	key := flightKey{core: core, block: block}
-	b.fillsInFlight[key]++
-	return func() {
-		if b.fillsInFlight[key]--; b.fillsInFlight[key] == 0 {
-			delete(b.fillsInFlight, key)
-		}
+	if b.fillsInFlight[key]--; b.fillsInFlight[key] == 0 {
+		delete(b.fillsInFlight, key)
 	}
 }
 
-// reply delivers a response after lat cycles and then releases the fill
-// tracking.
-func (b *Bus) reply(r *cache.Req, data *mem.Block, exclusive bool, lat int64, release func()) {
+// reply delivers a response after lat cycles. release selects whether the
+// delivery retires a tracked fill; the tracking key is always the reply
+// target's {core, block}, which is what lets the event survive checkpoint
+// serialization as plain data.
+func (b *Bus) reply(r *cache.Req, data *mem.Block, exclusive bool, lat int64, release bool) {
 	if lat < 1 {
 		lat = 1
 	}
-	resp := cache.Resp{Data: *data, Exclusive: exclusive}
-	b.eq.After(lat, func() {
-		r.Done(resp)
-		if release != nil {
-			release()
+	d := &EvReply{R: r, Data: *data, Exclusive: exclusive, Release: release}
+	b.eq.AfterD(lat, d, b.DeliverReply(d))
+}
+
+// DeliverReply returns the fire closure for a scheduled reply: deliver
+// the response, then retire the fill-tracking entry. The tracking
+// increment happened at schedule time and is captured in the snapshotted
+// fillsInFlight map, so a checkpoint rebind must only attach this
+// closure — never re-increment.
+func (b *Bus) DeliverReply(d *EvReply) func() {
+	return func() {
+		d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
+		if d.Release {
+			b.releaseFill(d.R.Core, d.R.Block)
 		}
-	})
+	}
 }
 
 func (b *Bus) fillInFlight(core int, block uint64) bool {
@@ -302,9 +314,9 @@ func (b *Bus) fetchAndReply(r *cache.Req, data mem.Block, supplied, exclusive bo
 		b.requeue(r)
 		return false
 	}
-	var release func()
-	if r.Kind != cache.Ifetch {
-		release = b.trackFill(r.Core, r.Block)
+	release := r.Kind != cache.Ifetch
+	if release {
+		b.trackFill(r.Core, r.Block)
 	}
 	if supplied {
 		b.reply(r, &data, exclusive, b.cfg.SnoopLatency, release)
@@ -312,15 +324,22 @@ func (b *Bus) fetchAndReply(r *cache.Req, data mem.Block, supplied, exclusive bo
 	}
 	b.MemAccesses++
 	b.memInFlight++
-	block := r.Block
-	lat := b.memLatency(block) + b.cfg.SnoopLatency
-	b.eq.After(lat-b.cfg.SnoopLatency, func() {
-		b.memInFlight--
-		var d mem.Block
-		b.mem.ReadBlock(block, &d)
-		b.reply(r, &d, exclusive, b.cfg.SnoopLatency, release)
-	})
+	d := &EvMemFetch{R: r, Exclusive: exclusive, Release: release}
+	b.eq.AfterD(b.memLatency(r.Block), d, b.MemFetchDone(d))
 	return true
+}
+
+// MemFetchDone returns the fire closure for a memory fetch completion:
+// read the block and schedule the reply. The memInFlight and fill-tracking
+// increments happened at schedule time and are captured in the snapshot,
+// so a checkpoint rebind must only attach this closure.
+func (b *Bus) MemFetchDone(d *EvMemFetch) func() {
+	return func() {
+		b.memInFlight--
+		var data mem.Block
+		b.mem.ReadBlock(d.R.Block, &data)
+		b.reply(d.R, &data, d.Exclusive, b.cfg.SnoopLatency, d.Release)
+	}
 }
 
 func (b *Bus) processVocal(r *cache.Req) {
@@ -394,22 +413,26 @@ func (b *Bus) processPhantom(r *cache.Req) {
 	case PhantomNull:
 		g := garbageBlock(r.Block)
 		b.PhantomGarbage++
-		b.reply(r, &g, true, b.cfg.SnoopLatency, b.trackFill(r.Core, r.Block))
+		b.trackFill(r.Core, r.Block)
+		b.reply(r, &g, true, b.cfg.SnoopLatency, true)
 	case PhantomShared:
 		// No shared cache exists at a snoopy interface; the comparable
 		// strength peeks the other private caches without going off-chip.
 		if d, ok := b.peekVocal(r.Block); ok {
 			b.PhantomPeeks++
-			b.reply(r, &d, true, b.cfg.SnoopLatency, b.trackFill(r.Core, r.Block))
+			b.trackFill(r.Core, r.Block)
+			b.reply(r, &d, true, b.cfg.SnoopLatency, true)
 			return
 		}
 		g := garbageBlock(r.Block)
 		b.PhantomGarbage++
-		b.reply(r, &g, true, b.cfg.SnoopLatency, b.trackFill(r.Core, r.Block))
+		b.trackFill(r.Core, r.Block)
+		b.reply(r, &g, true, b.cfg.SnoopLatency, true)
 	default: // PhantomGlobal
 		if d, ok := b.peekVocal(r.Block); ok {
 			b.PhantomPeeks++
-			b.reply(r, &d, true, b.cfg.SnoopLatency, b.trackFill(r.Core, r.Block))
+			b.trackFill(r.Core, r.Block)
+			b.reply(r, &d, true, b.cfg.SnoopLatency, true)
 			return
 		}
 		if b.memInFlight >= b.cfg.MemMSHRs {
@@ -419,14 +442,21 @@ func (b *Bus) processPhantom(r *cache.Req) {
 		b.PhantomMemReads++
 		b.MemAccesses++
 		b.memInFlight++
-		block := r.Block
-		release := b.trackFill(r.Core, r.Block)
-		b.eq.After(b.memLatency(block), func() {
-			b.memInFlight--
-			var d mem.Block
-			b.mem.ReadBlock(block, &d)
-			b.reply(r, &d, true, b.cfg.SnoopLatency, release)
-		})
+		b.trackFill(r.Core, r.Block)
+		b.eq.AfterD(b.memLatency(r.Block), &EvPhantomMem{R: r}, b.PhantomMemDone(r))
+	}
+}
+
+// PhantomMemDone returns the fire closure for a phantom off-chip read.
+// The memInFlight and fill-tracking increments happened at schedule time
+// and are captured in the snapshot, so a checkpoint rebind must only
+// attach this closure.
+func (b *Bus) PhantomMemDone(r *cache.Req) func() {
+	return func() {
+		b.memInFlight--
+		var data mem.Block
+		b.mem.ReadBlock(r.Block, &data)
+		b.reply(r, &data, true, b.cfg.SnoopLatency, true)
 	}
 }
 
@@ -474,8 +504,10 @@ func (b *Bus) processSync(r *cache.Req) {
 		return
 	}
 	if supplied {
-		b.reply(vocal, &data, true, b.cfg.SnoopLatency, b.trackFill(vocal.Core, r.Block))
-		b.reply(mute, &data, true, b.cfg.SnoopLatency, b.trackFill(mute.Core, r.Block))
+		b.trackFill(vocal.Core, r.Block)
+		b.trackFill(mute.Core, r.Block)
+		b.reply(vocal, &data, true, b.cfg.SnoopLatency, true)
+		b.reply(mute, &data, true, b.cfg.SnoopLatency, true)
 		return
 	}
 	if b.memInFlight >= b.cfg.MemMSHRs {
@@ -485,17 +517,25 @@ func (b *Bus) processSync(r *cache.Req) {
 	}
 	b.MemAccesses++
 	b.memInFlight++
-	block := r.Block
-	vo, mu := vocal, mute
-	relV := b.trackFill(vo.Core, block)
-	relM := b.trackFill(mu.Core, block)
-	b.eq.After(b.memLatency(block), func() {
+	b.trackFill(vocal.Core, r.Block)
+	b.trackFill(mute.Core, r.Block)
+	d := &EvSyncMem{V: vocal, M: mute}
+	b.eq.AfterD(b.memLatency(r.Block), d, b.SyncMemDone(d))
+}
+
+// SyncMemDone returns the fire closure for a pair's combined off-chip
+// synchronizing fetch: both members receive the same data atomically. The
+// memInFlight and fill-tracking increments happened at schedule time and
+// are captured in the snapshot, so a checkpoint rebind must only attach
+// this closure.
+func (b *Bus) SyncMemDone(d *EvSyncMem) func() {
+	return func() {
 		b.memInFlight--
-		var d mem.Block
-		b.mem.ReadBlock(block, &d)
-		b.reply(vo, &d, true, b.cfg.SnoopLatency, relV)
-		b.reply(mu, &d, true, b.cfg.SnoopLatency, relM)
-	})
+		var data mem.Block
+		b.mem.ReadBlock(d.V.Block, &data)
+		b.reply(d.V, &data, true, b.cfg.SnoopLatency, true)
+		b.reply(d.M, &data, true, b.cfg.SnoopLatency, true)
+	}
 }
 
 // CancelSync invalidates stale synchronizing requests (recovery

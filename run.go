@@ -87,11 +87,12 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 0x5eed
 	}
-	switch {
-	case o.CompareLatency == 0:
+	// ZeroLatency stays a sentinel here (buildSystem maps it to a literal
+	// zero): folding it to 0 would make defaulting non-idempotent, and
+	// the checkpoint key re-derives defaults on already-defaulted options
+	// — a zero-latency cell must never hash like a default-latency one.
+	if o.CompareLatency == 0 {
 		o.CompareLatency = 10
-	case o.CompareLatency == ZeroLatency:
-		o.CompareLatency = 0
 	}
 	if o.FPInterval == 0 {
 		o.FPInterval = 1
@@ -180,14 +181,19 @@ func Run(o Options) (Result, error) {
 	return measure(warmSystem(o), o)
 }
 
-// warmSystem builds a system for the options and runs it through the
-// warmup window (the phase a WarmCache checkpoints and reuses).
-func warmSystem(o Options) *System {
+// buildSystem assembles a cold system for the options, without prefill or
+// warmup. The checkpoint-store fetch path uses it directly: a fetched
+// checkpoint binds and restores onto a freshly built machine, which must
+// be constructed exactly as the warmed original was.
+func buildSystem(o Options) *System {
 	cfg := DefaultConfig()
 	if o.Config != nil {
 		cfg = *o.Config
 	}
 	cfg.CompareLatency = o.CompareLatency
+	if o.CompareLatency == ZeroLatency {
+		cfg.CompareLatency = 0
+	}
 	cfg.L2.Phantom = o.Phantom
 	cfg.Core.TLB.Mode = o.TLB
 	cfg.Core.Consistency = o.Consistency
@@ -196,6 +202,13 @@ func warmSystem(o Options) *System {
 	w := o.Workload.Build(o.Seed, o.Threads)
 	sys := NewSystem(cfg, o.Mode, w, o.Seed)
 	sys.Kernel = o.Kernel
+	return sys
+}
+
+// warmSystem builds a system for the options and runs it through the
+// warmup window (the phase a WarmCache checkpoints and reuses).
+func warmSystem(o Options) *System {
+	sys := buildSystem(o)
 	if !o.NoPrefill {
 		sys.Prefill()
 	}

@@ -1,0 +1,261 @@
+package reunion
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"strings"
+	"testing"
+
+	"reunion/internal/workload"
+)
+
+// resealCheckpoint applies mutate to a copy of blob's pre-footer bytes
+// and recomputes the CRC footer, producing a well-sealed blob with
+// altered content — for exercising the gates that stand behind the
+// checksum.
+func resealCheckpoint(t *testing.T, blob []byte, mutate func([]byte)) []byte {
+	t.Helper()
+	forged := append([]byte(nil), blob...)
+	body := forged[:len(forged)-8]
+	mutate(body)
+	binary.LittleEndian.PutUint64(forged[len(forged)-8:], crc64.Checksum(body, ckptCRCTable))
+	return forged
+}
+
+// The serialized-checkpoint contract: a cold process that fetches a
+// checkpoint blob, builds a fresh system, binds and restores must be
+// bit-identical — every statistic counter, the clock, the architectural
+// digest — to the process that warmed the state and kept it in memory.
+// These tests run the two paths side by side across mode × topology ×
+// kernel, plus the format-level guarantees (deterministic bytes, key
+// and version gates) the content-addressed store builds on.
+
+// coldOpts is the matrix cell's options: small warm window, default
+// machine otherwise.
+func coldOpts(topo Topology, mode Mode, kern Kernel) Options {
+	cfg := DefaultConfig()
+	cfg.Topology = topo
+	return Options{
+		Mode:       mode,
+		Workload:   workload.Apache(),
+		Seed:       7,
+		WarmCycles: 6_000,
+		Config:     &cfg,
+		Kernel:     kern,
+	}.withDefaults()
+}
+
+// warmAndMeasure is the in-process reference: warm, snapshot, measure.
+func warmAndMeasure(o Options) (*Checkpoint, map[string]int64) {
+	sys := warmSystem(o)
+	cp := sys.Snapshot()
+	sys.ResetStats()
+	sys.Run(6_000)
+	return cp, systemStats(sys)
+}
+
+// coldRestoreMeasure is the cross-process path under test: decode the
+// blob, build a cold machine, bind, restore, measure.
+func coldRestoreMeasure(t *testing.T, blob []byte, o Options) map[string]int64 {
+	t.Helper()
+	d, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	sys := buildSystem(o)
+	cp, err := d.Bind(sys, CheckpointKey(o))
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	sys.Restore(cp)
+	sys.ResetStats()
+	sys.Run(6_000)
+	return systemStats(sys)
+}
+
+// TestCheckpointColdRestoreEquivalence proves the acceptance criterion:
+// a cold worker restoring a fetched checkpoint matches the warming
+// worker bit for bit, across topology × mode × kernel.
+func TestCheckpointColdRestoreEquivalence(t *testing.T) {
+	for _, topo := range []Topology{TopologyDirectory, TopologySnoopy} {
+		for _, mode := range []Mode{ModeNonRedundant, ModeStrict, ModeReunion} {
+			for _, kern := range []Kernel{KernelNaive, KernelFastForward} {
+				label := fmt.Sprintf("%v/%v/%v", topo, mode, kern)
+				o := coldOpts(topo, mode, kern)
+				cp, want := warmAndMeasure(o)
+				blob, err := EncodeCheckpoint(cp, CheckpointKey(o))
+				if err != nil {
+					t.Fatalf("%s: encode: %v", label, err)
+				}
+				got := coldRestoreMeasure(t, blob, o)
+				diffStats(t, label, want, got)
+			}
+		}
+	}
+}
+
+// TestCheckpointInterruptChain covers the self-rescheduling interrupt
+// event across serialization: a pending evInterrupt must fire in the
+// cold process at the same cycle with the same generation guard.
+func TestCheckpointInterruptChain(t *testing.T) {
+	o := coldOpts(TopologyDirectory, ModeReunion, KernelFastForward)
+	run := func(cold bool) map[string]int64 {
+		sys := buildSystem(o)
+		sys.InterruptEvery = 293
+		sys.InterruptCost = 77
+		sys.Prefill()
+		sys.Run(o.WarmCycles)
+		cp := sys.Snapshot()
+		if cold {
+			blob, err := EncodeCheckpoint(cp, CheckpointKey(o))
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			d, err := DecodeCheckpoint(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			sys = buildSystem(o)
+			cp, err = d.Bind(sys, CheckpointKey(o))
+			if err != nil {
+				t.Fatalf("bind: %v", err)
+			}
+		}
+		sys.Restore(cp)
+		sys.ResetStats()
+		sys.Run(6_000)
+		return systemStats(sys)
+	}
+	warm := run(false)
+	cold := run(true)
+	diffStats(t, "interrupts", warm, cold)
+	if warm["interrupts"] == 0 {
+		t.Error("no interrupts serviced in the measured window")
+	}
+}
+
+// TestCheckpointEncodeDeterministic proves the blob is a function of the
+// machine state alone: encoding the same checkpoint twice, and encoding
+// the checkpoint of a restored cold machine, all yield identical bytes —
+// the property that makes content-addressed storage meaningful.
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	o := coldOpts(TopologySnoopy, ModeReunion, KernelFastForward)
+	key := CheckpointKey(o)
+	sys := warmSystem(o)
+	cp := sys.Snapshot()
+	a, err := EncodeCheckpoint(cp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeCheckpoint(cp, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one checkpoint differ")
+	}
+	d, err := DecodeCheckpoint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := buildSystem(o)
+	ccp, err := d.Bind(cold, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Restore(ccp)
+	c, err := EncodeCheckpoint(cold.Snapshot(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("re-encoding a cold-restored machine's snapshot differs from the original blob")
+	}
+}
+
+// TestCheckpointKeyZeroLatency pins the defaulting-idempotence contract
+// behind CheckpointKey: the key is derived from re-defaulted options (a
+// WarmCache sees them already defaulted), so applying defaults twice
+// must be a no-op. The historical hazard: folding the ZeroLatency
+// sentinel to a literal 0 made a second pass read it as "unset" and
+// default it to 10 — a zero-latency cell's store key collided with its
+// default-latency sibling, and a fetched checkpoint restored the wrong
+// machine.
+func TestCheckpointKeyZeroLatency(t *testing.T) {
+	zero := coldOpts(TopologyDirectory, ModeReunion, KernelFastForward)
+	zero.CompareLatency = ZeroLatency
+	ten := coldOpts(TopologyDirectory, ModeReunion, KernelFastForward)
+	if CheckpointKey(zero) == CheckpointKey(ten) {
+		t.Error("zero-latency and default-latency cells share a checkpoint key")
+	}
+	once := zero.withDefaults()
+	twice := once.withDefaults()
+	if once != twice {
+		t.Errorf("withDefaults is not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+	}
+	if CheckpointKey(zero) != CheckpointKey(once) {
+		t.Error("CheckpointKey of raw and defaulted options disagree")
+	}
+}
+
+// TestCheckpointKeyGate proves Bind refuses a blob whose options
+// fingerprint disagrees with the target system's — the guard against a
+// store handing warm state to the wrong configuration.
+func TestCheckpointKeyGate(t *testing.T) {
+	o := coldOpts(TopologyDirectory, ModeNonRedundant, KernelFastForward)
+	cp := warmSystem(o).Snapshot()
+	blob, err := EncodeCheckpoint(cp, CheckpointKey(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Bind(buildSystem(o), CheckpointKey(o)+1); err == nil {
+		t.Error("Bind accepted a checkpoint keyed for different options")
+	}
+}
+
+// TestCheckpointVersionGate proves a blob from a different format
+// version is refused with a pointed diagnostic, not misparsed.
+func TestCheckpointVersionGate(t *testing.T) {
+	o := coldOpts(TopologyDirectory, ModeNonRedundant, KernelFastForward)
+	cp := warmSystem(o).Snapshot()
+	blob, err := EncodeCheckpoint(cp, CheckpointKey(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := resealCheckpoint(t, blob, func(b []byte) {
+		b[4]++ // version low byte
+	})
+	_, err = DecodeCheckpoint(forged)
+	if err == nil {
+		t.Fatal("decoder accepted a blob with a bumped format version")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch error %q does not name the version", err)
+	}
+}
+
+// TestCheckpointTopologyGate proves Bind refuses a blob whose memory
+// system does not match the target machine even when the caller passes a
+// matching key (defense in depth below the key check).
+func TestCheckpointTopologyGate(t *testing.T) {
+	o := coldOpts(TopologySnoopy, ModeNonRedundant, KernelFastForward)
+	cp := warmSystem(o).Snapshot()
+	blob, err := EncodeCheckpoint(cp, CheckpointKey(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := coldOpts(TopologyDirectory, ModeNonRedundant, KernelFastForward)
+	if _, err := d.Bind(buildSystem(other), d.Key); err == nil {
+		t.Error("Bind restored a snoopy-bus checkpoint onto a directory machine")
+	}
+}

@@ -259,8 +259,19 @@ func (s *System) armInterrupts() {
 	}
 	every := s.InterruptEvery
 	gen := s.intGen
-	var fire func()
-	fire = func() {
+	s.EQ.AtD((s.EQ.Now()/every+1)*every, &evInterrupt{gen: gen, every: every}, s.interruptFire(gen, every))
+}
+
+// evInterrupt is the serializable descriptor of one link in the
+// interrupt-delivery chain: the generation guard and the interval it was
+// armed with (see armInterrupts).
+type evInterrupt struct{ gen, every int64 }
+
+// interruptFire returns the fire closure for one interrupt boundary. The
+// checkpoint decoder rebuilds pending chain links from evInterrupt
+// descriptors through this factory.
+func (s *System) interruptFire(gen, every int64) func() {
+	return func() {
 		if s.intGen != gen {
 			return
 		}
@@ -271,9 +282,8 @@ func (s *System) armInterrupts() {
 		for _, g := range s.gates {
 			g.RaiseInterrupt(cost)
 		}
-		s.EQ.At(s.EQ.Now()+every, fire)
+		s.EQ.AtD(s.EQ.Now()+every, &evInterrupt{gen: gen, every: every}, s.interruptFire(gen, every))
 	}
-	s.EQ.At((s.EQ.Now()/every+1)*every, fire)
 }
 
 // Step advances the simulation by exactly one cycle: due events fire,
