@@ -1,15 +1,18 @@
 package reunion
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"reunion/internal/ckptstore"
 	"reunion/internal/coherence"
 	"reunion/internal/core"
 	"reunion/internal/cpu"
 	"reunion/internal/mem"
+	"reunion/internal/obs"
 	"reunion/internal/sim"
 	"reunion/internal/snoop"
 )
@@ -189,6 +192,17 @@ type WarmCache struct {
 
 	warmups   atomic.Int64 // full local warmups performed
 	storeHits atomic.Int64 // warmups avoided via a fetched checkpoint
+
+	// Telemetry (Observe). Pure observers: the cached systems, the
+	// checkpoints, and every Result are byte-identical with or without a
+	// scope attached.
+	obsTrace      *obs.Tracer
+	warmupsMetric *obs.Counter
+	hitsMetric    *obs.Counter
+	missMetric    *obs.Counter
+	poisonMetric  *obs.Counter
+	warmupTime    *obs.Histogram
+	restoreTime   *obs.Histogram
 }
 
 type warmEntry struct {
@@ -239,19 +253,66 @@ func (w *WarmCache) run(o Options) (Result, error) {
 		// warmup panics (e.g. the liveness watchdog), the next run for the
 		// key must retry the warmup — and hit the original diagnostic —
 		// rather than restore from a half-built entry.
+		sp := w.obsTrace.StartSpan("warm", "warmup",
+			obs.Arg{Key: "workload", Val: o.Workload.Name}, obs.Arg{Key: "mode", Val: o.Mode.String()})
+		begin := timeNowIfObserved(w)
 		e.sys = warmSystem(o)
 		e.cp = e.sys.Snapshot()
 		e.init = true
 		w.warmups.Add(1)
+		w.warmupsMetric.Inc()
+		observeSince(w.warmupTime, begin)
+		sp.End()
 		if w.store != nil {
+			sp := w.obsTrace.StartSpan("warm", "store_put", obs.Arg{Key: "key", Val: ckptstore.KeyName(CheckpointKey(o))})
 			if blob, err := EncodeCheckpoint(e.cp, CheckpointKey(o)); err == nil {
 				_ = w.store.Put(CheckpointKey(o), blob)
 			}
+			sp.End()
 		}
 	} else {
+		sp := w.obsTrace.StartSpan("warm", "restore",
+			obs.Arg{Key: "workload", Val: o.Workload.Name}, obs.Arg{Key: "mode", Val: o.Mode.String()})
+		begin := timeNowIfObserved(w)
 		e.sys.Restore(e.cp)
+		observeSince(w.restoreTime, begin)
+		sp.End()
 	}
 	return measure(e.sys, o)
+}
+
+// timeNowIfObserved avoids the clock read entirely when the cache has no
+// telemetry attached.
+func timeNowIfObserved(w *WarmCache) time.Time {
+	if w.obsTrace == nil && w.warmupTime == nil && w.restoreTime == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSince folds a wall-time measurement into h when both the
+// histogram and the start time exist.
+func observeSince(h *obs.Histogram, begin time.Time) {
+	if h == nil || begin.IsZero() {
+		return
+	}
+	h.Observe(time.Since(begin).Microseconds())
+}
+
+// Observe attaches telemetry to the cache: spans for warmups, restores,
+// and store fetches, plus warm_warmups_total, warm_store_hits_total,
+// warm_store_misses_total, and warm_poisoned_blobs_total counters and
+// warmup/restore duration histograms. Call before the first run.
+func (w *WarmCache) Observe(sc obs.Scope) {
+	w.obsTrace = sc.Trace
+	if m := sc.Metrics; m != nil {
+		w.warmupsMetric = m.Counter("warm_warmups_total", "Full local warmups performed.")
+		w.hitsMetric = m.Counter("warm_store_hits_total", "Warmups avoided by restoring a stored checkpoint.")
+		w.missMetric = m.Counter("warm_store_misses_total", "Store fetches that found no checkpoint.")
+		w.poisonMetric = m.Counter("warm_poisoned_blobs_total", "Stored blobs rejected (corrupt, stale format, or wrong fingerprint) and recomputed locally.")
+		w.warmupTime = m.Histogram("warm_warmup_duration_us", "Wall time of one full warmup in microseconds.")
+		w.restoreTime = m.Histogram("warm_restore_duration_us", "Wall time of one checkpoint restore in microseconds.")
+	}
 }
 
 // UseStore backs the cache with a persistent checkpoint store (a local
@@ -277,22 +338,36 @@ func (w *WarmCache) StoreHits() int64 { return w.storeHits.Load() }
 // recompute, never an error.
 func (w *WarmCache) tryFetch(e *warmEntry, o Options) {
 	key := CheckpointKey(o)
+	sp := w.obsTrace.StartSpan("warm", "store_fetch", obs.Arg{Key: "key", Val: ckptstore.KeyName(key)})
 	blob, err := w.store.Get(key)
 	if err != nil {
+		if errors.Is(err, ckptstore.ErrNotFound) {
+			w.missMetric.Inc()
+			sp.End(obs.Arg{Key: "outcome", Val: "miss"})
+		} else {
+			w.poisonMetric.Inc()
+			sp.End(obs.Arg{Key: "outcome", Val: "error"})
+		}
 		return
 	}
 	d, err := DecodeCheckpoint(blob)
 	if err != nil {
+		w.poisonMetric.Inc()
+		sp.End(obs.Arg{Key: "outcome", Val: "poisoned"})
 		return
 	}
 	sys := buildSystem(o)
 	cp, err := d.Bind(sys, key)
 	if err != nil {
+		w.poisonMetric.Inc()
+		sp.End(obs.Arg{Key: "outcome", Val: "poisoned"})
 		return
 	}
 	sys.Restore(cp)
 	e.sys, e.cp, e.init = sys, cp, true
 	w.storeHits.Add(1)
+	w.hitsMetric.Inc()
+	sp.End(obs.Arg{Key: "outcome", Val: "hit"})
 }
 
 // Len returns the number of warm keys the cache holds (entries are

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"reunion"
+	"reunion/internal/obs"
 	"reunion/internal/workload"
 )
 
@@ -30,22 +31,47 @@ func main() {
 		"warm-reuse trajectory file written by -experiment snapshot")
 	ckptOut := flag.String("ckptstore-out", "BENCH_ckptstore.json",
 		"shared-store fleet trajectory file written by -experiment ckptstore")
+	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
+	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (experiments done, rate) to stderr at this interval (0 = off)")
 	flag.Parse()
 
 	cfg := reunion.QuickExp(os.Stdout)
 	if *full {
 		cfg = reunion.FullExp(os.Stdout)
 	}
+	// Telemetry is a pure observer: experiment tables and trajectory files
+	// are byte-identical with or without these flags.
+	sc := obs.NewScope(*traceOut, *metricsOut)
+	cfg.Observe(sc)
+
+	hb := &obs.Heartbeat{Label: "bench", Every: *heartbeatEvery, W: os.Stderr}
+	if *heartbeatEvery <= 0 {
+		hb = nil
+	}
+	stopHeartbeat := hb.Start()
+
+	exitErr := func(name string, err error) {
+		stopHeartbeat()
+		if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", werr)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		sp := sc.Trace.StartSpan("bench", name)
 		start := time.Now()
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			sp.End(obs.Arg{Key: "err", Val: err.Error()})
+			exitErr(name, err)
 		}
+		sp.End()
+		hb.Tick()
 		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -64,6 +90,12 @@ func main() {
 	run("throughput", func() error { return runThroughput(*full, *benchOut) })
 	run("snapshot", func() error { return runSnapshot(*full, *snapOut) })
 	run("ckptstore", func() error { return runCkptStore(*full, *ckptOut) })
+
+	stopHeartbeat()
+	if err := sc.WriteFiles(*traceOut, *metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func printConfig() {

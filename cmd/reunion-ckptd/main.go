@@ -9,14 +9,30 @@
 //
 // Workers point at it with -ckpt-url http://host:9347 (reunion-sweep,
 // reunion-inject).
+//
+// Besides the store endpoints (/ckpt/<key>), the daemon serves its own
+// operational surface:
+//
+//	/metrics       Prometheus text exposition (request counts/latency/
+//	               bytes by handler, method, and status; store op stats)
+//	/healthz       liveness: 200 "ok" while the store root is writable
+//	/debug/pprof/  the standard net/http/pprof profiling endpoints
+//
+// Metrics are always on — the daemon is a server, not a measured run, so
+// the pure-observer budget of the engines does not apply here.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
 
 	"reunion/internal/ckptstore"
+	"reunion/internal/obs"
 )
 
 func main() {
@@ -29,5 +45,46 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("reunion-ckptd: serving %s on %s", *root, *addr)
-	log.Fatal(http.ListenAndServe(*addr, ckptstore.Handler(disk)))
+	log.Fatal(http.ListenAndServe(*addr, newHandler(disk, *root, obs.NewRegistry())))
+}
+
+// newHandler assembles the daemon's full mux: the instrumented store
+// API plus /metrics, /healthz, and /debug/pprof. Split from main so the
+// httptest-based tests drive exactly what the daemon serves. The tracer
+// is deliberately absent: a daemon runs indefinitely and a span buffer
+// would only ever grow or drop; the registry plus pprof cover a server's
+// observability needs.
+func newHandler(store ckptstore.Store, root string, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	api := ckptstore.Handler(ckptstore.Instrument(store, obs.Scope{Metrics: reg}))
+	mux.Handle("/ckpt/", obs.Middleware("ckpt", reg, api))
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.Handle("/healthz", obs.HealthzHandler(func() error { return checkRoot(root) }))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// checkRoot is the health probe: the storage root must exist and be a
+// writable directory — the two failure modes (deleted root, full or
+// read-only filesystem) that turn a running daemon into a silent
+// recompute-everything fallback for the whole fleet.
+func checkRoot(root string) error {
+	st, err := os.Stat(root)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s is not a directory", root)
+	}
+	probe, err := os.CreateTemp(root, ".healthz-*")
+	if err != nil {
+		return fmt.Errorf("root not writable: %w", err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(filepath.Clean(name))
 }

@@ -56,6 +56,7 @@ import (
 	"reunion/internal/campaign"
 	"reunion/internal/ckptstore"
 	"reunion/internal/dist"
+	"reunion/internal/obs"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
@@ -89,6 +90,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
 	ckptDir := flag.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)")
 	ckptURL := flag.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)")
+	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
+	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
+	traceDump := flag.Int("trace-dump", 0, "record the last N kernel events of each injected run and print them to stderr for SDC and DUE trials (0 = off; prints even under -quiet)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -105,6 +110,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// Telemetry is a pure observer: with or without these flags the trial
+	// stream and journal bytes are byte-identical (asserted in tests and
+	// CI). The per-trial kernel-event ring behind -trace-dump is too —
+	// Options.TraceEvents is excluded from every cache and checkpoint key.
+	sc := obs.NewScope(*traceOut, *metricsOut)
 
 	total := spec.Matrix.Size() * spec.Trials
 	shard, nshards, err := dist.ParseShard(*shardStr)
@@ -142,7 +153,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "inject: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
 			os.Exit(2)
 		}
-		jnl, err = dist.OpenOrCreate(*journal, plan, *resume)
+		jnl, err = dist.OpenOrCreateObs(*journal, plan, *resume, sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -202,27 +213,40 @@ func main() {
 	// warmed. Restores are bit-identical to local warmup, so trial
 	// records are unchanged.
 	warmCache := reunion.NewWarmCache()
+	warmCache.Observe(sc)
 	store, err := openCkptStore(*ckptDir, *ckptURL)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "inject: %v\n", err)
 		os.Exit(2)
 	}
 	if store != nil {
-		warmCache.UseStore(store)
+		warmCache.UseStore(ckptstore.Instrument(store, sc))
 	}
+
+	hbLabel := "inject"
+	if nshards > 1 {
+		hbLabel = fmt.Sprintf("inject shard %d/%d", shard, nshards)
+	}
+	hb := &obs.Heartbeat{Label: hbLabel, Total: int64(len(indices)), Every: *heartbeatEvery, W: os.Stderr}
+	if *heartbeatEvery <= 0 {
+		hb = nil
+	}
+	stopHeartbeat := hb.Start()
 
 	start := time.Now()
 	eng := campaign.Engine[reunion.Options]{
 		Spec:        spec,
-		RunTrial:    reunion.TrialRunnerWarm(spec.Model, warmCache),
+		RunTrial:    reunion.TrialRunnerTraced(spec.Model, warmCache, *traceDump),
 		Parallelism: *parallel,
 		Sink:        sink,
+		Obs:         sc,
 	}
 	if jnl != nil || nshards > 1 {
 		eng.Indices = indices
 	}
-	if !*quiet {
-		eng.Progress = func(done, total int, cell sweep.Point[reunion.Options], t campaign.Trial, o campaign.Observation, out campaign.Outcome) {
+	eng.Progress = func(done, total int, cell sweep.Point[reunion.Options], t campaign.Trial, o campaign.Observation, out campaign.Outcome) {
+		hb.Tick()
+		if !*quiet {
 			status := out.String()
 			if o.Err != nil {
 				status = o.Err.Error()
@@ -230,8 +254,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%*d/%d] %s,trial=%d bit=%d cycle=%d: %s\n",
 				len(strconv.Itoa(total)), done, total, cell.Name(), t.Index, t.Bit, t.Cycle, status)
 		}
+		// The diagnostic dump prints even under -quiet: SDC and DUE are
+		// exactly the trials one runs a campaign to find, and the last
+		// kernel events before the verdict are the first clue to why.
+		if *traceDump > 0 && o.Diag != "" && (out == campaign.SDC || out == campaign.DUE) {
+			fmt.Fprintf(os.Stderr, "inject: %s trial: %s,trial=%d bit=%d cycle=%d — last kernel events:\n%s",
+				out, cell.Name(), t.Index, t.Bit, t.Cycle, o.Diag)
+		}
 	}
 	rep, err := eng.Run(ctx)
+	stopHeartbeat()
 	if jnl != nil {
 		// Seal the journal once every slice record is on disk (lost trials
 		// journal deterministic DUE records, exactly as the single-process
@@ -246,6 +278,14 @@ func main() {
 	if outFile != nil {
 		if cerr := outFile.Close(); err == nil {
 			err = cerr
+		}
+	}
+	// Telemetry flushes even when the campaign failed — that is when the
+	// trace is most wanted — but a flush error must not mask a run error.
+	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+		fmt.Fprintf(os.Stderr, "inject: telemetry: %v\n", werr)
+		if err == nil {
+			err = werr
 		}
 	}
 	if err != nil {

@@ -27,11 +27,14 @@ import (
 	"sort"
 
 	"reunion/internal/dist"
+	"reunion/internal/obs"
 )
 
 func main() {
 	out := flag.String("out", "merged.jsonl", "merged results file ('-' = stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the summary on stderr")
+	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
 	flag.Parse()
 
 	paths := append([]string(nil), flag.Args()...)
@@ -42,17 +45,27 @@ func main() {
 	// Stable order for globbed inputs; Merge itself accepts any order.
 	sort.Strings(paths)
 
+	// Telemetry is a pure observer: the merged stream (and its digest) is
+	// byte-identical with or without these flags.
+	sc := obs.NewScope(*traceOut, *metricsOut)
+
 	digest := sha256.New()
 	var info *dist.MergeInfo
 	var err error
 	if *out == "-" {
 		w := bufio.NewWriter(os.Stdout)
-		info, err = dist.Merge(io.MultiWriter(w, digest), paths)
+		info, err = dist.MergeObs(io.MultiWriter(w, digest), paths, sc)
 		if err == nil {
 			err = w.Flush()
 		}
 	} else {
-		info, err = dist.MergeFile(*out, paths, digest)
+		info, err = dist.MergeFileObs(*out, paths, digest, sc)
+	}
+	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+		fmt.Fprintf(os.Stderr, "merge: telemetry: %v\n", werr)
+		if err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "merge: %v\n", err)

@@ -45,6 +45,7 @@ import (
 	"reunion"
 	"reunion/internal/ckptstore"
 	"reunion/internal/dist"
+	"reunion/internal/obs"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -79,6 +80,9 @@ func main() {
 	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete record")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
+	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -100,6 +104,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Telemetry is a pure observer: with or without these flags the
+	// results stream and journal bytes are byte-identical (asserted in
+	// tests and CI).
+	sc := obs.NewScope(*traceOut, *metricsOut)
 	store, err := openCkptStore(*ckptDir, *ckptURL)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -112,7 +120,8 @@ func main() {
 		// otherwise. Restores are bit-identical to local warmup, so the
 		// results stream is unchanged.
 		wc := reunion.NewWarmCache()
-		wc.UseStore(store)
+		wc.UseStore(ckptstore.Instrument(store, sc))
+		wc.Observe(sc)
 		spec.Base.Warm = wc
 	}
 
@@ -157,7 +166,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
 			os.Exit(2)
 		}
-		jnl, err = dist.OpenOrCreate(*journal, plan, *resume)
+		jnl, err = dist.OpenOrCreateObs(*journal, plan, *resume, sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -204,15 +213,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	hbLabel := "sweep"
+	if nshards > 1 {
+		hbLabel = fmt.Sprintf("sweep shard %d/%d", shard, nshards)
+	}
+	hb := &obs.Heartbeat{Label: hbLabel, Total: int64(len(indices)), Every: *heartbeatEvery, W: os.Stderr}
+	if *heartbeatEvery <= 0 {
+		hb = nil
+	}
+	stopHeartbeat := hb.Start()
+
 	var ipc stats.Online
 	failures := 0
 	start := time.Now()
 	runner := sweep.Runner[reunion.Options, reunion.Result]{
 		Parallelism: *parallel,
+		Obs:         sc,
 		Run: func(_ context.Context, p sweep.Point[reunion.Options]) (reunion.Result, error) {
 			return reunion.Run(p.Config)
 		},
 		Progress: func(done, total int, r sweep.Result[reunion.Options, reunion.Result]) {
+			hb.Tick()
 			if r.Err != nil {
 				failures++
 			} else {
@@ -254,6 +275,7 @@ func main() {
 	} else {
 		_, err = runner.Sweep(ctx, spec)
 	}
+	stopHeartbeat()
 	if jnl != nil {
 		// Seal the journal once every slice record is on disk (failed runs
 		// journal deterministic error records, exactly as the single-process
@@ -270,6 +292,14 @@ func main() {
 		// the sweep rather than vanish.
 		if cerr := outFile.Close(); err == nil {
 			err = cerr
+		}
+	}
+	// Telemetry flushes even when the sweep failed — that is when the
+	// trace is most wanted — but a flush error must not mask a run error.
+	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: telemetry: %v\n", werr)
+		if err == nil {
+			err = werr
 		}
 	}
 	if err != nil {

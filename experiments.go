@@ -9,6 +9,7 @@ import (
 
 	"reunion/internal/campaign"
 	"reunion/internal/dist"
+	"reunion/internal/obs"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -41,6 +42,13 @@ type ExpConfig struct {
 	// Kernel selects the simulation kernel for every run in the campaign
 	// (default KernelFastForward; results are bit-identical either way).
 	Kernel Kernel
+
+	// Obs is the campaign's observability scope: sweep and coverage
+	// engines report spans and metrics into it, and the warm-state cache
+	// registers its hit/miss/warmup instruments. Set it through Observe so
+	// the cache is wired too. Zero value = everything off. Pure observer:
+	// results are byte-identical with or without a scope.
+	Obs obs.Scope
 
 	// Shard/NShards restrict the Monte-Carlo campaigns (CoverageExperiment)
 	// to one contiguous slice of the flattened cells×trials space, the
@@ -136,6 +144,30 @@ func (c ExpConfig) baseline(o Options) (Result, error) {
 		o.Workload.Name, o.Seed, o.WarmCycles, o.MeasureCycles,
 		o.FPInterval, o.TLB, o.Consistency, o.Threads, o.Kernel, cfgKey)
 	return c.base.do(key, func() (Result, error) { return Run(o) })
+}
+
+// Observe attaches an observability scope to the campaign. Beyond
+// storing it for the sweep and coverage engines, it registers the shared
+// warm-state cache's metrics (warmups, store hits/misses, poisoned
+// blobs, warmup/restore latency) — which is why callers should use this
+// instead of assigning Obs directly.
+func (c *ExpConfig) Observe(sc obs.Scope) {
+	c.Obs = sc
+	if c.warm != nil {
+		c.warm.Observe(sc)
+	}
+}
+
+// coverageWarm picks the warm cache for the coverage campaign: the
+// campaign-wide cache when the config has one (so its metrics, wired by
+// Observe, also cover coverage trials), else a fresh private cache as
+// before. Either way results are bit-identical — warm restore is
+// checkpoint-keyed.
+func (c ExpConfig) coverageWarm() *WarmCache {
+	if c.warm != nil {
+		return c.warm
+	}
+	return NewWarmCache()
 }
 
 func (c ExpConfig) printf(format string, args ...any) {
@@ -249,6 +281,7 @@ func (c ExpConfig) runNormalized(name string, base normCell, axes ...sweep.Axis[
 	spec := sweep.Spec[normCell]{Name: name, Base: base, Axes: axes}
 	r := sweep.Runner[normCell, float64]{
 		Parallelism: c.Parallelism,
+		Obs:         c.Obs,
 		Run: func(_ context.Context, pt sweep.Point[normCell]) (float64, error) {
 			return c.normalized(pt.Config.p, pt.Config.mode, pt.Config.apply)
 		},
@@ -266,6 +299,7 @@ func (c ExpConfig) runDirect(name string, base Options, axes ...sweep.Axis[Optio
 	spec := sweep.Spec[Options]{Name: name, Base: base, Axes: axes}
 	r := sweep.Runner[Options, Result]{
 		Parallelism: c.Parallelism,
+		Obs:         c.Obs,
 		Run: func(_ context.Context, pt sweep.Point[Options]) (Result, error) {
 			return Run(pt.Config)
 		},
@@ -784,8 +818,9 @@ func (c ExpConfig) CoverageExperiment(trialsPerCell int) (*campaign.Report, erro
 			Seed:          0xfa017,
 			StreamExclude: []string{"mode", "phantom"},
 		},
-		RunTrial:    TrialRunner(model),
+		RunTrial:    TrialRunnerWarm(model, c.coverageWarm()),
 		Parallelism: c.Parallelism,
+		Obs:         c.Obs,
 	}
 	if err := eng.Spec.Validate(); err != nil {
 		return nil, err

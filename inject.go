@@ -72,6 +72,18 @@ func TrialRunner(model campaign.FaultModel) func(ctx context.Context, cell sweep
 // Passing the cache also lets one cache serve several engines of the
 // same campaign, e.g. a resumed shard's second Engine run.
 func TrialRunnerWarm(model campaign.FaultModel, warm *WarmCache) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
+	return TrialRunnerTraced(model, warm, 0)
+}
+
+// TrialRunnerTraced is TrialRunnerWarm with per-trial kernel-event
+// tracing: when traceEvents is positive, each injected run records its
+// last traceEvents recovery/mismatch events and the formatted dump
+// reaches the Observation's Diag field — where the inject CLI's
+// -trace-dump flag prints it for SDC and unexpected-DUE trials. Golden
+// runs stay untraced. Tracing is a pure observer (Options.TraceEvents is
+// excluded from every cache key), so traced and untraced campaigns
+// produce byte-identical result streams.
+func TrialRunnerTraced(model campaign.FaultModel, warm *WarmCache, traceEvents int) func(ctx context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 	golden := newMemo[Result]()
 	return func(_ context.Context, cell sweep.Point[Options], t campaign.Trial) campaign.Observation {
 		o := cell.Config
@@ -97,11 +109,13 @@ func TrialRunnerWarm(model campaign.FaultModel, warm *WarmCache) func(ctx contex
 		}
 		inj := fault.Injection{Core: t.Core(n), Cycle: t.Cycle, Bit: t.Bit}
 		o.Inject = &inj
+		o.TraceEvents = traceEvents
 		res, err := Run(o)
 		if err != nil {
 			return campaign.Observation{Err: err}
 		}
 		return campaign.Observation{
+			Diag:          res.TraceDump,
 			Unrecoverable: res.Unrecoverable,
 			Completed:     res.TrialComplete,
 			Armed:         res.FaultArmed,

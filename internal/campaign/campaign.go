@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"reunion/internal/obs"
 	"reunion/internal/sim"
 	"reunion/internal/sweep"
 )
@@ -150,6 +151,11 @@ type Observation struct {
 	// Retired/Squashed count flipped results that reached architectural
 	// state vs. were discarded by rollback or a pipeline flush.
 	Retired, Squashed int64
+	// Diag carries free-form diagnostic text (e.g. a kernel-event trace
+	// dump) for live reporting of anomalous trials. It never enters the
+	// sink record — diagnostics must not perturb the byte-stable results
+	// stream.
+	Diag string
 }
 
 // Classify maps an observation to its terminal outcome. Priority order:
@@ -295,6 +301,12 @@ type Engine[C any] struct {
 	// Progress, if set, observes completed trials in completion order
 	// (live reporting only).
 	Progress func(done, total int, cell sweep.Point[C], t Trial, o Observation, out Outcome)
+	// Obs, if enabled, observes the campaign: a span per trial plus
+	// campaign_trials_total{outcome=...} counters and a
+	// campaign_detect_latency_cycles histogram over detected trials. It is
+	// also forwarded to the underlying sweep runner. Pure observer — the
+	// report, the sink stream, and Progress are unaffected.
+	Obs obs.Scope
 }
 
 // trialRun is the engine-internal result of one trial.
@@ -318,12 +330,37 @@ func (e *Engine[C]) Run(ctx context.Context) (*Report, error) {
 	}
 
 	rep := newReport(spec.Name, spec.Trials, cells)
+
+	// Campaign-level telemetry: one span per trial carrying the outcome,
+	// outcome counters, and a detect-latency histogram. The sweep runner
+	// below gets the metrics handle only — its generic per-run span would
+	// duplicate the richer trial span.
+	var outcomeCounters [numOutcomes]*obs.Counter
+	var detectLatency *obs.Histogram
+	if m := e.Obs.Metrics; m != nil {
+		for _, o := range Outcomes() {
+			outcomeCounters[o] = m.Counter("campaign_trials_total", "Campaign trials by terminal outcome.",
+				obs.L("outcome", o.String()))
+		}
+		detectLatency = m.Histogram("campaign_detect_latency_cycles", "Detection latency of detected trials in cycles.")
+	}
+
 	runner := sweep.Runner[C, trialRun]{
 		Parallelism: e.Parallelism,
+		Obs:         obs.Scope{Metrics: e.Obs.Metrics},
 		Run: func(ctx context.Context, pt sweep.Point[C]) (trialRun, error) {
 			t := spec.draw(pt)
-			obs := e.RunTrial(ctx, pt, t)
-			return trialRun{trial: t, obs: obs, out: Classify(obs)}, nil
+			sp := e.Obs.Trace.StartSpan("campaign", "trial",
+				obs.Arg{Key: "cell", Val: t.Cell}, obs.Arg{Key: "trial", Val: t.Index},
+				obs.Arg{Key: "point", Val: pt.Name()})
+			o := e.RunTrial(ctx, pt, t)
+			out := Classify(o)
+			sp.End(obs.Arg{Key: "outcome", Val: out.String()})
+			outcomeCounters[out].Inc()
+			if out == Detected && detectLatency != nil {
+				detectLatency.Observe(o.LatencyCycles)
+			}
+			return trialRun{trial: t, obs: o, out: out}, nil
 		},
 		Progress: func(done, total int, r sweep.Result[C, trialRun]) {
 			if e.Progress != nil {
@@ -344,6 +381,7 @@ func (e *Engine[C]) Run(ctx context.Context) (*Report, error) {
 				// A panic in RunTrial is a lost trial: terminal DUE,
 				// preserved in the stream.
 				tr = trialRun{trial: spec.draw(r.Point), obs: Observation{Err: r.Err}, out: DUE}
+				outcomeCounters[DUE].Inc()
 			}
 			rep.add(tr)
 			if e.Sink == nil {

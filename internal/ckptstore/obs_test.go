@@ -1,0 +1,65 @@
+package ckptstore
+
+import (
+	"bytes"
+	"testing"
+
+	"reunion/internal/obs"
+)
+
+func TestInstrumentDisabledScopePassthrough(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Instrument(d, obs.Scope{}); got != Store(d) {
+		t.Fatal("disabled scope must return the store unchanged")
+	}
+}
+
+func TestInstrumentObservesWithoutPerturbing(t *testing.T) {
+	sc := obs.Scope{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()}
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Instrument(d, sc)
+
+	key := uint64(0xfeedface)
+	blob := seal([]byte("warm state"))
+
+	// Miss, put, hit — blobs must round-trip byte-identically.
+	if _, err := s.Get(key); err != ErrNotFound {
+		t.Fatalf("Get before Put: %v, want ErrNotFound", err)
+	}
+	if err := s.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("instrumented store perturbed the blob bytes")
+	}
+
+	m := sc.Metrics
+	if v := m.Counter("ckptstore_ops_total", "", obs.L("op", "get")).Value(); v != 2 {
+		t.Fatalf("get ops = %d, want 2", v)
+	}
+	if v := m.Counter("ckptstore_ops_total", "", obs.L("op", "put")).Value(); v != 1 {
+		t.Fatalf("put ops = %d, want 1", v)
+	}
+	if v := m.Counter("ckptstore_misses_total", "").Value(); v != 1 {
+		t.Fatalf("misses = %d, want 1", v)
+	}
+	if v := m.Counter("ckptstore_bytes_total", "", obs.L("op", "get")).Value(); v != int64(len(blob)) {
+		t.Fatalf("get bytes = %d, want %d", v, len(blob))
+	}
+	if v := m.Counter("ckptstore_errors_total", "", obs.L("op", "get")).Value(); v != 0 {
+		t.Fatalf("a miss must not count as an error, got %d", v)
+	}
+	if sc.Trace.Len() != 3 {
+		t.Fatalf("trace events = %d, want 3 (get, put, get)", sc.Trace.Len())
+	}
+}

@@ -221,8 +221,13 @@ func (p *Pair) Tick() {
 		if !match {
 			debugf("[%d] %v compare MISMATCH endSeq v=%d m=%d fp %04x/%04x endsMem=%v stepping=%v\n    vocal: %s\n    mute:  %s",
 				p.EQ.Now(), p, aEnd, bEnd, a.fp, b.fp, endsMem, p.stepping, a.dbg, b.dbg)
-			p.Trace.Addf(p.EQ.Now(), p.VocalC.ID, trace.Compare,
-				"mismatch endSeq=%d fp=%04x/%04x stepping=%v", aEnd, a.fp, b.fp, p.stepping)
+			// Gated at the call site: Addf formats lazily, but its variadic
+			// args would still be boxed on every mismatch of every untraced
+			// recovery-heavy run.
+			if p.Trace.Enabled(trace.Compare) {
+				p.Trace.Addf(p.EQ.Now(), p.VocalC.ID, trace.Compare,
+					"mismatch endSeq=%d fp=%04x/%04x stepping=%v", aEnd, a.fp, b.fp, p.stepping)
+			}
 		}
 		desc := &EvDecide{PairID: p.ID, Gen: gen, Match: match, AEnd: aEnd, BEnd: bEnd, EndsMem: endsMem}
 		p.EQ.AtD(at, desc, p.FireDecide(gen, match, aEnd, bEnd, endsMem))

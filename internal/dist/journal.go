@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"reunion/internal/obs"
 	"reunion/internal/sweep"
 )
 
@@ -83,6 +84,12 @@ type Journal struct {
 	failed   int
 	complete bool
 	closed   bool
+
+	// Telemetry handles (nil when observability is off). Pure observers:
+	// they never touch the payload bytes or the checksum.
+	recMetric  *obs.Counter
+	byteMetric *obs.Counter
+	errMetric  *obs.Counter
 }
 
 // Create starts a fresh journal at path (truncating any existing file)
@@ -265,6 +272,39 @@ func OpenOrCreate(path string, plan Plan, resume bool) (*Journal, error) {
 	return Create(path, plan)
 }
 
+// OpenOrCreateObs is OpenOrCreate with telemetry attached: a resume's
+// header-validate-and-replay is wrapped in a "journal_replay" span, and
+// the returned journal counts its appended records and bytes under the
+// scope's registry. With a disabled scope it is exactly OpenOrCreate.
+func OpenOrCreateObs(path string, plan Plan, resume bool, sc obs.Scope) (*Journal, error) {
+	var sp *obs.Span
+	if resume {
+		sp = sc.Trace.StartSpan("journal", "journal_replay",
+			obs.Arg{Key: "path", Val: path}, obs.Arg{Key: "shard", Val: plan.Shard})
+	}
+	j, err := OpenOrCreate(path, plan, resume)
+	if err != nil {
+		sp.End(obs.Arg{Key: "err", Val: true})
+		return nil, err
+	}
+	sp.End(obs.Arg{Key: "replayed", Val: j.done})
+	j.Observe(sc)
+	return j, nil
+}
+
+// Observe attaches telemetry to subsequent Writes: counters for records,
+// bytes, and error records appended, labeled with the journal's shard.
+func (j *Journal) Observe(sc obs.Scope) {
+	m := sc.Metrics
+	if m == nil {
+		return
+	}
+	shard := obs.L("shard", fmt.Sprintf("%d", j.plan.Shard))
+	j.recMetric = m.Counter("dist_journal_records_total", "Records appended to the shard journal.", shard)
+	j.byteMetric = m.Counter("dist_journal_bytes_total", "Payload bytes appended to the shard journal.", shard)
+	j.errMetric = m.Counter("dist_journal_error_records_total", "Error records appended to the shard journal.", shard)
+}
+
 // SealOrClose is the one correct way to put a journal down after a run:
 // a fully successful slice is sealed with its footer (Finish); any
 // failure leaves the journal footerless — resumable — and the run's
@@ -325,7 +365,10 @@ func (j *Journal) Write(rec sweep.Record) error {
 	j.done++
 	if rec.Err != "" {
 		j.failed++
+		j.errMetric.Inc()
 	}
+	j.recMetric.Inc()
+	j.byteMetric.Add(int64(len(b)))
 	return nil
 }
 

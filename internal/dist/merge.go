@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"reunion/internal/obs"
 )
 
 // MergeInfo summarizes a successful merge.
@@ -28,6 +30,14 @@ type MergeInfo struct {
 // bytes must reproduce the footer checksum. On error the bytes already
 // written to w are meaningless; merge to a temporary destination.
 func Merge(w io.Writer, paths []string) (*MergeInfo, error) {
+	return MergeObs(w, paths, obs.Scope{})
+}
+
+// MergeObs is Merge with telemetry: the scope, when enabled, wraps each
+// shard's verified copy in a "replay_shard" span and counts merged
+// records — it never touches the merged bytes. With a disabled scope it
+// is exactly Merge.
+func MergeObs(w io.Writer, paths []string, sc obs.Scope) (*MergeInfo, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("dist: merge of zero journals")
 	}
@@ -79,12 +89,20 @@ func Merge(w io.Writer, paths []string) (*MergeInfo, error) {
 		}
 	}
 
+	var recCounter *obs.Counter
+	if m := sc.Metrics; m != nil {
+		recCounter = m.Counter("dist_merge_records_total", "Records copied into the merged stream.")
+	}
 	records := 0
 	for _, s := range bySlot {
+		sp := sc.Trace.StartSpan("merge", "replay_shard",
+			obs.Arg{Key: "path", Val: s.path}, obs.Arg{Key: "shard", Val: s.head.Shard})
 		n, err := s.copyVerified(w)
+		sp.End(obs.Arg{Key: "records", Val: n}, obs.Arg{Key: "err", Val: err != nil})
 		if err != nil {
 			return nil, fmt.Errorf("dist: %s: %w", s.path, err)
 		}
+		recCounter.Add(int64(n))
 		records += n
 	}
 	if records != first.Total {
@@ -102,6 +120,21 @@ func Merge(w io.Writer, paths []string) (*MergeInfo, error) {
 // written (a digest, a progress meter) without a second read of the
 // output file.
 func MergeFile(outPath string, paths []string, tee io.Writer) (*MergeInfo, error) {
+	return MergeFileObs(outPath, paths, tee, obs.Scope{})
+}
+
+// MergeFileObs is MergeFile with telemetry: the whole merge runs inside
+// a "merge" span and each shard's verified copy gets its own span (see
+// MergeObs). With a disabled scope it is exactly MergeFile.
+func MergeFileObs(outPath string, paths []string, tee io.Writer, sc obs.Scope) (*MergeInfo, error) {
+	sp := sc.Trace.StartSpan("merge", "merge",
+		obs.Arg{Key: "out", Val: outPath}, obs.Arg{Key: "shards", Val: len(paths)})
+	info, err := mergeFileObs(outPath, paths, tee, sc)
+	sp.End(obs.Arg{Key: "err", Val: err != nil})
+	return info, err
+}
+
+func mergeFileObs(outPath string, paths []string, tee io.Writer, sc obs.Scope) (*MergeInfo, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".merge-*")
 	if err != nil {
 		return nil, err
@@ -112,7 +145,7 @@ func MergeFile(outPath string, paths []string, tee io.Writer) (*MergeInfo, error
 	if tee != nil {
 		w = io.MultiWriter(bw, tee)
 	}
-	info, err := Merge(w, paths)
+	info, err := MergeObs(w, paths, sc)
 	if err == nil {
 		err = bw.Flush()
 	}

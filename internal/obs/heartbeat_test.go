@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe strings.Builder.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestHeartbeatReports(t *testing.T) {
+	var buf syncBuffer
+	hb := &Heartbeat{Label: "sweep", Total: 10, Every: 20 * time.Millisecond, W: &buf}
+	stop := hb.Start()
+	for i := 0; i < 4; i++ {
+		hb.Tick()
+	}
+	time.Sleep(60 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "heartbeat: sweep 4/10 (40.0%)") {
+		t.Fatalf("missing progress line in:\n%s", out)
+	}
+	if !strings.Contains(out, "done: sweep 4/10") {
+		t.Fatalf("missing final line in:\n%s", out)
+	}
+	if hb.Done() != 4 {
+		t.Fatalf("done = %d, want 4", hb.Done())
+	}
+}
+
+func TestHeartbeatUnknownTotal(t *testing.T) {
+	var buf syncBuffer
+	hb := &Heartbeat{Label: "bench", Every: 10 * time.Millisecond, W: &buf}
+	stop := hb.Start()
+	hb.Tick()
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	if !strings.Contains(buf.String(), "1/?") {
+		t.Fatalf("unknown total must print '?':\n%s", buf.String())
+	}
+}
+
+func TestHeartbeatNilSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Tick()
+	stop := hb.Start()
+	stop()
+	if hb.Done() != 0 {
+		t.Fatal("nil heartbeat must read 0")
+	}
+	// nil writer → no goroutine, stop is a no-op
+	hb2 := &Heartbeat{Label: "x"}
+	stop2 := hb2.Start()
+	hb2.Tick()
+	stop2()
+}
+
+func TestHeartbeatStopIdempotent(t *testing.T) {
+	var buf syncBuffer
+	hb := &Heartbeat{Label: "x", Total: 1, Every: time.Hour, W: &buf}
+	stop := hb.Start()
+	stop()
+	stop() // second call must not panic or deadlock
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusRecorder wraps a ResponseWriter to capture the status code and
+// response byte count for the middleware's metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps an HTTP handler with request/status/latency/bytes
+// metrics under the given registry:
+//
+//	http_requests_total{handler,method,code}
+//	http_request_duration_us{handler,method}   (histogram)
+//	http_request_bytes_total{handler}
+//	http_response_bytes_total{handler}
+//
+// A nil registry returns the handler unwrapped — zero cost when metrics
+// are off.
+func Middleware(handler string, reg *Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		h := L("handler", handler)
+		reg.Counter("http_requests_total", "HTTP requests served.",
+			h, L("method", r.Method), L("code", strconv.Itoa(rec.status))).Inc()
+		reg.Histogram("http_request_duration_us", "HTTP request latency in microseconds.",
+			h, L("method", r.Method)).Observe(time.Since(start).Microseconds())
+		if r.ContentLength > 0 {
+			reg.Counter("http_request_bytes_total", "Request body bytes received.", h).Add(r.ContentLength)
+		}
+		reg.Counter("http_response_bytes_total", "Response body bytes sent.", h).Add(rec.bytes)
+	})
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format. With a nil registry it serves an empty (valid) page.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler reports liveness: 200 with a one-line body. The check
+// callback, if non-nil, can veto with an error (→ 503).
+func HealthzHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMiddlewareMetrics(t *testing.T) {
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("hello"))
+	})
+	srv := httptest.NewServer(Middleware("ckpt", reg, inner))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/ok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := strings.NewReader("payload")
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/ok", body)
+	req.ContentLength = 7
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	get := func(name string, labels ...Label) int64 {
+		return reg.Counter(name, "", labels...).Value()
+	}
+	h := L("handler", "ckpt")
+	if got := get("http_requests_total", h, L("method", "GET"), L("code", "200")); got != 3 {
+		t.Fatalf("GET 200 count = %d, want 3", got)
+	}
+	if got := get("http_requests_total", h, L("method", "GET"), L("code", "404")); got != 1 {
+		t.Fatalf("GET 404 count = %d, want 1", got)
+	}
+	if got := get("http_requests_total", h, L("method", "PUT"), L("code", "200")); got != 1 {
+		t.Fatalf("PUT 200 count = %d, want 1", got)
+	}
+	if got := get("http_request_bytes_total", h); got != 7 {
+		t.Fatalf("request bytes = %d, want 7", got)
+	}
+	if got := get("http_response_bytes_total", h); got < 3*5 {
+		t.Fatalf("response bytes = %d, want >= 15", got)
+	}
+	hist := reg.Histogram("http_request_duration_us", "", h, L("method", "GET")).Snapshot()
+	if n := hist.N(); n != 4 {
+		t.Fatalf("GET duration observations = %d, want 4", n)
+	}
+}
+
+func TestMiddlewareNilRegistryPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Middleware("h", nil, inner); got == nil {
+		t.Fatal("nil registry middleware must still serve")
+	}
+	// Must be the unwrapped handler (no allocation per request when off).
+	rec := httptest.NewRecorder()
+	Middleware("h", nil, inner).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "things").Add(4)
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	fams, err := ParsePrometheus(rec.Body)
+	if err != nil {
+		t.Fatalf("/metrics body failed parse: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Samples[0].Value != 4 {
+		t.Fatalf("parsed families: %+v", fams)
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthzHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	boom := func() error { return &time.ParseError{} }
+	HealthzHandler(boom).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failing check must 503, got %d", rec.Code)
+	}
+}

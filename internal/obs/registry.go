@@ -1,0 +1,426 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"reunion/internal/stats"
+)
+
+// Label is one key="value" dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The nil counter (from a
+// nil registry) is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are a programming error; they are applied
+// as-is rather than panicking — exposition will show the regression).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates non-negative integer observations (latencies in
+// microseconds, sizes in bytes) into power-of-two buckets — a mutex over
+// stats.Histogram, the same accumulator the campaign reports use. The
+// nil histogram is a no-op.
+type Histogram struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Observe folds one observation in.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated distribution.
+func (h *Histogram) Snapshot() stats.Histogram {
+	if h == nil {
+		return stats.Histogram{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h
+}
+
+// Kind is a metric family's type.
+type Kind int
+
+// Metric kinds, named as Prometheus TYPE lines spell them.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as the Prometheus text format does.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry is a set of named metric families, each holding one series
+// per distinct label set. Get-or-create accessors are idempotent and
+// safe for concurrent use; hot paths should cache the returned handle
+// rather than re-resolving the name per event. A nil *Registry hands out
+// nil handles, so instrumented code needs no enabled-check of its own.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*series // label key → series
+}
+
+type series struct {
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// Counter returns the counter registered under name and labels, creating
+// it (and its family) on first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, KindCounter, labels).counter
+}
+
+// Gauge returns the gauge registered under name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, KindGauge, labels).gauge
+}
+
+// Histogram returns the histogram registered under name and labels.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, KindHistogram, labels).hist
+}
+
+// series resolves (creating if needed) one metric series. A name reused
+// with a different kind is a programming error and panics: silently
+// handing back the wrong type would corrupt the exposition.
+func (r *Registry) series(name, help string, kind Kind, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for _, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+	key := labelKey(ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			s.hist = &Histogram{}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// snapshot returns the families sorted by name, each with its series
+// sorted by label key — the deterministic exposition order both writers
+// share.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series by label set,
+// histograms as cumulative _bucket/_sum/_count series with power-of-two
+// le bounds. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(labelKey(s.labels)), s.counter.Value())
+			case KindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(labelKey(s.labels)), s.gauge.Value())
+			case KindHistogram:
+				writePromHistogram(&b, f.name, s.labels, s.hist.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func braced(labelKey string) string {
+	if labelKey == "" {
+		return ""
+	}
+	return "{" + labelKey + "}"
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets at
+// the power-of-two upper bounds the accumulator uses, the mandatory
+// le="+Inf" bucket equal to _count, then _sum and _count.
+func writePromHistogram(b *strings.Builder, name string, labels []Label, h stats.Histogram) {
+	var cum int64
+	h.Buckets(func(_, hi, count int64) {
+		cum += count
+		le := L("le", fmt.Sprintf("%d", hi))
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, braced(labelKey(append(append([]Label(nil), labels...), le))), cum)
+	})
+	inf := L("le", "+Inf")
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, braced(labelKey(append(append([]Label(nil), labels...), inf))), h.N())
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, braced(labelKey(labels)), h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(labelKey(labels)), h.N())
+}
+
+// jsonFamily / jsonSeries are the JSON exposition shape: one object per
+// family in name order, scalar series as {"labels","value"}, histograms
+// with their bucket table.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Type   string       `json:"type"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     *int64            `json:"value,omitempty"`
+	Histogram *jsonHistogram    `json:"histogram,omitempty"`
+}
+
+type jsonHistogram struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	Le    int64 `json:"le"` // inclusive upper bound of the bucket
+	Count int64 `json:"count"`
+}
+
+// WriteJSON renders the registry as one JSON document (families sorted
+// by name — deterministic for a given set of values). A nil registry
+// writes an empty document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	if r != nil {
+		for _, f := range r.snapshot() {
+			jf := jsonFamily{Name: f.name, Help: f.help, Type: f.kind.String(), Series: []jsonSeries{}}
+			for _, s := range f.sortedSeries() {
+				js := jsonSeries{}
+				if len(s.labels) > 0 {
+					js.Labels = make(map[string]string, len(s.labels))
+					for _, l := range s.labels {
+						js.Labels[l.Key] = l.Value
+					}
+				}
+				switch f.kind {
+				case KindCounter:
+					v := s.counter.Value()
+					js.Value = &v
+				case KindGauge:
+					v := s.gauge.Value()
+					js.Value = &v
+				case KindHistogram:
+					h := s.hist.Snapshot()
+					jh := &jsonHistogram{Count: h.N(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
+					h.Buckets(func(_, hi, count int64) {
+						jh.Buckets = append(jh.Buckets, jsonBucket{Le: hi, Count: count})
+					})
+					js.Histogram = jh
+				}
+				jf.Series = append(jf.Series, js)
+			}
+			fams = append(fams, jf)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []jsonFamily `json:"metrics"`
+	}{fams})
+}
+
+// WriteFile writes the Prometheus text exposition to path ("-" for
+// stdout). The -metrics-out CLI flags land here.
+func (r *Registry) WriteFile(path string) error {
+	if path == "-" {
+		return r.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

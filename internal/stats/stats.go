@@ -226,6 +226,9 @@ func (h *Histogram) Add(v int64) {
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }
 
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Mean returns the exact mean (0 for an empty histogram).
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

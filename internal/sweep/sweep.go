@@ -31,6 +31,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
+
+	"reunion/internal/obs"
 )
 
 // Value is one named setting of an axis: Apply mutates the configuration
@@ -202,6 +205,12 @@ type Runner[C, R any] struct {
 	// error stops emission and fails the sweep. Called from the Sweep
 	// goroutine, never concurrently.
 	Emit func(r Result[C, R]) error
+	// Obs, if enabled, observes the sweep: a span per run plus
+	// sweep_runs_total / sweep_run_errors_total counters and a
+	// sweep_run_duration_us histogram. Pure observer — results, Progress,
+	// and the Emit stream are unaffected (asserted by the telemetry
+	// equivalence tests).
+	Obs obs.Scope
 }
 
 // Sweep runs every point of the spec and returns results indexed by
@@ -234,6 +243,26 @@ func (r *Runner[C, R]) SweepIndices(ctx context.Context, spec Spec[C], indices [
 	return r.sweepPoints(ctx, points)
 }
 
+// sweepObs caches the per-sweep metric handles so the hot path does not
+// re-resolve names per run. The zero value (telemetry off) is all nils,
+// which every method tolerates.
+type sweepObs struct {
+	trace    *obs.Tracer
+	runs     *obs.Counter
+	errs     *obs.Counter
+	duration *obs.Histogram
+}
+
+func newSweepObs(sc obs.Scope) sweepObs {
+	o := sweepObs{trace: sc.Trace}
+	if m := sc.Metrics; m != nil {
+		o.runs = m.Counter("sweep_runs_total", "Sweep points executed.")
+		o.errs = m.Counter("sweep_run_errors_total", "Sweep points that returned an error.")
+		o.duration = m.Histogram("sweep_run_duration_us", "Wall time of one sweep point in microseconds.")
+	}
+	return o
+}
+
 // sweepPoints is the shared worker-pool body: results, Progress, and the
 // in-order Emit stream are all positional over the given points.
 func (r *Runner[C, R]) sweepPoints(ctx context.Context, points []Point[C]) ([]Result[C, R], error) {
@@ -260,6 +289,8 @@ func (r *Runner[C, R]) sweepPoints(ctx context.Context, points []Point[C]) ([]Re
 		par = n
 	}
 
+	so := newSweepObs(r.Obs)
+
 	jobs := make(chan int)
 	completions := make(chan int)
 	var wg sync.WaitGroup
@@ -268,7 +299,7 @@ func (r *Runner[C, R]) sweepPoints(ctx context.Context, points []Point[C]) ([]Re
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = r.runOne(ctx, points[i])
+				results[i] = r.runOne(ctx, points[i], so)
 				completions <- i
 			}
 		}()
@@ -318,12 +349,26 @@ func (r *Runner[C, R]) sweepPoints(ctx context.Context, points []Point[C]) ([]Re
 
 // runOne executes a single point, converting a panic into that point's
 // error so one bad configuration cannot take down the whole matrix.
-func (r *Runner[C, R]) runOne(ctx context.Context, p Point[C]) (res Result[C, R]) {
+func (r *Runner[C, R]) runOne(ctx context.Context, p Point[C], so sweepObs) (res Result[C, R]) {
 	res.Point = p
+	var sp *obs.Span
+	var begin time.Time
+	if so.trace != nil || so.duration != nil {
+		sp = so.trace.StartSpan("sweep", "run", obs.Arg{Key: "index", Val: p.Index}, obs.Arg{Key: "point", Val: p.Name()})
+		begin = time.Now()
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			res.Err = fmt.Errorf("sweep: panic in point %d (%s): %v", p.Index, p.Name(), rec)
 		}
+		if so.duration != nil {
+			so.duration.Observe(time.Since(begin).Microseconds())
+		}
+		so.runs.Inc()
+		if res.Err != nil {
+			so.errs.Inc()
+		}
+		sp.End(obs.Arg{Key: "err", Val: res.Err != nil})
 	}()
 	if err := ctx.Err(); err != nil {
 		res.Err = ErrSkipped

@@ -81,3 +81,82 @@ func TestCategoryNames(t *testing.T) {
 		t.Fatal("names")
 	}
 }
+
+func TestDumpOrderingAfterWrap(t *testing.T) {
+	r := New(3)
+	for i := int64(0); i < 5; i++ {
+		r.Addf(i, int(i), Commit, "ev%d", i)
+	}
+	// Only the newest 3 survive, dumped oldest-first / newest-last.
+	lines := strings.Split(strings.TrimRight(r.Dump(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump lines: %q", lines)
+	}
+	for i, want := range []string{"ev2", "ev3", "ev4"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %q, want %s", i, lines[i], want)
+		}
+	}
+	if r.Recorded != 5 {
+		t.Fatalf("recorded=%d", r.Recorded)
+	}
+}
+
+func TestMultiCategoryFilter(t *testing.T) {
+	r := New(8)
+	r.SetFilter(Recovery, Compare)
+	r.Add(1, 0, Commit, "no")
+	r.Add(2, 0, Recovery, "yes")
+	r.Add(3, 0, Compare, "yes")
+	r.Add(4, 0, Memory, "no")
+	r.Add(5, 0, Custom, "no")
+	if r.Len() != 2 || r.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped)
+	}
+	for _, c := range []Category{Recovery, Compare} {
+		if !r.Enabled(c) {
+			t.Fatalf("%v should be enabled", c)
+		}
+	}
+	for _, c := range []Category{Commit, Memory, Custom} {
+		if r.Enabled(c) {
+			t.Fatalf("%v should be disabled", c)
+		}
+	}
+}
+
+// tattleStringer fails the test if its String method ever runs.
+type tattleStringer struct{ t *testing.T }
+
+func (s tattleStringer) String() string {
+	s.t.Error("String() called on an argument of a disabled Addf")
+	return ""
+}
+
+func TestAddfDoesNotFormatWhenDisabled(t *testing.T) {
+	r := New(8)
+	r.SetFilter(Recovery)
+	r.Addf(1, 0, Commit, "%v", tattleStringer{t})
+	var nilRing *Ring
+	nilRing.Addf(1, 0, Commit, "%v", tattleStringer{t})
+}
+
+func TestGatedAddfAllocatesNothingWhenDisabled(t *testing.T) {
+	// The idiom used at hot call sites (e.g. the pair compare-mismatch
+	// path): gating on Enabled must keep the disabled cost at zero
+	// allocations — no variadic boxing, no formatting.
+	var nilRing *Ring
+	filtered := New(8)
+	filtered.SetFilter(Recovery)
+	big := struct{ a, b, c int64 }{1, 2, 3}
+	for name, r := range map[string]*Ring{"nil": nilRing, "filtered": filtered} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if r.Enabled(Commit) {
+				r.Addf(1, 0, Commit, "ev %d %v", big.a, big)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s ring: %v allocs/op for a gated disabled Addf, want 0", name, allocs)
+		}
+	}
+}

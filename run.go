@@ -5,6 +5,7 @@ import (
 
 	"reunion/internal/fault"
 	"reunion/internal/stats"
+	"reunion/internal/trace"
 	"reunion/internal/workload"
 )
 
@@ -63,6 +64,14 @@ type Options struct {
 	// CommitTarget is set (default 200k). A trial past its deadline is a
 	// terminal DUE outcome, never a retry.
 	TrialDeadline int64
+
+	// TraceEvents, when positive, attaches a kernel-event ring of that
+	// capacity (recovery and comparison-mismatch events) for the
+	// measurement phase and returns its formatted dump in
+	// Result.TraceDump. Diagnostics only: it is deliberately excluded
+	// from the warm, golden, and checkpoint keys — a traced run shares
+	// warm state with untraced runs and produces bit-identical results.
+	TraceEvents int
 
 	// Warm, when set, reuses checkpointed warm state across runs: the
 	// first run for a given warm key (every option that shapes the system
@@ -168,6 +177,12 @@ type Result struct {
 	CommitDigest       uint64
 	DigestOK           bool
 	ArchDigest         uint64 // point-in-time state hash; golden (uninjected) trial runs only
+
+	// TraceDump is the formatted kernel-event ring captured during the
+	// measurement phase when Options.TraceEvents was set (diagnostics;
+	// empty otherwise). It never participates in serialized records or
+	// digests.
+	TraceDump string
 }
 
 // Run executes one measured simulation: build, prefill, warm, measure.
@@ -218,17 +233,32 @@ func warmSystem(o Options) *System {
 
 // measure runs the measurement phase on a warmed system: statistics reset
 // at the boundary, then either the plain fixed-window path or the
-// fault-injection trial path.
+// fault-injection trial path. With Options.TraceEvents set, a kernel-
+// event ring observes the phase and its dump lands in Result.TraceDump;
+// the ring is detached again before the system returns to any warm
+// cache, so tracing one run never leaks into the next. Enabling the
+// ring changes no simulated state — it only records.
 func measure(sys *System, o Options) (Result, error) {
+	var ring *trace.Ring
+	if o.TraceEvents > 0 {
+		ring = sys.EnableTracing(o.TraceEvents)
+		defer sys.DisableTracing()
+	}
 	sys.ResetStats()
-	if o.Inject != nil || o.CommitTarget > 0 {
-		return runTrial(sys, o)
+	res, err := func() (Result, error) {
+		if o.Inject != nil || o.CommitTarget > 0 {
+			return runTrial(sys, o)
+		}
+		sys.Run(o.MeasureCycles)
+		if sys.Failed() {
+			return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", sys.W.Name, o.Mode)
+		}
+		return Collect(sys, o.MeasureCycles), nil
+	}()
+	if ring != nil && err == nil {
+		res.TraceDump = ring.Dump()
 	}
-	sys.Run(o.MeasureCycles)
-	if sys.Failed() {
-		return Result{}, fmt.Errorf("reunion: unrecoverable failure in %s under %v", sys.W.Name, o.Mode)
-	}
-	return Collect(sys, o.MeasureCycles), nil
+	return res, err
 }
 
 // runTrial runs the measurement phase of a fault-injection trial (or of

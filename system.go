@@ -200,6 +200,17 @@ func (s *System) EnableTracing(capacity int) *trace.Ring {
 	return r
 }
 
+// DisableTracing detaches any event ring from every pair, returning the
+// system to the zero-cost untraced path. Trial runners that enable a
+// per-trial ring on a cached warm system must disable it before the
+// system goes back to the cache, so later (untraced) runs of other
+// trials do not keep recording.
+func (s *System) DisableTracing() {
+	for _, p := range s.Pairs {
+		p.Trace = nil
+	}
+}
+
 // InterruptsServiced totals serviced external interrupts across logical
 // processors.
 func (s *System) InterruptsServiced() int64 {
