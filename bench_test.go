@@ -219,6 +219,52 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sys.Run(int64(b.N))
 }
 
+// BenchmarkPairTick measures one steady-state tick of a full vocal/mute
+// Reunion pair system (8 cores, shared L2, fingerprint exchange): the
+// inner loop every experiment amortizes. Cycles per second here is the
+// ceiling on campaign throughput.
+func BenchmarkPairTick(b *testing.B) {
+	w := workload.Apache().Build(1, 4)
+	sys := NewSystem(DefaultConfig(), ModeReunion, w, 1)
+	sys.Prefill()
+	sys.Run(20_000) // reach steady state: warm caches, full windows
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkCheckpointRestore measures rewinding a warm 8-core system to
+// an in-memory checkpoint, including rebuilding every derived issue-
+// stage structure (active list, waiter chains, rename map) from the
+// authoritative window state.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	w := workload.Apache().Build(1, 4)
+	sys := NewSystem(DefaultConfig(), ModeReunion, w, 1)
+	sys.Prefill()
+	sys.Run(20_000)
+	cp := sys.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Restore(cp)
+	}
+}
+
+// BenchmarkCheckpointSnapshot measures taking that checkpoint.
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	w := workload.Apache().Build(1, 4)
+	sys := NewSystem(DefaultConfig(), ModeReunion, w, 1)
+	sys.Prefill()
+	sys.Run(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Snapshot()
+	}
+}
+
 // BenchmarkFingerprintGen measures fingerprint generation cost per
 // instruction record (both compression modes).
 func BenchmarkFingerprintGen(b *testing.B) {

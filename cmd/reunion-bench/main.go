@@ -5,6 +5,7 @@
 // Usage:
 //
 //	reunion-bench [-experiment all|config|workloads|fig5|fig6a|fig6b|table3|fig7a|fig7b|sc|interval|rob|topology|throughput|snapshot|ckptstore] [-full] [-bench-out BENCH_kernel.json] [-snapshot-out BENCH_snapshot.json] [-ckptstore-out BENCH_ckptstore.json]
+//	reunion-bench -compare [-threshold 0.10] OLD.json NEW.json
 //
 // -full uses the paper-scale sampling methodology (3 matched seeds,
 // 100k/50k-cycle windows, 400k-cycle event windows); the default quick
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"reunion"
@@ -34,7 +37,55 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
 	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (experiments done, rate) to stderr at this interval (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	compare := flag.Bool("compare", false,
+		"compare two trajectory files: reunion-bench -compare OLD.json NEW.json (exits 1 on regression)")
+	threshold := flag.Float64("threshold", 0.10,
+		"with -compare, the fractional regression that fails the comparison")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: reunion-bench -compare [-threshold 0.10] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		code, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: compare: %v\n", err)
+		}
+		os.Exit(code)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := reunion.QuickExp(os.Stdout)
 	if *full {
@@ -53,6 +104,7 @@ func main() {
 
 	exitErr := func(name string, err error) {
 		stopHeartbeat()
+		pprof.StopCPUProfile() // flush a partial profile before exiting (no-op if not started)
 		if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
 			fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", werr)
 		}
@@ -94,6 +146,7 @@ func main() {
 	stopHeartbeat()
 	if err := sc.WriteFiles(*traceOut, *metricsOut); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", err)
+		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
 }

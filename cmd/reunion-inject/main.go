@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -94,6 +95,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
 	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
 	traceDump := flag.Int("trace-dump", 0, "record the last N kernel events of each injected run and print them to stderr for SDC and DUE trials (0 = off; prints even under -quiet)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -102,6 +104,22 @@ func main() {
 			fmt.Printf("%-12s %s\n", p.Name, p.Class)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inject: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "inject: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	spec, err := buildSpec(*modes, *workloads, *phantoms, *seeds, *bits, *window,

@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -83,6 +84,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
 	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -91,6 +93,28 @@ func main() {
 			fmt.Printf("%-12s %s\n", p.Name, p.Class)
 		}
 		return
+	}
+
+	stopCPUProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		stopped := false
+		stopCPUProfile = func() {
+			if !stopped {
+				stopped = true
+				pprof.StopCPUProfile()
+				f.Close()
+			}
+		}
+		defer stopCPUProfile()
 	}
 
 	kern, err := parseKernel(*kernelName)
@@ -315,6 +339,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sweep: %d runs in %s, user IPC %s, %d failed\n",
 		len(indices), time.Since(start).Round(time.Millisecond), ipc.String(), failures)
 	if failures > 0 {
+		stopCPUProfile()
 		os.Exit(1)
 	}
 }

@@ -253,6 +253,20 @@ func (c *L1) Load(block uint64, word int, done func(val uint64)) (AccessStatus, 
 	return c.LoadD(block, word, nil, done)
 }
 
+// TryLoad is the hit-only fast path of Load: on a hit it completes the
+// access (including the Hits counter) and returns the value; on anything
+// else it returns ok=false with no side effects, and the caller falls back
+// to LoadD with its callback and descriptor. Exists so hot callers build
+// the completion closure and CB only when a miss actually needs them.
+func (c *L1) TryLoad(block uint64, word int) (val uint64, ok bool) {
+	if l := c.Arr.Peek(block); l != nil {
+		c.Arr.Touch(l)
+		c.Hits++
+		return l.Data[word], true
+	}
+	return 0, false
+}
+
 // LoadD is Load with a serializable descriptor for done (see CB). Callers
 // whose caches get checkpointed must use the D entry points; the plain ones
 // register callbacks no checkpoint can carry.
@@ -304,6 +318,22 @@ func (c *L1) Store(block uint64, word int, val uint64, done func()) AccessStatus
 	return c.StoreD(block, word, val, nil, done)
 }
 
+// TryStore is the hit-only fast path of Store: it completes a store that
+// hits with write permission (M/E) and returns true; a Shared hit, miss,
+// or hazard returns false with no side effects so the caller falls back
+// to StoreD (which re-runs the lookup and takes the upgrade/miss path).
+func (c *L1) TryStore(block uint64, word int, val uint64) bool {
+	if l := c.Arr.Peek(block); l != nil && (l.State == Modified || l.State == Exclusive) {
+		c.Arr.Touch(l)
+		l.Data[word] = val
+		l.State = Modified
+		l.Dirty = true
+		c.Hits++
+		return true
+	}
+	return false
+}
+
 // StoreD is Store with a serializable descriptor for done.
 func (c *L1) StoreD(block uint64, word int, val uint64, cb *CB, done func()) AccessStatus {
 	if l := c.Arr.Lookup(block); l != nil {
@@ -347,6 +377,20 @@ func (c *L1) StoreD(block uint64, word int, val uint64, cb *CB, done func()) Acc
 // unlock. Used by CAS.
 func (c *L1) AtomicBegin(block uint64, word int, done func(old uint64)) (AccessStatus, uint64) {
 	return c.AtomicBeginD(block, word, nil, done)
+}
+
+// TryAtomicBegin is the hit-only fast path of AtomicBegin: a hit with
+// write permission locks the line and returns the word; anything else
+// returns ok=false with no side effects (caller falls back to
+// AtomicBeginD).
+func (c *L1) TryAtomicBegin(block uint64, word int) (old uint64, ok bool) {
+	if l := c.Arr.Peek(block); l != nil && (l.State == Modified || l.State == Exclusive) {
+		c.Arr.Touch(l)
+		l.Locked = true
+		c.Hits++
+		return l.Data[word], true
+	}
+	return 0, false
 }
 
 // AtomicBeginD is AtomicBegin with a serializable descriptor for done.

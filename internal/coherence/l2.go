@@ -204,14 +204,37 @@ func (l2 *L2) bankOf(block uint64) *interconnect.BankQueue {
 // Request accepts an L1 (or pair) request. It arrives at its bank after
 // the crossbar latency.
 func (l2 *L2) Request(r *cache.Req) {
-	l2.eq.AfterD(l2.cfg.XBarLatency, &EvXbar{R: r}, l2.XbarArrive(r))
+	l2.eq.AfterR(l2.cfg.XBarLatency, &EvXbar{R: r}, l2)
 }
 
 // XbarArrive returns the fire closure for a crossbar-traversal event:
 // the request lands in its bank queue. The checkpoint decoder rebuilds
-// pending traversals from EvXbar descriptors through this factory.
+// pending traversals from EvXbar descriptors through this factory; live
+// scheduling goes through RunEvent instead.
 func (l2 *L2) XbarArrive(r *cache.Req) func() {
-	return func() { l2.bankOf(r.Block).Push(l2.eq.Now(), r) }
+	return func() { l2.xbarArrive(r) }
+}
+
+func (l2 *L2) xbarArrive(r *cache.Req) { l2.bankOf(r.Block).Push(l2.eq.Now(), r) }
+
+// RunEvent implements sim.EventRunner: the controller schedules its
+// events with descriptors and dispatches on their type here, so the hot
+// paths build no per-event closures. The checkpoint decoder still
+// rebinds decoded events through the closure factories (Fn takes
+// precedence over the runner), keeping one implementation per action.
+func (l2 *L2) RunEvent(desc any) {
+	switch d := desc.(type) {
+	case *EvXbar:
+		l2.xbarArrive(d.R)
+	case *EvReply:
+		l2.deliverReply(d)
+	case *EvMemCont:
+		l2.memFetchDone(d)
+	case *EvPhantomMem:
+		l2.phantomMemDone(d.R)
+	default:
+		panic(fmt.Sprintf("coherence: L2.RunEvent on unknown descriptor %T", desc))
+	}
 }
 
 // Tick services every bank once per cycle. Call exactly once per cycle.
@@ -284,7 +307,7 @@ func (l2 *L2) reply(r *cache.Req, data *mem.Block, exclusive bool, extra int64) 
 		l2.fillsInFlight[flightKey{core: r.Core, block: r.Block}]++
 	}
 	d := &EvReply{R: r, Data: *data, Exclusive: exclusive, Track: track}
-	l2.eq.AfterD(lat, d, l2.DeliverReply(d))
+	l2.eq.AfterR(lat, d, l2)
 }
 
 // DeliverReply returns the fire closure for a scheduled reply: deliver
@@ -293,13 +316,15 @@ func (l2 *L2) reply(r *cache.Req, data *mem.Block, exclusive bool, extra int64) 
 // snapshotted fillsInFlight map, so a checkpoint rebind must only attach
 // this closure — never re-increment.
 func (l2 *L2) DeliverReply(d *EvReply) func() {
-	return func() {
-		d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
-		if d.Track {
-			key := flightKey{core: d.R.Core, block: d.R.Block}
-			if l2.fillsInFlight[key]--; l2.fillsInFlight[key] == 0 {
-				delete(l2.fillsInFlight, key)
-			}
+	return func() { l2.deliverReply(d) }
+}
+
+func (l2 *L2) deliverReply(d *EvReply) {
+	d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
+	if d.Track {
+		key := flightKey{core: d.R.Core, block: d.R.Block}
+		if l2.fillsInFlight[key]--; l2.fillsInFlight[key] == 0 {
+			delete(l2.fillsInFlight, key)
 		}
 	}
 }
@@ -473,7 +498,7 @@ func (l2 *L2) ensureLine(d *EvMemCont) bool {
 	l2.MissesL2++
 	l2.MemAccesses++
 	l2.memInFlight++
-	l2.eq.AfterD(l2.memAccessLatency(r.Block), d, l2.MemFetchDone(d))
+	l2.eq.AfterR(l2.memAccessLatency(r.Block), d, l2)
 	return true
 }
 
@@ -484,13 +509,15 @@ func (l2 *L2) ensureLine(d *EvMemCont) bool {
 // schedule time and is captured in the snapshot, so a checkpoint rebind
 // must only attach this closure.
 func (l2 *L2) MemFetchDone(d *EvMemCont) func() {
-	return func() {
-		l2.memInFlight--
-		var data mem.Block
-		l2.mem.ReadBlock(d.R.Block, &data)
-		line := l2.installL2(d.R.Block, &data)
-		l2.runCont(d, line, 0)
-	}
+	return func() { l2.memFetchDone(d) }
+}
+
+func (l2 *L2) memFetchDone(d *EvMemCont) {
+	l2.memInFlight--
+	var data mem.Block
+	l2.mem.ReadBlock(d.R.Block, &data)
+	line := l2.installL2(d.R.Block, &data)
+	l2.runCont(d, line, 0)
 }
 
 // runCont dispatches a resident-line continuation by kind.
@@ -652,7 +679,7 @@ func (l2 *L2) processPhantom(r *cache.Req) {
 		l2.PhantomMemReads++
 		l2.MemAccesses++
 		l2.memInFlight++
-		l2.eq.AfterD(l2.memAccessLatency(r.Block), &EvPhantomMem{R: r}, l2.PhantomMemDone(r))
+		l2.eq.AfterR(l2.memAccessLatency(r.Block), &EvPhantomMem{R: r}, l2)
 	}
 }
 
@@ -661,12 +688,14 @@ func (l2 *L2) processPhantom(r *cache.Req) {
 // increment happened at schedule time and is captured in the snapshot, so
 // a checkpoint rebind must only attach this closure.
 func (l2 *L2) PhantomMemDone(r *cache.Req) func() {
-	return func() {
-		l2.memInFlight--
-		var data mem.Block
-		l2.mem.ReadBlock(r.Block, &data)
-		l2.reply(r, &data, true, 0)
-	}
+	return func() { l2.phantomMemDone(r) }
+}
+
+func (l2 *L2) phantomMemDone(r *cache.Req) {
+	l2.memInFlight--
+	var data mem.Block
+	l2.mem.ReadBlock(r.Block, &data)
+	l2.reply(r, &data, true, 0)
 }
 
 // DebugDir formats the directory and cache state of a block plus every

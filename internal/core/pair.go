@@ -51,11 +51,36 @@ type sentInterval struct {
 	dbg     string // populated only when Debug is set
 }
 
+// pairSide holds one core's comparison FIFOs. Both queues are consumed
+// from a head index instead of re-slicing, so the backing arrays are
+// reused across the steady push/pop traffic of the compare loop (a
+// re-sliced head loses its capacity forever and forces an allocation on
+// every later push). Live elements are sent[sentHead:] and
+// decided[decidedHead:]; snapshots store the queues normalized (head 0).
 type pairSide struct {
 	sent          []sentInterval
+	sentHead      int
 	decided       []decidedInterval
+	decidedHead   int
 	pendingExtra  int64
 	pendingSerial int
+}
+
+// pushSent appends to the sent FIFO, compacting the consumed prefix
+// away when the queue is empty (the common steady state).
+func (s *pairSide) pushSent(si sentInterval) {
+	if s.sentHead == len(s.sent) {
+		s.sent, s.sentHead = s.sent[:0], 0
+	}
+	s.sent = append(s.sent, si)
+}
+
+// pushDecided appends to the decided FIFO, compacting likewise.
+func (s *pairSide) pushDecided(d decidedInterval) {
+	if s.decidedHead == len(s.decided) {
+		s.decided, s.decidedHead = s.decided[:0], 0
+	}
+	s.decided = append(s.decided, d)
 }
 
 // Pair implements the Reunion execution model for one logical processor
@@ -165,7 +190,7 @@ func (p *Pair) Offer(c *cpu.Core, e *cpu.Entry, send bool, fp uint16) {
 	if Debug {
 		si.dbg = fmt.Sprintf("pc=%d %v res=%d ea=%#x tk=%v tg=%d", e.PC, e.In, e.Result, e.EA, e.Taken, e.Target)
 	}
-	s.sent = append(s.sent, si)
+	s.pushSent(si)
 	s.pendingExtra, s.pendingSerial = 0, 0
 }
 
@@ -174,7 +199,7 @@ func (p *Pair) Offer(c *cpu.Core, e *cpu.Entry, send bool, fp uint16) {
 // position, so the FIFO matching stays aligned.
 func (p *Pair) FlushInterval(c *cpu.Core, endSeq int64, fp uint16) {
 	s := &p.sides[p.sideOf(c)]
-	s.sent = append(s.sent, sentInterval{
+	s.pushSent(sentInterval{
 		endSeq: endSeq,
 		fp:     fp,
 		at:     p.EQ.Now(),
@@ -188,10 +213,10 @@ func (p *Pair) FlushInterval(c *cpu.Core, endSeq int64, fp uint16) {
 // comparison decisions. Call once per cycle.
 func (p *Pair) Tick() {
 	v, m := &p.sides[0], &p.sides[1]
-	for len(v.sent) > 0 && len(m.sent) > 0 {
-		a, b := v.sent[0], m.sent[0]
-		v.sent = v.sent[1:]
-		m.sent = m.sent[1:]
+	for v.sentHead < len(v.sent) && m.sentHead < len(m.sent) {
+		a, b := v.sent[v.sentHead], m.sent[m.sentHead]
+		v.sentHead++
+		m.sentHead++
 		p.Stats.Compares++
 		// Loose coupling: the comparison completes one comparison latency
 		// after the *later* send (the cores swap fingerprints, §4.3).
@@ -230,12 +255,12 @@ func (p *Pair) Tick() {
 			}
 		}
 		desc := &EvDecide{PairID: p.ID, Gen: gen, Match: match, AEnd: aEnd, BEnd: bEnd, EndsMem: endsMem}
-		p.EQ.AtD(at, desc, p.FireDecide(gen, match, aEnd, bEnd, endsMem))
+		p.EQ.AtR(at, desc, p)
 	}
 	// Divergence watchdog: if one side keeps sending while the other is
 	// silent (e.g., the mute wandered off a garbage-value branch with a
 	// comparison interval longer than one instruction), force recovery.
-	lonely := (len(v.sent) > 0) != (len(m.sent) > 0)
+	lonely := (v.sentHead < len(v.sent)) != (m.sentHead < len(m.sent))
 	switch {
 	case !lonely:
 		p.lonelySince = -1
@@ -247,35 +272,47 @@ func (p *Pair) Tick() {
 	}
 }
 
-// FireDecide returns the comparison-decision event body for one matched
+// fireDecide is the comparison-decision event body for one matched
 // interval: generation-guarded, it either commits the decided interval to
-// both sides or starts recovery. The checkpoint decoder rebuilds scheduled
-// decisions from their EvDecide descriptors through this same factory.
-func (p *Pair) FireDecide(gen int64, match bool, aEnd, bEnd int64, endsMem bool) func() {
-	return func() {
-		if p.gen != gen {
-			return
-		}
-		// Event-context mutation of the cores' retirement state: both
-		// must leave their self-tick short-circuit.
-		p.VocalC.MarkDirty()
-		p.MuteC.MarkDirty()
-		if !match {
-			p.recover()
-			return
-		}
-		now := p.EQ.Now()
-		p.sides[0].decided = append(p.sides[0].decided, decidedInterval{endSeq: aEnd, at: now})
-		p.sides[1].decided = append(p.sides[1].decided, decidedInterval{endSeq: bEnd, at: now})
-		if p.stepping && endsMem {
-			// Re-execution protocol complete: the first memory
-			// operation after rollback compared successfully; normal
-			// execution resumes (Definition 11).
-			p.stepping = false
-			p.syncArmed = false
-			p.phase = 0
-		}
+// both sides or starts recovery.
+func (p *Pair) fireDecide(gen int64, match bool, aEnd, bEnd int64, endsMem bool) {
+	if p.gen != gen {
+		return
 	}
+	// Event-context mutation of the cores' retirement state: both
+	// must leave their self-tick short-circuit.
+	p.VocalC.MarkDirty()
+	p.MuteC.MarkDirty()
+	if !match {
+		p.recover()
+		return
+	}
+	now := p.EQ.Now()
+	p.sides[0].pushDecided(decidedInterval{endSeq: aEnd, at: now})
+	p.sides[1].pushDecided(decidedInterval{endSeq: bEnd, at: now})
+	if p.stepping && endsMem {
+		// Re-execution protocol complete: the first memory
+		// operation after rollback compared successfully; normal
+		// execution resumes (Definition 11).
+		p.stepping = false
+		p.syncArmed = false
+		p.phase = 0
+	}
+}
+
+// RunEvent implements sim.EventRunner: the live compare loop schedules
+// decisions as descriptor-driven events (no per-event closure).
+func (p *Pair) RunEvent(desc any) {
+	d := desc.(*EvDecide)
+	p.fireDecide(d.Gen, d.Match, d.AEnd, d.BEnd, d.EndsMem)
+}
+
+// FireDecide returns the comparison-decision event body for one matched
+// interval. The checkpoint decoder rebuilds scheduled decisions from
+// their EvDecide descriptors through this factory; the live scheduling
+// path (Tick) goes through RunEvent instead, with identical behavior.
+func (p *Pair) FireDecide(gen int64, match bool, aEnd, bEnd int64, endsMem bool) func() {
+	return func() { p.fireDecide(gen, match, aEnd, bEnd, endsMem) }
 }
 
 // QuiesceWake implements sim.Tickable. After a Tick the matching loop has
@@ -284,7 +321,8 @@ func (p *Pair) FireDecide(gen int64, match bool, aEnd, bEnd int64, endsMem bool)
 // forced recovery fires at a known cycle. A fresh send since the last
 // Tick (either side) means matching or stamping work remains next cycle.
 func (p *Pair) QuiesceWake() (int64, bool) {
-	v, m := len(p.sides[0].sent) > 0, len(p.sides[1].sent) > 0
+	v := p.sides[0].sentHead < len(p.sides[0].sent)
+	m := p.sides[1].sentHead < len(p.sides[1].sent)
 	switch {
 	case v && m:
 		return 0, false // unmatched sends on both sides: match next tick
@@ -376,25 +414,25 @@ func (p *Pair) recover() {
 func (p *Pair) DebugString() string {
 	return fmt.Sprintf("%v gen=%d phase=%d stepping=%v armed=%v syncIssued=%v syncDone=%d sent=[%d,%d] decided=[%d,%d] stats=%+v",
 		p, p.gen, p.phase, p.stepping, p.syncArmed, p.syncIssued, p.syncDone,
-		len(p.sides[0].sent), len(p.sides[1].sent),
-		len(p.sides[0].decided), len(p.sides[1].decided), p.Stats)
+		len(p.sides[0].sent)-p.sides[0].sentHead, len(p.sides[1].sent)-p.sides[1].sentHead,
+		len(p.sides[0].decided)-p.sides[0].decidedHead, len(p.sides[1].decided)-p.sides[1].decidedHead, p.Stats)
 }
 
 // FinalizeReady implements cpu.Gate.
 func (p *Pair) FinalizeReady(c *cpu.Core, e *cpu.Entry) bool {
 	s := &p.sides[p.sideOf(c)]
-	for len(s.decided) > 0 && e.Seq > s.decided[0].endSeq {
-		s.decided = s.decided[1:]
+	for s.decidedHead < len(s.decided) && e.Seq > s.decided[s.decidedHead].endSeq {
+		s.decidedHead++
 	}
-	if len(s.decided) == 0 {
+	if s.decidedHead == len(s.decided) {
 		return false
 	}
-	d := s.decided[0]
+	d := s.decided[s.decidedHead]
 	if p.EQ.Now() < d.at {
 		return false
 	}
 	if e.Seq == d.endSeq {
-		s.decided = s.decided[1:]
+		s.decidedHead++
 	}
 	return true
 }

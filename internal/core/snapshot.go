@@ -7,9 +7,13 @@ package core
 // slices so one snapshot restores any number of times.
 //
 // The comparison-decision events a Pair scheduled before a snapshot are
-// restored by the system alongside the event queue; their closures
-// capture the pair pointer plus value copies (gen guard, end seqs, match
-// verdict), so they replay exactly against the restored pair state.
+// restored by the system alongside the event queue; their descriptors
+// carry value copies (gen guard, end seqs, match verdict) and the runner
+// rebinds to the pair, so they replay exactly against the restored state.
+//
+// The pair's sent/decided queues are head-indexed in the live struct; a
+// snapshot stores only the live region with the heads reset to zero, so
+// the serialized form is independent of how far the consumer advanced.
 
 // PairState is a checkpoint of a pair's execution-model state.
 type PairState struct {
@@ -20,8 +24,11 @@ type PairState struct {
 func (p *Pair) Snapshot() *PairState {
 	s := &PairState{pair: *p}
 	for i := range s.pair.sides {
-		s.pair.sides[i].sent = append([]sentInterval(nil), p.sides[i].sent...)
-		s.pair.sides[i].decided = append([]decidedInterval(nil), p.sides[i].decided...)
+		side := &p.sides[i]
+		s.pair.sides[i].sent = append([]sentInterval(nil), side.sent[side.sentHead:]...)
+		s.pair.sides[i].decided = append([]decidedInterval(nil), side.decided[side.decidedHead:]...)
+		s.pair.sides[i].sentHead = 0
+		s.pair.sides[i].decidedHead = 0
 	}
 	return s
 }

@@ -52,15 +52,21 @@ func (c *Core) AtomicFinishFn(idx int, seq, epoch int64, block uint64, word int)
 // StoreDoneFn returns the store-drain completion for the store buffer head
 // holding seq.
 func (c *Core) StoreDoneFn(seq int64) func() {
-	return func() {
-		c.dirty = true
-		if len(c.sb) == 0 || c.sb[0].seq != seq {
-			panic("cpu: store buffer drained out of order")
-		}
-		copy(c.sb, c.sb[1:])
-		c.sb = c.sb[:len(c.sb)-1]
-		c.sbDraining = false
+	return func() { c.storeDone(seq) }
+}
+
+// storeDone pops the drained store buffer head. The drain hit path calls
+// it directly; misses go through the StoreDoneFn closure.
+func (c *Core) storeDone(seq int64) {
+	c.dirty = true
+	if len(c.sb) == 0 || c.sb[0].seq != seq {
+		panic("cpu: store buffer drained out of order")
 	}
+	copy(c.sb, c.sb[1:])
+	c.sb = c.sb[:len(c.sb)-1]
+	c.sbNonspec--
+	c.sbDraining = false
+	c.noteWake() // a serializing entry may be waiting on sb drain
 }
 
 // ROBLen returns the reorder-buffer capacity. The checkpoint binder

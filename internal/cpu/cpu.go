@@ -135,14 +135,6 @@ type Entry struct {
 	// Synchronizing-request bookkeeping (re-execution protocol).
 	syncIssued bool
 
-	// pollStamp is the core's execStamp value when this dispatched entry
-	// last failed to issue for a reason only another state change can
-	// cure (operands pending, memory disambiguation). While the stamp is
-	// unchanged the issue stage skips the entry without re-polling — the
-	// entry has no combinational work. Never consulted under the
-	// poll-every-cycle (naive) kernel.
-	pollStamp int64
-
 	// Check-stage state.
 	Serializing bool  // ISA- or consistency-model-serializing
 	IntervalID  int64 // comparison interval this entry belongs to
@@ -269,9 +261,48 @@ type Core struct {
 	rename   [isa.NumRegs]renameRef
 	inExec   []int // ROB indices executing or awaiting memory
 
+	// active lists, in age (seq) order, the stDispatched entries the issue
+	// scan must examine: entries that are ready (or whose readiness the
+	// scan has not yet established), quiet-parked on memory
+	// disambiguation, or stalled on a serializing fence. Entries blocked
+	// on pending operands leave the list entirely — they park in the
+	// waiter chains below and are re-inserted (in age position) when a
+	// waited producer completes. Under the naive poll-every-cycle kernel
+	// nothing parks, so active is simply every dispatched entry. Derived
+	// state: rebuilt from the ROB on restore, never in a checkpoint.
+	active []dispEntry
+
+	// Producer-indexed waiter chains (fast-forward kernel): an
+	// operand-blocked entry registers on each source whose producer has
+	// not yet completed, and completeExec wakes the chain of the slot it
+	// completes. A consumer occupies up to three chain nodes — one per
+	// source position — linked intrusively through the flat wNext/wPrev
+	// arrays (node ref = consumer slot * 3 + source position).
+	// waiterHead is indexed by producer slot; wProd records, per node,
+	// the producer slot the node is chained on (-1 = unregistered). All
+	// derived state, reconstructed on restore from the authoritative
+	// unready flags and producer states.
+	waiterHead []int32
+	wNext      []int32
+	wPrev      []int32
+	wProd      []int32
+	wakeBuf    []int32 // scratch for wakeWaiters (chain is read, then edited)
+
+	// Whole-scan issue memo (fast-forward kernel): after a scan in which
+	// every examined entry was (or became) memo-parked — nothing issued,
+	// no statistic accrued, no volatile blocker, no list mutation — the
+	// next scan is provably a no-op until the wake stamp or the list
+	// itself changes. issueIdleLen is -1 when no such proof is held.
+	issueIdleLen   int
+	issueIdleStamp int64
+
 	// Store buffer (ordered by seq; spec entries follow non-spec).
 	sb         []sbEntry
 	sbDraining bool
+	// sbNonspec counts non-speculative (retired, still draining) entries
+	// in sb; derived state maintained by finalize/drain/squash and
+	// rebuilt on restore.
+	sbNonspec int
 
 	// Serializing fences: seqs of in-flight serializing instructions.
 	serQ []int64
@@ -325,10 +356,11 @@ type Core struct {
 	// cycle (issue width, a cache port, an L1 retry), so the core must
 	// keep ticking. idleSerStalls and idleSBFull record the per-cycle stat
 	// increments a fully stalled core still accrues; AccountIdle replays
-	// them for skipped cycles. execStamp counts state changes (it
-	// increments with every progress mark), versioning the entry-level
-	// pollStamp memo in the issue stage. pollEvery disables that memo,
-	// restoring the naive kernel's poll-everything issue loop.
+	// them for skipped cycles. execStamp versions the quiet-park and
+	// whole-scan memos in the issue stage; it increments on every state
+	// change that can unblock a dispatched entry (see noteWake).
+	// pollEvery disables the memos, restoring the naive kernel's
+	// poll-everything issue loop.
 	progress      bool
 	volatileStall bool
 	idleSerStalls int64
@@ -362,6 +394,30 @@ type renameRef struct {
 	seq   int64
 }
 
+// dispEntry is one issue-stage candidate: a dispatched ROB entry with the
+// scan-relevant fields mirrored into a compact record. Under the
+// fast-forward kernel the active list holds only entries the scan can do
+// something with; an entry whose operands are still in flight is not in
+// any list — it sits in the waiter chains of its pending producers and
+// completeExec re-inserts it (in age position) on the first completion.
+// That wake fires exactly when a poll would first capture a value, so
+// the scan never wastes a read on a provably blocked entry. Entries the
+// scan must keep polling stay in the list with a quiet-park memo
+// (stamp == execStamp): blocked on memory disambiguation or a
+// serializing fence, re-evaluated on any wake-worthy state change.
+// Stamps are monotonic, so a stale stamp can never match again.
+//
+// Every park structure is derived state: parking writes nothing to the
+// ROB entry, so a spurious re-evaluation (the memos do not survive a
+// restore) is invisible — an evaluation only mutates state when a
+// producer has actually completed, and then the reconstruction routes
+// the entry to the active list anyway.
+type dispEntry struct {
+	seq   int64
+	stamp int64 // quiet-park memo: skip while equal to execStamp (-1 = none)
+	idx   int32
+}
+
 // New builds a core bound to a thread and its private caches.
 func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
 	th *program.Thread, l1d, l1i *cache.L1, itlb, dtlb *tlb.TLB, gate Gate) *Core {
@@ -377,8 +433,29 @@ func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
 	c.fetchPC = th.Entry
 	c.commitPC = th.Entry
 	c.faultSeq = -1
-	c.execStamp = 1 // fresh entries (pollStamp 0) always evaluate once
+	c.execStamp = 1
+	c.issueIdleLen = -1
+	c.initWaiters()
 	return c
+}
+
+// initWaiters (re)allocates the waiter-chain arrays, empty. One chain
+// head per ROB slot; one (next, prev, producer) node triple per ROB slot
+// and source position.
+func (c *Core) initWaiters() {
+	n := len(c.rob)
+	if len(c.waiterHead) != n {
+		c.waiterHead = make([]int32, n)
+		c.wNext = make([]int32, 3*n)
+		c.wPrev = make([]int32, 3*n)
+		c.wProd = make([]int32, 3*n)
+	}
+	for i := range c.waiterHead {
+		c.waiterHead[i] = -1
+	}
+	for i := range c.wNext {
+		c.wNext[i], c.wPrev[i], c.wProd[i] = -1, -1, -1
+	}
 }
 
 // SetPollEveryCycle selects the issue-stage polling policy: true restores
@@ -386,13 +463,183 @@ func New(id, pair int, vocal bool, cfg *Config, eq *sim.EventQueue,
 // fast-forward kernel) skips dispatched entries whose blocking condition
 // cannot have changed since they were last evaluated. Both policies are
 // bit-identical in every architectural and statistical outcome.
-func (c *Core) SetPollEveryCycle(poll bool) { c.pollEvery = poll }
+func (c *Core) SetPollEveryCycle(poll bool) {
+	if c.pollEvery != poll {
+		c.pollEvery = poll
+		// Membership in the active list vs the waiter chains depends on
+		// the policy; re-derive it so a mid-run toggle stays sound.
+		c.rebuildDerived()
+	}
+}
 
 // noteProgress records a state change in the current Tick: the core is
-// not quiescent, and any issue-stage skip memo is invalidated.
+// not quiescent.
 func (c *Core) noteProgress() {
 	c.progress = true
+}
+
+// noteWake records a state change that can alter the outcome of a
+// blocked issue-stage evaluation, invalidating the entry-level skip
+// memo. The set of such changes is exactly: a producer completing
+// (completeExec), an instruction retiring (architectural values, the
+// serialize fence, the commit point), a store's address becoming known
+// (memory disambiguation), a non-speculative store draining (the
+// serializing sbNonspec condition), and any squash. Fetch, dispatch,
+// offer and comparison traffic cannot unblock a dispatched entry, so
+// they mark progress without touching the memo.
+func (c *Core) noteWake() {
 	c.execStamp++
+}
+
+// rebuildDerived recomputes the redundant issue-stage structures — the
+// active list, the waiter chains and the non-speculative store count —
+// from the authoritative window state. Called after a snapshot restore or
+// a checkpoint decode, where only the authoritative state is
+// materialized.
+func (c *Core) rebuildDerived() {
+	c.initWaiters()
+	c.active = c.active[:0]
+	for i := 0; i < c.robCount; i++ {
+		idx := c.robIdx(i)
+		e := &c.rob[idx]
+		if e.state != stDispatched {
+			continue
+		}
+		// Route the entry exactly as the live run had it. An unready
+		// source whose producer is still in flight means the entry was
+		// (or next scan would be) parked in the waiter chains; an unready
+		// source whose producer already completed, retired, or left the
+		// slot means the wake has fired (or a first examination would
+		// capture a value), so the entry belongs in the active list. An
+		// entry the scan had not yet examined may be parked here though
+		// the live run still had it listed, but that evaluation could not
+		// have captured anything, so the difference is unobservable.
+		if !c.pollEvery {
+			unready := !e.src1Ready || !e.src2Ready || !e.src3Ready
+			allPending := unready &&
+				(e.src1Ready || c.producerPending(e.src1Rob, e.src1Seq)) &&
+				(e.src2Ready || c.producerPending(e.src2Rob, e.src2Seq)) &&
+				(e.src3Ready || c.producerPending(e.src3Rob, e.src3Seq))
+			if allPending {
+				if !e.src1Ready {
+					c.register(idx, e.src1Rob, 0)
+				}
+				if !e.src2Ready {
+					c.register(idx, e.src2Rob, 1)
+				}
+				if !e.src3Ready {
+					c.register(idx, e.src3Rob, 2)
+				}
+				continue // parked: no poll can capture anything yet
+			}
+		}
+		c.active = append(c.active, dispEntry{seq: e.Seq, stamp: -1, idx: int32(idx)})
+	}
+	c.issueIdleLen = -1 // the scan memo does not survive a restore
+	c.sbNonspec = 0
+	for i := range c.sb {
+		if c.sb[i].nonspec {
+			c.sbNonspec++
+		}
+	}
+}
+
+// producerPending reports whether the producer identified by (slot, seq)
+// has yet to complete: the slot still holds that very instruction and it
+// is still dispatched or executing. Any other state — completed, offered,
+// freed, reused — means a poll of this source would capture a value.
+func (c *Core) producerPending(slot int, seq int64) bool {
+	if slot < 0 {
+		return false
+	}
+	p := &c.rob[slot]
+	return p.Seq == seq && (p.state == stDispatched || p.state == stIssued)
+}
+
+// register chains consumer slot cidx, source position k, onto producer
+// slot pidx's waiter list. The consumer must not already be registered at
+// that position.
+func (c *Core) register(cidx, pidx, k int) {
+	n := int32(cidx*3 + k)
+	h := c.waiterHead[pidx]
+	c.wProd[n], c.wNext[n], c.wPrev[n] = int32(pidx), h, -1
+	if h >= 0 {
+		c.wPrev[h] = n
+	}
+	c.waiterHead[pidx] = n
+}
+
+// unregisterAll unlinks every chain node of consumer slot cidx. Safe to
+// call when none are registered.
+func (c *Core) unregisterAll(cidx int) {
+	for k := 0; k < 3; k++ {
+		n := int32(cidx*3 + k)
+		p := c.wProd[n]
+		if p < 0 {
+			continue
+		}
+		if prev := c.wPrev[n]; prev >= 0 {
+			c.wNext[prev] = c.wNext[n]
+		} else {
+			c.waiterHead[p] = c.wNext[n]
+		}
+		if next := c.wNext[n]; next >= 0 {
+			c.wPrev[next] = c.wPrev[n]
+		}
+		c.wProd[n], c.wNext[n], c.wPrev[n] = -1, -1, -1
+	}
+}
+
+// registered reports whether consumer slot cidx holds any chain node.
+func (c *Core) registered(cidx int32) bool {
+	n := cidx * 3
+	return c.wProd[n] >= 0 || c.wProd[n+1] >= 0 || c.wProd[n+2] >= 0
+}
+
+// wakeWaiters moves every consumer chained on producer slot pidx back
+// into the active list, in age position. Called by completeExec; the
+// first completion of any waited producer is exactly when a poll of the
+// consumer would first capture a value. A consumer waiting on the same
+// producer through two source positions appears twice in the chain; the
+// registered() guard inserts it once.
+func (c *Core) wakeWaiters(pidx int) {
+	h := c.waiterHead[pidx]
+	if h < 0 {
+		return
+	}
+	// Snapshot the chain first: unregisterAll edits it mid-walk.
+	buf := c.wakeBuf[:0]
+	for n := h; n >= 0; n = c.wNext[n] {
+		buf = append(buf, n/3)
+	}
+	for _, cidx := range buf {
+		if !c.registered(cidx) {
+			continue // duplicate node for a consumer already woken
+		}
+		c.unregisterAll(int(cidx))
+		e := &c.rob[cidx]
+		c.activeInsert(dispEntry{seq: e.Seq, stamp: -1, idx: cidx})
+	}
+	c.wakeBuf = buf[:0]
+}
+
+// activeInsert places d into the seq-ordered active list. Woken entries
+// are usually older than everything listed (their producers dispatched
+// before the list's stalled tail), so the shift is short.
+func (c *Core) activeInsert(d dispEntry) {
+	a := c.active
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid].seq < d.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.active = append(c.active, dispEntry{})
+	copy(c.active[lo+1:], c.active[lo:])
+	c.active[lo] = d
 }
 
 // MarkDirty invalidates the core's self-tick short-circuit. Every

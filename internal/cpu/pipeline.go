@@ -73,16 +73,20 @@ func (c *Core) fetch() {
 		// Instruction cache access, one lookup per block transition.
 		block := mem.BlockAddr(c.Thread.PCAddr(c.fetchPC))
 		if !c.haveIBlock || block != c.curIBlock {
-			epoch := c.fetchEpoch
-			cb := &cache.CB{Kind: cache.CBIfetchDone, Core: c.ID, Epoch: epoch}
-			switch c.L1I.IfetchD(block, cb, c.IfetchDoneFn(epoch)) {
-			case cacheRetry:
-				c.volatileStall = true
-				return
-			case cacheMiss:
-				c.icacheWait = true
-				c.noteProgress()
-				return
+			// Hit fast path first: the descriptor and completion closure
+			// are only needed when a miss leaves a callback behind.
+			if _, hit := c.L1I.TryLoad(block, 0); !hit {
+				epoch := c.fetchEpoch
+				cb := &cache.CB{Kind: cache.CBIfetchDone, Core: c.ID, Epoch: epoch}
+				switch c.L1I.IfetchD(block, cb, c.IfetchDoneFn(epoch)) {
+				case cacheRetry:
+					c.volatileStall = true
+					return
+				case cacheMiss:
+					c.icacheWait = true
+					c.noteProgress()
+					return
+				}
 			}
 			c.curIBlock = block
 			c.haveIBlock = true
@@ -191,6 +195,10 @@ func (c *Core) dispatch() {
 		if e.Serializing {
 			c.serQ = append(c.serQ, e.Seq)
 		}
+		// A fresh entry carries no park memo, so the first scan always
+		// evaluates it. It is the youngest in flight, so appending keeps
+		// the list seq-ordered.
+		c.active = append(c.active, dispEntry{seq: e.Seq, stamp: -1, idx: int32(idx)})
 	}
 }
 
@@ -220,20 +228,6 @@ func (c *Core) captureSource(e *Entry, reg uint8, val *int64, rob *int, seq *int
 	*rob, *seq, *ready = ref.rob, ref.seq, false
 }
 
-// pollSource refreshes a pending operand from its producer.
-func (c *Core) pollSource(val *int64, rob *int, seq *int64, reg uint8, ready *bool) {
-	if *ready {
-		return
-	}
-	p := &c.rob[*rob]
-	switch {
-	case p.Seq == *seq && (p.state == stDone || p.state == stOffered):
-		*val, *ready = p.Result, true
-	case p.Seq != *seq || p.state == stFree:
-		*val, *ready = c.arf[reg], true
-	}
-}
-
 // --- issue and execute ------------------------------------------------------
 
 // serializeFence returns the seq of the oldest in-flight serializing
@@ -245,71 +239,165 @@ func (c *Core) serializeFence() int64 {
 	return c.serQ[0]
 }
 
+// issue walks the active list (the stDispatched entries the scan can act
+// on, in age order) rather than the whole ROB ring: in reunion mode the
+// window is dominated by offered entries awaiting comparison, and under
+// the fast-forward kernel operand-blocked entries sit in the waiter
+// chains rather than the list. The list is compacted in place; entries
+// that begin execution drop out, entries that park on pending operands
+// drop into the waiter chains, and a tail cut off by the serialize fence
+// or the issue width is preserved unexamined.
 func (c *Core) issue() {
+	if len(c.active) == 0 {
+		return
+	}
+	// Whole-scan memo: a previous scan proved every entry parked at this
+	// wake stamp, and the list has not changed since — nothing to do.
+	if !c.pollEvery && c.issueIdleLen == len(c.active) && c.issueIdleStamp == c.execStamp {
+		return
+	}
 	now := c.EQ.Now()
 	fence := c.serializeFence()
 	issued := 0
-	idx := c.robHead
-	for i := 0; i < c.robCount && issued < c.Cfg.IssueWidth; i++ {
-		e := &c.rob[idx]
-		cur := idx
-		if idx++; idx == len(c.rob) {
-			idx = 0
-		}
-		if fence >= 0 && e.Seq > fence {
+	allParked := true
+	keep, i := 0, 0
+	for ; i < len(c.active) && issued < c.Cfg.IssueWidth; i++ {
+		d := c.active[i]
+		if fence >= 0 && d.seq > fence {
 			break // nothing younger than an unretired serializing instr executes
 		}
+		// Quiet-park memo (fast-forward kernel): a listed entry blocked on
+		// memory disambiguation is skipped — without touching its ROB
+		// entry — until any wake-worthy state change. Ready-but-stalled
+		// serializing entries carry no memo (their stall accrues a
+		// per-cycle statistic below).
+		if !c.pollEvery && d.stamp == c.execStamp {
+			if keep != i {
+				c.active[keep] = d
+			}
+			keep++
+			continue
+		}
+		idx := int(d.idx)
+		e := &c.rob[idx]
 		if e.state != stDispatched {
-			continue
+			allParked = false // the list shrinks; revalidate next scan
+			continue          // left the dispatched state mid-scan; drop
 		}
-		// Combinational-work memo (fast-forward kernel): an entry that
-		// failed to issue for a reason only another state change can cure
-		// is skipped — without re-polling operands — until the core's
-		// state actually changes. Serializing entries are exempt: their
-		// ready-but-stalled state accrues a per-cycle statistic below.
-		if !c.pollEvery && !e.Serializing && e.pollStamp == c.execStamp {
-			continue
+		// Operand poll, inlined (this is the hottest code in the core).
+		if !e.src1Ready {
+			p := &c.rob[e.src1Rob]
+			if p.Seq == e.src1Seq && (p.state == stDone || p.state == stOffered) {
+				e.src1, e.src1Ready = p.Result, true
+			} else if p.Seq != e.src1Seq || p.state == stFree {
+				e.src1, e.src1Ready = c.arf[e.src1Reg], true
+			}
 		}
-		c.pollSource(&e.src1, &e.src1Rob, &e.src1Seq, e.src1Reg, &e.src1Ready)
-		c.pollSource(&e.src2, &e.src2Rob, &e.src2Seq, e.src2Reg, &e.src2Ready)
-		c.pollSource(&e.src3, &e.src3Rob, &e.src3Seq, e.src3Reg, &e.src3Ready)
+		if !e.src2Ready {
+			p := &c.rob[e.src2Rob]
+			if p.Seq == e.src2Seq && (p.state == stDone || p.state == stOffered) {
+				e.src2, e.src2Ready = p.Result, true
+			} else if p.Seq != e.src2Seq || p.state == stFree {
+				e.src2, e.src2Ready = c.arf[e.src2Reg], true
+			}
+		}
+		if !e.src3Ready {
+			p := &c.rob[e.src3Rob]
+			if p.Seq == e.src3Seq && (p.state == stDone || p.state == stOffered) {
+				e.src3, e.src3Ready = p.Result, true
+			} else if p.Seq != e.src3Seq || p.state == stFree {
+				e.src3, e.src3Ready = c.arf[e.src3Reg], true
+			}
+		}
 		if !e.src1Ready || !e.src2Ready || !e.src3Ready {
-			e.pollStamp = c.execStamp
+			// Operand park: every still-unready producer is pending (the
+			// poll above would have captured any other), so the entry
+			// leaves the list and chains onto each of them; the first
+			// completion re-inserts it — exactly when a re-poll would
+			// first capture a value. Parking writes nothing to the ROB
+			// entry, so it still counts toward an all-parked idle scan.
+			// The naive kernel parks nothing and re-polls next cycle.
+			if !c.pollEvery {
+				if !e.src1Ready {
+					c.register(idx, e.src1Rob, 0)
+				}
+				if !e.src2Ready {
+					c.register(idx, e.src2Rob, 1)
+				}
+				if !e.src3Ready {
+					c.register(idx, e.src3Rob, 2)
+				}
+				continue // dropped from the list
+			}
+			if keep != i {
+				c.active[keep] = d
+			}
+			keep++
 			continue
 		}
 		if e.Serializing {
 			// Serializing semantics: execute only at the head, after all
 			// older instructions have been compared and retired, with the
 			// non-speculative store buffer drained.
-			if e.Seq != c.commitSeq || c.sbNonspecCount() > 0 {
+			if e.Seq != c.commitSeq || c.sbNonspec > 0 {
 				c.Stats.IssueStallSer++
 				c.idleSerStalls++
+				allParked = false // the stall statistic accrues per cycle
+				if keep != i {
+					c.active[keep] = d
+				}
+				keep++
 				continue
 			}
 		}
-		switch c.execute(cur, e, now) {
+		allParked = false
+		res := c.execute(idx, e, now)
+		// execute can squash: a mispredicted branch prunes the list's
+		// suffix (leaving this entry at position i), and a rollback
+		// recovery reached through the gate's synchronizing-request path
+		// clears the whole window — and with it this list — out from
+		// under the scan. In the latter case the cleared list is already
+		// authoritative: apply the result's side effects and stop.
+		cleared := len(c.active) <= i
+		switch res {
 		case execOK:
+			// Began execution: drop from the list.
 			issued++
 			c.noteProgress()
 		case execQuiet:
-			e.pollStamp = c.execStamp
+			if !cleared {
+				d.stamp = c.execStamp
+				c.active[keep] = d
+				keep++
+			}
 		case execVolatile:
 			c.volatileStall = true
+			if !cleared {
+				c.active[keep] = d
+				keep++
+			}
 		}
+		if cleared {
+			return
+		}
+	}
+	// Preserve the unexamined tail, shifted left over dropped entries.
+	keep += copy(c.active[keep:], c.active[i:])
+	c.active = c.active[:keep]
+	// Record a proven-idle scan: every examined entry is parked on the
+	// current wake stamp and nothing mutated core state, so the scan can be
+	// skipped wholesale until the stamp or the list changes. A tail cut off
+	// by the serialize fence stays blocked until a retire bumps the stamp,
+	// so it does not invalidate the memo.
+	if !c.pollEvery && allParked {
+		c.issueIdleLen = len(c.active)
+		c.issueIdleStamp = c.execStamp
+	} else {
+		c.issueIdleLen = -1
 	}
 }
 
-func (c *Core) sbNonspecCount() int {
-	n := 0
-	for i := range c.sb {
-		if c.sb[i].nonspec {
-			n++
-		}
-	}
-	return n
-}
-
-func (c *Core) sbSpecCount() int { return len(c.sb) - c.sbNonspecCount() }
+func (c *Core) sbSpecCount() int { return len(c.sb) - c.sbNonspec }
 
 // execResult classifies an execute attempt for the issue stage.
 type execResult uint8
@@ -371,6 +459,7 @@ func (c *Core) execute(idx int, e *Entry, now int64) execResult {
 		sbe.word = wordIndex(addr)
 		sbe.data = uint64(e.src2)
 		sbe.addrReady = true
+		c.noteWake() // younger loads blocked on disambiguation may proceed
 		e.Result = 0
 		e.state = stIssued
 		e.doneAt, e.hasDoneAt = now+1, true
@@ -469,6 +558,14 @@ func (c *Core) executeLoad(idx int, e *Entry, now int64) execResult {
 	}
 
 	c.loadsThisCycle++
+	// Hit fast path: no descriptor or completion closure to build.
+	if val, hit := c.L1D.TryLoad(block, word); hit {
+		e.Result = int64(val)
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.LoadToUse, true
+		c.inExec = append(c.inExec, idx)
+		return execOK
+	}
 	seq, epoch := e.Seq, e.Epoch
 	cb := &cache.CB{Kind: cache.CBLoadDone, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch}
 	status, val := c.L1D.LoadD(block, word, cb, c.LoadDoneFn(idx, seq, epoch))
@@ -495,13 +592,12 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) execResult {
 	word := wordIndex(addr)
 
 	seq, epoch := e.Seq, e.Epoch
-	finish := c.AtomicFinishFn(idx, seq, epoch, block, word)
 
 	// Re-execution protocol: an atomic as the first memory operation after
 	// rollback uses the synchronizing request (Definition 11).
 	if c.Gate.SyncArmed(c) && !e.syncIssued {
 		scb := &cache.CB{Kind: cache.CBAtomicFin, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch, Block: block, Word: word}
-		if !c.Gate.SyncIssue(c, block, word, true, scb, finish) {
+		if !c.Gate.SyncIssue(c, block, word, true, scb, c.AtomicFinishFn(idx, seq, epoch, block, word)) {
 			return execVolatile
 		}
 		e.syncIssued = true
@@ -511,8 +607,19 @@ func (c *Core) executeAtomic(idx int, e *Entry, now int64) execResult {
 		return execOK
 	}
 
+	// Hit fast path: no descriptor or completion closure to build.
+	if old, hit := c.L1D.TryAtomicBegin(block, word); hit {
+		e.Result = int64(old)
+		e.casSuccess = int64(old) == e.src3
+		e.casNew = e.src2
+		e.state = stIssued
+		e.doneAt, e.hasDoneAt = now+c.Cfg.LoadToUse, true
+		c.inExec = append(c.inExec, idx)
+		return execOK
+	}
+
 	cb := &cache.CB{Kind: cache.CBAtomicBegin, Core: c.ID, Idx: idx, Seq: seq, Epoch: epoch, Block: block, Word: word}
-	status, old := c.L1D.AtomicBeginD(block, word, cb, finish)
+	status, old := c.L1D.AtomicBeginD(block, word, cb, c.AtomicFinishFn(idx, seq, epoch, block, word))
 	switch status {
 	case cacheHit:
 		e.Result = int64(old)
@@ -542,7 +649,9 @@ func (c *Core) completeExec() {
 		}
 		if e.hasDoneAt && e.doneAt <= now {
 			e.state = stDone
+			c.wakeWaiters(idx) // relist operand-parked dependents
 			c.noteProgress()
+			c.noteWake() // dependents' operands may now be ready
 			continue
 		}
 		out = append(out, idx)
@@ -573,11 +682,16 @@ func (c *Core) drainSB() {
 	}
 	c.storesThisCycle++
 	seq := s.seq
-	complete := c.StoreDoneFn(seq)
+	// Hit fast path: complete synchronously, no closure or descriptor.
+	if c.L1D.TryStore(s.block, s.word, s.data) {
+		c.storeDone(seq)
+		c.noteProgress()
+		return
+	}
 	cb := &cache.CB{Kind: cache.CBStoreDone, Core: c.ID, Seq: seq}
-	switch c.L1D.StoreD(s.block, s.word, s.data, cb, complete) {
+	switch c.L1D.StoreD(s.block, s.word, s.data, cb, c.StoreDoneFn(seq)) {
 	case cacheHit:
-		complete()
+		c.storeDone(seq)
 		c.noteProgress()
 	case cacheMiss:
 		s.draining = true

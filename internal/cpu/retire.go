@@ -118,11 +118,15 @@ func (c *Core) checkTLB(e *Entry, now int64) bool {
 	if isMem {
 		dpage = mem.PageOf(e.EA)
 	}
-	wouldMiss := !c.ITLB.Probe(ipage) || (isMem && !c.DTLB.Probe(dpage))
-	if wouldMiss && c.Cfg.TLB.Mode == tlb.Software && e.Seq != c.commitSeq {
-		// The software handler traps; it runs only with all older
-		// instructions compared and retired.
-		return false
+	// The side-effect-free Probe pre-pass only matters under software
+	// TLB management (a would-miss must stall until the entry is the
+	// commit head); hardware walks never stall here, so skip the probes.
+	if c.Cfg.TLB.Mode == tlb.Software && e.Seq != c.commitSeq {
+		if !c.ITLB.Probe(ipage) || (isMem && !c.DTLB.Probe(dpage)) {
+			// The software handler traps; it runs only with all older
+			// instructions compared and retired.
+			return false
+		}
 	}
 	// Past the software-handler stall check, the entry's TLB state mutates
 	// exactly once (tlbChecked latches below).
@@ -179,6 +183,9 @@ func (c *Core) finalize() {
 			return
 		}
 		c.noteProgress()
+		// Retirement changes everything a blocked evaluation can depend
+		// on: architectural values, the serialize fence, the commit point.
+		c.noteWake()
 		in := e.In
 		if in.WritesReg() && in.Rd != 0 {
 			c.arf[in.Rd] = e.Result
@@ -187,6 +194,7 @@ func (c *Core) finalize() {
 		case in.IsStore():
 			if s := c.sbFind(e.Seq); s != nil {
 				s.nonspec = true
+				c.sbNonspec++
 			}
 			c.Stats.CommittedStores++
 		case in.IsAtomic():
@@ -249,9 +257,24 @@ func (c *Core) squashYounger(e *Entry) {
 		panic("cpu: squashYounger on entry not in ROB")
 	}
 	for i := pos + 1; i < c.robCount; i++ {
-		c.rob[c.robIdx(i)].state = stFree
+		idx := c.robIdx(i)
+		c.rob[idx].state = stFree
+		// A squashed consumer parked in the waiter chains must unlink
+		// before its slot (or a surviving producer's chain) is reused.
+		c.unregisterAll(idx)
 	}
 	c.robCount = pos + 1
+	// The active list is seq-ordered, so the squashed entries form a
+	// suffix. (Seq survives the state clear above; when called from the
+	// issue scan the list may hold already-compacted duplicates below the
+	// current position, but the backward scan stops at e before reaching
+	// them.)
+	n := len(c.active)
+	for n > 0 && c.active[n-1].seq > e.Seq {
+		n--
+	}
+	c.active = c.active[:n]
+	c.noteWake() // squashed producers resolve dependents to the ARF
 	if c.faultSeq > e.Seq {
 		c.FaultSquashed++
 		c.faultSeq = -1
@@ -303,6 +326,7 @@ func (c *Core) rebuildRename() {
 // (Definition 8).
 func (c *Core) SquashAll() {
 	c.dirty = true // invoked from recovery (event context)
+	c.noteWake()
 	for i := 0; i < c.robCount; i++ {
 		c.rob[c.robIdx(i)].state = stFree
 	}
@@ -312,6 +336,8 @@ func (c *Core) SquashAll() {
 	}
 	c.robCount = 0
 	c.offerIdx = 0
+	c.active = c.active[:0]
+	c.initWaiters() // the whole window is gone; empty every chain
 	c.rename = [isa.NumRegs]renameRef{}
 	// Keep only non-speculative stores.
 	keep := c.sb[:0]
@@ -321,6 +347,7 @@ func (c *Core) SquashAll() {
 		}
 	}
 	c.sb = keep
+	c.sbNonspec = len(keep)
 	c.fq = c.fq[:0]
 	c.inExec = c.inExec[:0]
 	c.serQ = c.serQ[:0]

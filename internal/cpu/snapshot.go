@@ -50,6 +50,13 @@ func (c *Core) Snapshot() *CoreState {
 	s.core.inExec = append([]int(nil), c.inExec...)
 	s.core.sb = append([]sbEntry(nil), c.sb...)
 	s.core.serQ = append([]int64(nil), c.serQ...)
+	// Derived issue-stage state: rebuilt from the ROB on restore.
+	s.core.active = nil
+	s.core.waiterHead = nil
+	s.core.wNext = nil
+	s.core.wPrev = nil
+	s.core.wProd = nil
+	s.core.wakeBuf = nil
 	return s
 }
 
@@ -64,6 +71,7 @@ func (c *Core) Restore(s *CoreState) {
 	c.inExec = append([]int(nil), s.core.inExec...)
 	c.sb = append([]sbEntry(nil), s.core.sb...)
 	c.serQ = append([]int64(nil), s.core.serQ...)
+	c.rebuildDerived()
 	c.L1D.Restore(s.l1d)
 	c.L1I.Restore(s.l1i)
 	c.ITLB.Restore(s.itlb)

@@ -68,7 +68,6 @@ func encodeEntry(w *bin.Writer, e *Entry) {
 	w.Bool(e.casSuccess)
 	w.I64(e.casNew)
 	w.Bool(e.syncIssued)
-	w.I64(e.pollStamp)
 	w.Bool(e.Serializing)
 	w.I64(e.IntervalID)
 	w.I64(e.ExtraCheck)
@@ -115,7 +114,6 @@ func decodeEntry(r *bin.Reader) Entry {
 	e.casSuccess = r.Bool()
 	e.casNew = r.I64()
 	e.syncIssued = r.Bool()
-	e.pollStamp = r.I64()
 	e.Serializing = r.Bool()
 	e.IntervalID = r.I64()
 	e.ExtraCheck = r.I64()

@@ -35,6 +35,12 @@ type Block [BlockWords]uint64
 // Memory is a sparse physical memory image.
 type Memory struct {
 	pages map[uint64]*[pageWords]uint64
+	// Last-page cache: accesses run in page-length bursts (sequential
+	// fetch, block fills), so remembering the last hit skips the map
+	// lookup for the whole run. lastP is nil when nothing is cached;
+	// Restore invalidates it because the page pointers are rebuilt.
+	lastPN uint64
+	lastP  *[pageWords]uint64
 }
 
 // New returns an empty memory image.
@@ -42,11 +48,19 @@ func New() *Memory { return &Memory{pages: make(map[uint64]*[pageWords]uint64)} 
 
 func (m *Memory) page(addr uint64, alloc bool) *[pageWords]uint64 {
 	pn := addr >> PageShift
+	if m.lastP != nil && m.lastPN == pn {
+		return m.lastP
+	}
 	p := m.pages[pn]
-	if p == nil && alloc {
+	if p == nil {
+		if !alloc {
+			// Do not cache the miss: a later write may map the page.
+			return nil
+		}
 		p = new([pageWords]uint64)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastP = pn, p
 	return p
 }
 
@@ -114,4 +128,5 @@ func (m *Memory) Restore(s *MemoryState) {
 		cp := p
 		m.pages[pn] = &cp
 	}
+	m.lastP = nil // page pointers above are all new
 }

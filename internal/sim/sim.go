@@ -10,8 +10,6 @@
 // and ordered; given the same seed, a run is cycle-exact reproducible.
 package sim
 
-import "container/heap"
-
 // Event is a callback scheduled to fire at a specific cycle.
 //
 // An Event is immutable once scheduled: the queue moves *Event pointers
@@ -20,6 +18,13 @@ import "container/heap"
 // the Event pointers, so a scheduled callback must also never mutate the
 // variables its closure captured at scheduling time (capture values, or
 // pointers to components whose state is itself checkpointed).
+//
+// Fired events are recycled through a per-queue free list, but only when
+// no snapshot can possibly hold them: each Event carries the queue
+// generation it was scheduled under, Snapshot bumps the generation, and
+// Advance returns to the pool only events whose generation is current.
+// An Event that predates the latest Snapshot is left for the garbage
+// collector, preserving the shared-pointer contract above.
 type Event struct {
 	At    int64
 	Order int64 // tie-break: schedule order, preserves FIFO among same-cycle events
@@ -30,25 +35,65 @@ type Event struct {
 	// descriptor cannot cross a process boundary; the checkpoint encoder
 	// rejects them.
 	Desc any
+	// run fires descriptor-driven events scheduled with AtR/AfterR; nil
+	// for closure events. Fn takes precedence when both are set (the
+	// checkpoint decoder rebinds decoded events through Fn).
+	run EventRunner
+	gen uint64 // queue generation at scheduling time; guards pool reuse
 }
+
+// EventRunner is implemented by components that fire events directly
+// from their serializable descriptors. Scheduling through AtR/AfterR
+// avoids the per-event closure allocation of At/AtD: the runner is an
+// interface pair (pointer + itab) copied into the pooled Event, so a
+// hot scheduling site allocates only its descriptor. RunEvent must
+// treat the descriptor as immutable (snapshots share it, exactly like
+// the Event).
+type EventRunner interface{ RunEvent(desc any) }
 
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
 	}
 	return h[i].Order < h[j].Order
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+// up and down are the container/heap sift algorithms specialized to
+// eventHeap. The specialization matters twice over: it removes the
+// interface dispatch on Less/Swap from the hottest loop in the kernel,
+// and it reproduces container/heap's exact swap sequence so the heap
+// slice layout — which checkpoint serialization preserves positionally —
+// is identical to what the generic implementation produced.
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // EventQueue schedules callbacks at future cycles and fires them in
@@ -57,6 +102,25 @@ type EventQueue struct {
 	h     eventHeap
 	order int64
 	now   int64
+	gen   uint64   // bumped by Snapshot; see Event.gen
+	free  []*Event // fired events safe to recycle (gen was current at fire time)
+}
+
+// alloc returns a cleared Event, reusing a pooled one when available.
+func (q *EventQueue) alloc() *Event {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// push schedules an assembled event (heap insert + sift up).
+func (q *EventQueue) push(ev *Event) {
+	q.h = append(q.h, ev)
+	q.h.up(len(q.h) - 1)
 }
 
 // NewEventQueue returns an empty queue positioned at cycle 0.
@@ -73,8 +137,27 @@ func (q *EventQueue) At(cycle int64, fn func()) {
 		cycle = q.now
 	}
 	q.order++
-	heap.Push(&q.h, &Event{At: cycle, Order: q.order, Fn: fn})
+	ev := q.alloc()
+	ev.At, ev.Order, ev.Fn, ev.Desc, ev.gen = cycle, q.order, fn, nil, q.gen
+	q.push(ev)
 }
+
+// AtR schedules a descriptor-driven event at an absolute cycle: at fire
+// time the queue calls run.RunEvent(desc). Equivalent to AtD with a
+// closure over (run, desc), minus the closure allocation.
+func (q *EventQueue) AtR(cycle int64, desc any, run EventRunner) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.order++
+	ev := q.alloc()
+	ev.At, ev.Order, ev.Desc, ev.run, ev.gen = cycle, q.order, desc, run, q.gen
+	ev.Fn = nil
+	q.push(ev)
+}
+
+// AfterR schedules a descriptor-driven event delay cycles from now.
+func (q *EventQueue) AfterR(delay int64, desc any, run EventRunner) { q.AtR(q.now+delay, desc, run) }
 
 // After schedules fn to run delay cycles from now.
 func (q *EventQueue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
@@ -86,7 +169,9 @@ func (q *EventQueue) AtD(cycle int64, desc any, fn func()) {
 		cycle = q.now
 	}
 	q.order++
-	heap.Push(&q.h, &Event{At: cycle, Order: q.order, Fn: fn, Desc: desc})
+	ev := q.alloc()
+	ev.At, ev.Order, ev.Fn, ev.Desc, ev.gen = cycle, q.order, fn, desc, q.gen
+	q.push(ev)
 }
 
 // AfterD schedules fn delay cycles from now with a serializable descriptor.
@@ -96,11 +181,27 @@ func (q *EventQueue) AfterD(delay int64, desc any, fn func()) { q.AtD(q.now+dela
 // or before it, in order.
 func (q *EventQueue) Advance(cycle int64) {
 	for len(q.h) > 0 && q.h[0].At <= cycle {
-		ev := heap.Pop(&q.h).(*Event)
+		n := len(q.h) - 1
+		ev := q.h[0]
+		q.h[0], q.h[n] = q.h[n], nil
+		q.h = q.h[:n]
+		q.h.down(0, n)
 		if ev.At > q.now {
 			q.now = ev.At
 		}
-		ev.Fn()
+		if ev.Fn != nil {
+			ev.Fn()
+		} else {
+			ev.run.RunEvent(ev.Desc)
+		}
+		// Recycle only events no snapshot can hold. The generation is
+		// re-checked after the callback runs: a callback that snapshots
+		// the queue bumps gen and thereby retires every already-scheduled
+		// event, including this one.
+		if ev.gen == q.gen {
+			ev.Fn, ev.Desc, ev.run = nil, nil, nil
+			q.free = append(q.free, ev)
+		}
 	}
 	if cycle > q.now {
 		q.now = cycle
@@ -120,14 +221,19 @@ type EventQueueState struct {
 	events []*Event
 }
 
-// Snapshot captures the queue state. Read-only: the live queue is not
-// perturbed.
+// Snapshot captures the queue state. Read-only with respect to
+// observable queue state: the clock, order counter and pending events
+// are not perturbed. It does bump the queue's pool generation, retiring
+// every currently-scheduled event from recycling so the shared *Event
+// pointers stay immutable for the lifetime of the snapshot.
 func (q *EventQueue) Snapshot() EventQueueState {
-	return EventQueueState{
+	s := EventQueueState{
 		now:    q.now,
 		order:  q.order,
 		events: append([]*Event(nil), q.h...),
 	}
+	q.gen++
+	return s
 }
 
 // Restore rewinds the queue to a snapshot: the clock, order counter and
@@ -139,7 +245,24 @@ func (q *EventQueue) Snapshot() EventQueueState {
 func (q *EventQueue) Restore(s EventQueueState) {
 	q.now = s.now
 	q.order = s.order
-	q.h = append(eventHeap(nil), s.events...)
+	// Events scheduled since the last Snapshot (current generation) are
+	// about to become unreachable and, by construction, appear in no
+	// snapshot — recycle them instead of leaking them to the GC.
+	for _, ev := range q.h {
+		if ev.gen == q.gen {
+			ev.Fn, ev.Desc, ev.run = nil, nil, nil
+			q.free = append(q.free, ev)
+		}
+	}
+	old := q.h
+	q.h = append(q.h[:0], s.events...)
+	for i := len(q.h); i < len(old); i++ {
+		old[i] = nil
+	}
+	// The installed events are shared with the state object (which may be
+	// restored again, or may be a decoded checkpoint whose generation
+	// stamps mean nothing to this queue): retire them all from recycling.
+	q.gen++
 }
 
 // Clock returns the snapshot's cycle and order counter (checkpoint

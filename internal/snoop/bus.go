@@ -191,7 +191,27 @@ func (b *Bus) reply(r *cache.Req, data *mem.Block, exclusive bool, lat int64, re
 		lat = 1
 	}
 	d := &EvReply{R: r, Data: *data, Exclusive: exclusive, Release: release}
-	b.eq.AfterD(lat, d, b.DeliverReply(d))
+	b.eq.AfterR(lat, d, b)
+}
+
+// RunEvent implements sim.EventRunner: the bus schedules its events with
+// descriptors and dispatches on their type here, so the hot paths build
+// no per-event closures. The checkpoint decoder still rebinds decoded
+// events through the closure factories (Fn takes precedence over the
+// runner), keeping one implementation per action.
+func (b *Bus) RunEvent(desc any) {
+	switch d := desc.(type) {
+	case *EvReply:
+		b.deliverReply(d)
+	case *EvMemFetch:
+		b.memFetchDone(d)
+	case *EvPhantomMem:
+		b.phantomMemDone(d.R)
+	case *EvSyncMem:
+		b.syncMemDone(d)
+	default:
+		panic(fmt.Sprintf("snoop: Bus.RunEvent on unknown descriptor %T", desc))
+	}
 }
 
 // DeliverReply returns the fire closure for a scheduled reply: deliver
@@ -200,11 +220,13 @@ func (b *Bus) reply(r *cache.Req, data *mem.Block, exclusive bool, lat int64, re
 // fillsInFlight map, so a checkpoint rebind must only attach this
 // closure — never re-increment.
 func (b *Bus) DeliverReply(d *EvReply) func() {
-	return func() {
-		d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
-		if d.Release {
-			b.releaseFill(d.R.Core, d.R.Block)
-		}
+	return func() { b.deliverReply(d) }
+}
+
+func (b *Bus) deliverReply(d *EvReply) {
+	d.R.Done(cache.Resp{Data: d.Data, Exclusive: d.Exclusive})
+	if d.Release {
+		b.releaseFill(d.R.Core, d.R.Block)
 	}
 }
 
@@ -325,7 +347,7 @@ func (b *Bus) fetchAndReply(r *cache.Req, data mem.Block, supplied, exclusive bo
 	b.MemAccesses++
 	b.memInFlight++
 	d := &EvMemFetch{R: r, Exclusive: exclusive, Release: release}
-	b.eq.AfterD(b.memLatency(r.Block), d, b.MemFetchDone(d))
+	b.eq.AfterR(b.memLatency(r.Block), d, b)
 	return true
 }
 
@@ -334,12 +356,14 @@ func (b *Bus) fetchAndReply(r *cache.Req, data mem.Block, supplied, exclusive bo
 // increments happened at schedule time and are captured in the snapshot,
 // so a checkpoint rebind must only attach this closure.
 func (b *Bus) MemFetchDone(d *EvMemFetch) func() {
-	return func() {
-		b.memInFlight--
-		var data mem.Block
-		b.mem.ReadBlock(d.R.Block, &data)
-		b.reply(d.R, &data, d.Exclusive, b.cfg.SnoopLatency, d.Release)
-	}
+	return func() { b.memFetchDone(d) }
+}
+
+func (b *Bus) memFetchDone(d *EvMemFetch) {
+	b.memInFlight--
+	var data mem.Block
+	b.mem.ReadBlock(d.R.Block, &data)
+	b.reply(d.R, &data, d.Exclusive, b.cfg.SnoopLatency, d.Release)
 }
 
 func (b *Bus) processVocal(r *cache.Req) {
@@ -443,7 +467,7 @@ func (b *Bus) processPhantom(r *cache.Req) {
 		b.MemAccesses++
 		b.memInFlight++
 		b.trackFill(r.Core, r.Block)
-		b.eq.AfterD(b.memLatency(r.Block), &EvPhantomMem{R: r}, b.PhantomMemDone(r))
+		b.eq.AfterR(b.memLatency(r.Block), &EvPhantomMem{R: r}, b)
 	}
 }
 
@@ -452,12 +476,14 @@ func (b *Bus) processPhantom(r *cache.Req) {
 // and are captured in the snapshot, so a checkpoint rebind must only
 // attach this closure.
 func (b *Bus) PhantomMemDone(r *cache.Req) func() {
-	return func() {
-		b.memInFlight--
-		var data mem.Block
-		b.mem.ReadBlock(r.Block, &data)
-		b.reply(r, &data, true, b.cfg.SnoopLatency, true)
-	}
+	return func() { b.phantomMemDone(r) }
+}
+
+func (b *Bus) phantomMemDone(r *cache.Req) {
+	b.memInFlight--
+	var data mem.Block
+	b.mem.ReadBlock(r.Block, &data)
+	b.reply(r, &data, true, b.cfg.SnoopLatency, true)
 }
 
 func (b *Bus) processSync(r *cache.Req) {
@@ -520,7 +546,7 @@ func (b *Bus) processSync(r *cache.Req) {
 	b.trackFill(vocal.Core, r.Block)
 	b.trackFill(mute.Core, r.Block)
 	d := &EvSyncMem{V: vocal, M: mute}
-	b.eq.AfterD(b.memLatency(r.Block), d, b.SyncMemDone(d))
+	b.eq.AfterR(b.memLatency(r.Block), d, b)
 }
 
 // SyncMemDone returns the fire closure for a pair's combined off-chip
@@ -529,13 +555,15 @@ func (b *Bus) processSync(r *cache.Req) {
 // are captured in the snapshot, so a checkpoint rebind must only attach
 // this closure.
 func (b *Bus) SyncMemDone(d *EvSyncMem) func() {
-	return func() {
-		b.memInFlight--
-		var data mem.Block
-		b.mem.ReadBlock(d.V.Block, &data)
-		b.reply(d.V, &data, true, b.cfg.SnoopLatency, true)
-		b.reply(d.M, &data, true, b.cfg.SnoopLatency, true)
-	}
+	return func() { b.syncMemDone(d) }
+}
+
+func (b *Bus) syncMemDone(d *EvSyncMem) {
+	b.memInFlight--
+	var data mem.Block
+	b.mem.ReadBlock(d.V.Block, &data)
+	b.reply(d.V, &data, true, b.cfg.SnoopLatency, true)
+	b.reply(d.M, &data, true, b.cfg.SnoopLatency, true)
 }
 
 // CancelSync invalidates stale synchronizing requests (recovery

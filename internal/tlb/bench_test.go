@@ -1,0 +1,45 @@
+package tlb
+
+import "testing"
+
+// BenchmarkTLBProbe measures the side-effect-free residency probe the
+// issue stage runs before every memory access under software TLB
+// management (batched per issue window on the tick path).
+func BenchmarkTLBProbe(b *testing.B) {
+	t := New(64, 4)
+	for p := uint64(0); p < 16; p++ {
+		t.Preload(p)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !t.Probe(uint64(i & 15)) {
+			b.Fatal("preloaded page not resident")
+		}
+	}
+}
+
+// BenchmarkTLBAccess measures the filling lookup (hit path), including
+// the LRU update.
+func BenchmarkTLBAccess(b *testing.B) {
+	t := New(64, 4)
+	for p := uint64(0); p < 16; p++ {
+		t.Preload(p)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Access(uint64(i & 15))
+	}
+}
+
+// TestTLBProbeZeroAlloc pins both lookup paths at zero allocations.
+func TestTLBProbeZeroAlloc(t *testing.T) {
+	tb := New(64, 4)
+	tb.Preload(3)
+	if a := testing.AllocsPerRun(1000, func() {
+		tb.Probe(3)
+		tb.Access(3)
+		tb.Access(999) // miss + fill: still no heap traffic
+	}); a != 0 {
+		t.Fatalf("TLB lookups allocate %v per run, want 0", a)
+	}
+}

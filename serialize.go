@@ -49,7 +49,15 @@ const ckptMagic = "RNCK"
 // ckptFormatVersion is bumped on any change to the encoding. Decoders
 // read exactly one version; the golden-format tests pin the byte layout
 // so an accidental change fails loudly instead of corrupting stores.
-const ckptFormatVersion uint16 = 1
+// Version 2: the issue-stage memo stamps (Core.execStamp and the
+// per-entry pollStamp) changed dynamics when the memo narrowed from
+// any-progress to readiness-affecting changes; encoded values differ
+// even though the byte layout is unchanged.
+// Version 3: the per-entry pollStamp left the wire — the issue stage's
+// park memos became fully derived state (per-producer wait pairs
+// reconstructed from the unready flags), so ROB entries no longer carry
+// a memo field.
+const ckptFormatVersion uint16 = 3
 
 // ckptCRCTable is the CRC-64 (ECMA) table sealing checkpoint blobs,
 // matching the dist journal's footer discipline.
