@@ -117,13 +117,14 @@ func main() {
 			return
 		}
 		sp := sc.Trace.StartSpan("bench", name)
-		start := time.Now()
+		start := time.Now() //reunion:nondeterm-ok host wall-clock for bench reporting
 		if err := fn(); err != nil {
 			sp.End(obs.Arg{Key: "err", Val: err.Error()})
 			exitErr(name, err)
 		}
 		sp.End()
 		hb.Tick()
+		//reunion:nondeterm-ok host wall-clock for bench reporting
 		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 

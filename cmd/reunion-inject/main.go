@@ -251,7 +251,7 @@ func main() {
 	}
 	stopHeartbeat := hb.Start()
 
-	start := time.Now()
+	start := time.Now() //reunion:nondeterm-ok host wall-clock for the progress summary
 	eng := campaign.Engine[reunion.Options]{
 		Spec:        spec,
 		RunTrial:    reunion.TrialRunnerTraced(spec.Model, warmCache, *traceDump),
@@ -317,7 +317,7 @@ func main() {
 	}
 	rep.WriteTable(os.Stdout)
 	fmt.Fprintf(os.Stderr, "inject: %d trials in %s\n",
-		rep.Total.Trials(), time.Since(start).Round(time.Millisecond))
+		rep.Total.Trials(), time.Since(start).Round(time.Millisecond)) //reunion:nondeterm-ok host wall-clock
 	if rep.Total.Count(campaign.DUE) > 0 {
 		fmt.Fprintf(os.Stderr, "inject: %d DUE trials (deadline/unrecoverable) — inspect the results file\n",
 			rep.Total.Count(campaign.DUE))

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintBadFixture: the deliberately-bad module must fail with exit 1
+// and name both planted violations.
+func TestLintBadFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main([]string{"-C", "testdata/lintbad", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, needle := range []string{"ungated", "snapshot path", "[obsgated]", "[snapshotcomplete]"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Errorf("output missing %q:\n%s", needle, out.String())
+		}
+	}
+}
+
+// TestRepoIsClean: the acceptance criterion — the final tree passes the
+// full suite with exit 0.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main([]string{"-C", "../.."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("reunion-lint on the repo: exit %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestWirePin: -wirepin prints a 16-hex digest.
+func TestWirePin(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Main([]string{"-C", "../..", "-wirepin"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-wirepin: exit %d, stderr: %s", code, errb.String())
+	}
+	digest := strings.TrimSpace(out.String())
+	if len(digest) != 16 {
+		t.Fatalf("-wirepin printed %q, want 16 hex chars", digest)
+	}
+}
+
+// TestUsageErrors: unknown analyzers and unloadable directories are
+// usage errors (exit 2), not findings.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-run", "nosuch", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code := Main([]string{"-C", "testdata/nosuchdir", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("bad directory: exit %d, want 2", code)
+	}
+}
+
+// TestVersionHandshake: the -V=full protocol line go vet requires.
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full: exit %d", code)
+	}
+	if got := strings.TrimSpace(out.String()); got != "reunion-lint version v1" {
+		t.Fatalf("-V=full printed %q", got)
+	}
+}
+
+// TestGoVetVettool drives the real go vet protocol end to end: build
+// the binary, point go vet at it inside the bad fixture module, and
+// require the planted obsgated violation to fail the vet run.
+func TestGoVetVettool(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "reunion-lint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reunion-lint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = "testdata/lintbad"
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on lintbad; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "ungated") {
+		t.Fatalf("go vet output missing the obsgated finding:\n%s", out)
+	}
+}

@@ -1,0 +1,15 @@
+// Package cache carries a deliberately ungated trace call: the CI gate
+// proof runs reunion-lint here and requires a nonzero exit.
+package cache
+
+import "lintbad/trace"
+
+type L1 struct {
+	tr   *trace.Ring
+	tick uint64
+}
+
+func (l *L1) Lookup(addr uint64) {
+	l.tick++
+	l.tr.Addf(l.tick, 1, "lookup %x", addr) // deliberately ungated
+}

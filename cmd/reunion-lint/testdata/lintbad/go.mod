@@ -1,0 +1,3 @@
+module lintbad
+
+go 1.24

@@ -1,0 +1,19 @@
+// Package snap carries a deliberately incomplete snapshot: the lost
+// slice is neither captured nor annotated.
+package snap
+
+type Core struct {
+	tick uint64
+	buf  []int
+	lost []int // deliberately uncaptured
+}
+
+type CoreState struct {
+	core Core
+}
+
+func (c *Core) Snapshot() *CoreState {
+	s := &CoreState{core: *c}
+	s.core.buf = append([]int(nil), c.buf...)
+	return s
+}

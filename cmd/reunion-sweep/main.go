@@ -249,7 +249,7 @@ func main() {
 
 	var ipc stats.Online
 	failures := 0
-	start := time.Now()
+	start := time.Now() //reunion:nondeterm-ok host wall-clock for the progress summary
 	runner := sweep.Runner[reunion.Options, reunion.Result]{
 		Parallelism: *parallel,
 		Obs:         sc,
@@ -337,7 +337,7 @@ func main() {
 		failures = jnl.Failed()
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d runs in %s, user IPC %s, %d failed\n",
-		len(indices), time.Since(start).Round(time.Millisecond), ipc.String(), failures)
+		len(indices), time.Since(start).Round(time.Millisecond), ipc.String(), failures) //reunion:nondeterm-ok host wall-clock
 	if failures > 0 {
 		stopCPUProfile()
 		os.Exit(1)

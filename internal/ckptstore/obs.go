@@ -46,9 +46,9 @@ type instrumented struct {
 
 func (s *instrumented) Get(key uint64) ([]byte, error) {
 	sp := s.trace.StartSpan("store", "get", obs.Arg{Key: "key", Val: KeyName(key)})
-	begin := time.Now()
+	begin := time.Now() //reunion:nondeterm-ok store latency histogram is host telemetry
 	blob, err := s.inner.Get(key)
-	s.getTime.Observe(time.Since(begin).Microseconds())
+	s.getTime.Observe(time.Since(begin).Microseconds()) //reunion:nondeterm-ok
 	s.gets.Inc()
 	outcome := "hit"
 	switch {
@@ -68,9 +68,9 @@ func (s *instrumented) Get(key uint64) ([]byte, error) {
 func (s *instrumented) Put(key uint64, blob []byte) error {
 	sp := s.trace.StartSpan("store", "put",
 		obs.Arg{Key: "key", Val: KeyName(key)}, obs.Arg{Key: "bytes", Val: len(blob)})
-	begin := time.Now()
+	begin := time.Now() //reunion:nondeterm-ok store latency histogram is host telemetry
 	err := s.inner.Put(key, blob)
-	s.putTime.Observe(time.Since(begin).Microseconds())
+	s.putTime.Observe(time.Since(begin).Microseconds()) //reunion:nondeterm-ok
 	s.puts.Inc()
 	if err != nil {
 		s.putErrs.Inc()

@@ -41,7 +41,7 @@ type InterruptSink interface {
 // no output comparison, no redundancy. Software TLB handlers still cost
 // their body (but no comparison exposure).
 type NonRedundantGate struct {
-	EQ      *sim.EventQueue
+	EQ      *sim.EventQueue //reunion:shared
 	DevSalt uint64
 
 	intPending  int64
@@ -113,7 +113,7 @@ type decidedInterval struct {
 // entering check, and serializing instructions stall issue until their
 // comparison completes (both emerge from the pipeline's gating rules).
 type StrictGate struct {
-	EQ         *sim.EventQueue
+	EQ         *sim.EventQueue //reunion:shared
 	CompareLat int64
 	DevSalt    uint64
 

@@ -90,12 +90,12 @@ func (s *pairSide) pushDecided(d decidedInterval) {
 // protocol with a synchronizing request at the first memory operation.
 type Pair struct {
 	ID      int
-	VocalC  *cpu.Core
-	MuteC   *cpu.Core
-	EQ      *sim.EventQueue
-	L2      SyncTarget
-	Lat     int64 // one-way comparison latency between the cores
-	Timeout int64 // divergence watchdog (cycles one side may run lonely)
+	VocalC  *cpu.Core       //reunion:shared
+	MuteC   *cpu.Core       //reunion:shared
+	EQ      *sim.EventQueue //reunion:shared
+	L2      SyncTarget      //reunion:shared
+	Lat     int64           // one-way comparison latency between the cores
+	Timeout int64           // divergence watchdog (cycles one side may run lonely)
 	DevSalt uint64
 
 	sides [2]pairSide
@@ -129,7 +129,7 @@ type Pair struct {
 	intServiced int64
 
 	// Trace optionally records recovery/compare events (nil = off).
-	Trace *trace.Ring
+	Trace *trace.Ring //reunion:shared
 
 	Stats PairStats
 }

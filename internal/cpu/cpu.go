@@ -227,16 +227,18 @@ type Core struct {
 	ID    int
 	Pair  int
 	Vocal bool
-	Cfg   *Config
-	EQ    *sim.EventQueue
+	// Identity wiring, not wire state: a decoded snapshot carries nil in
+	// these until BindTo rebinds them from the live core (see wire.go).
+	Cfg *Config         //reunion:shared
+	EQ  *sim.EventQueue //reunion:shared
 
-	Thread *program.Thread
-	L1D    *cache.L1
-	L1I    *cache.L1
-	ITLB   *tlb.TLB
-	DTLB   *tlb.TLB
-	BP     *bpred.Predictor
-	Gate   Gate
+	Thread *program.Thread  //reunion:shared
+	L1D    *cache.L1        //reunion:shared
+	L1I    *cache.L1        //reunion:shared
+	ITLB   *tlb.TLB         //reunion:shared
+	DTLB   *tlb.TLB         //reunion:shared
+	BP     *bpred.Predictor //reunion:shared
+	Gate   Gate             //reunion:shared
 
 	// Architectural state.
 	arf       [isa.NumRegs]int64
@@ -270,7 +272,7 @@ type Core struct {
 	// waited producer completes. Under the naive poll-every-cycle kernel
 	// nothing parks, so active is simply every dispatched entry. Derived
 	// state: rebuilt from the ROB on restore, never in a checkpoint.
-	active []dispEntry
+	active []dispEntry //reunion:derived
 
 	// Producer-indexed waiter chains (fast-forward kernel): an
 	// operand-blocked entry registers on each source whose producer has
@@ -282,19 +284,19 @@ type Core struct {
 	// the producer slot the node is chained on (-1 = unregistered). All
 	// derived state, reconstructed on restore from the authoritative
 	// unready flags and producer states.
-	waiterHead []int32
-	wNext      []int32
-	wPrev      []int32
-	wProd      []int32
-	wakeBuf    []int32 // scratch for wakeWaiters (chain is read, then edited)
+	waiterHead []int32 //reunion:derived
+	wNext      []int32 //reunion:derived
+	wPrev      []int32 //reunion:derived
+	wProd      []int32 //reunion:derived
+	wakeBuf    []int32 // scratch for wakeWaiters (chain is read, then edited) //reunion:derived
 
 	// Whole-scan issue memo (fast-forward kernel): after a scan in which
 	// every examined entry was (or became) memo-parked — nothing issued,
 	// no statistic accrued, no volatile blocker, no list mutation — the
 	// next scan is provably a no-op until the wake stamp or the list
 	// itself changes. issueIdleLen is -1 when no such proof is held.
-	issueIdleLen   int
-	issueIdleStamp int64
+	issueIdleLen   int   //reunion:derived
+	issueIdleStamp int64 //reunion:derived
 
 	// Store buffer (ordered by seq; spec entries follow non-spec).
 	sb         []sbEntry
@@ -302,7 +304,7 @@ type Core struct {
 	// sbNonspec counts non-speculative (retired, still draining) entries
 	// in sb; derived state maintained by finalize/drain/squash and
 	// rebuilt on restore.
-	sbNonspec int
+	sbNonspec int //reunion:derived
 
 	// Serializing fences: seqs of in-flight serializing instructions.
 	serQ []int64

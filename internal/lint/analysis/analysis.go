@@ -1,0 +1,359 @@
+// Package analysis is a self-contained, stdlib-only equivalent of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// invariant lint suite (cmd/reunion-lint). It loads packages through the
+// go command (`go list -deps -json`), type-checks them from source with
+// go/types, and runs Analyzer values over the result.
+//
+// Why not x/tools: the module is deliberately dependency-free (go.mod
+// has no requires), and the lint suite must run in the same offline
+// environments the simulator does. The subset implemented here — typed
+// packages, per-package and whole-program passes, diagnostics, and an
+// analysistest-style harness (internal/lint/linttest) — is all four
+// analyzers need.
+//
+// Annotation vocabulary: analyzers honor `//reunion:<marker>` comments
+// (see the Mark* constants) placed on the flagged line, the line above
+// it, a field's doc or trailing comment, an enclosing function's
+// declaration, or the file's package clause. The marker may be followed
+// by free text justifying it: `//reunion:derived rebuilt by
+// rebuildDerived on restore`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Markers recognized in //reunion:<marker> annotation comments.
+const (
+	// MarkDerived names snapshot-skipped state that a restore rebuilds
+	// from authoritative serialized state (waiter chains, memo lists).
+	MarkDerived = "derived"
+	// MarkShared names reference fields intentionally shared between a
+	// snapshot and the live machine: identity-preserved component wiring
+	// or immutable-once-created values.
+	MarkShared = "shared"
+	// MarkNondetermOK marks host-time-only code (latency telemetry,
+	// benchmark harnesses) that a deterministic-output path may contain.
+	MarkNondetermOK = "nondeterm-ok"
+	// MarkWireCompat justifies a checkpoint-payload type edit as
+	// wire-compatible, excluding the field from the wireversion digest.
+	MarkWireCompat = "wire-compat"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// WholeProgram analyzers run once per load with Pass.Pkg == nil and
+	// walk Pass.Prog themselves (cross-package callgraphs, type-graph
+	// digests). Per-package analyzers run once per target package.
+	WholeProgram bool
+	// Run reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Package is one type-checked package under analysis, with syntax.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string // source directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	fset *token.FileSet
+	// markers: file name -> line -> markers present on that line.
+	markers map[string]map[int][]string
+	// fieldAt maps a struct field object's Pos to its declaration.
+	fieldAt map[token.Pos]*ast.Field
+}
+
+// A Program is one load: the analysis-domain packages (the module's or
+// testdata tree's own packages — never the standard library) plus
+// which of them are analysis targets.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Pkgs holds every analysis-domain package by import path,
+	// dependencies included, so whole-program analyzers see the
+	// complete callgraph and type graph.
+	Pkgs map[string]*Package
+	// Targets are the packages named by the load patterns, in load
+	// (dependency-first) order. Diagnostics are only wanted here.
+	Targets []*Package
+
+	byTypes map[*types.Package]*Package
+}
+
+// PkgOf returns the analysis-domain package for a types.Package, or nil
+// for standard-library and otherwise unloaded packages.
+func (p *Program) PkgOf(tp *types.Package) *Package {
+	return p.byTypes[tp]
+}
+
+// IsTarget reports whether pkg is one of the load's analysis targets.
+func (p *Program) IsTarget(pkg *Package) bool {
+	for _, t := range p.Targets {
+		if t == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass carries one analyzer invocation's inputs and its report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package // nil for WholeProgram analyzers
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the program and returns all
+// diagnostics sorted by position. Per-package analyzers visit every
+// target; whole-program analyzers run once.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.WholeProgram {
+			pass := &Pass{Analyzer: a, Prog: prog, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Targets {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// finish indexes a freshly type-checked package: annotation markers by
+// line and struct fields by position.
+func (p *Package) finish(fset *token.FileSet) {
+	p.fset = fset
+	p.markers = make(map[string]map[int][]string)
+	p.fieldAt = make(map[token.Pos]*ast.Field)
+	for _, f := range p.Files {
+		name := fset.Position(f.Package).Filename
+		lines := make(map[int][]string)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range markersIn(c.Text) {
+					line := fset.Position(c.Pos()).Line
+					lines[line] = append(lines[line], m)
+				}
+			}
+		}
+		p.markers[name] = lines
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					// Embedded: the field object's Pos is the type's.
+					p.fieldAt[embeddedPos(field.Type)] = field
+					continue
+				}
+				for _, id := range field.Names {
+					p.fieldAt[id.Pos()] = field
+				}
+			}
+			return true
+		})
+	}
+}
+
+// embeddedPos returns the position go/types assigns an embedded field:
+// the position of its (possibly qualified, possibly dereferenced) name.
+func embeddedPos(t ast.Expr) token.Pos {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return embeddedPos(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Pos()
+	case *ast.IndexExpr: // generic instantiation
+		return embeddedPos(t.X)
+	}
+	return t.Pos()
+}
+
+// markersIn extracts reunion annotation markers from one comment's text.
+func markersIn(text string) []string {
+	var out []string
+	rest := text
+	for {
+		i := strings.Index(rest, "//reunion:")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len("//reunion:"):]
+		end := strings.IndexFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\n'
+		})
+		if end < 0 {
+			end = len(rest)
+		}
+		if m := rest[:end]; m != "" {
+			out = append(out, m)
+		}
+	}
+}
+
+// MarkedAt reports whether a //reunion:<marker> annotation covers pos:
+// on the same line or on the line immediately above it.
+func (p *Package) MarkedAt(pos token.Pos, marker string) bool {
+	position := p.fset.Position(pos)
+	lines := p.markers[position.Filename]
+	for _, m := range lines[position.Line] {
+		if m == marker {
+			return true
+		}
+	}
+	for _, m := range lines[position.Line-1] {
+		if m == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function declaration carries the
+// marker: in its doc comment or on/above its declaration line.
+func (p *Package) FuncMarked(fd *ast.FuncDecl, marker string) bool {
+	if fd == nil {
+		return false
+	}
+	if commentHasMarker(fd.Doc, marker) {
+		return true
+	}
+	return p.MarkedAt(fd.Pos(), marker)
+}
+
+// FileMarked reports whether the file carries the marker at file scope:
+// in any comment on or above the package clause.
+func (p *Package) FileMarked(f *ast.File, marker string) bool {
+	position := p.fset.Position(f.Name.Pos())
+	for line, ms := range p.markers[position.Filename] {
+		if line > position.Line {
+			continue
+		}
+		for _, m := range ms {
+			if m == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FieldMarked reports whether a struct field's declaration carries the
+// marker, via its doc comment, trailing line comment, or a marker
+// line directly above it.
+func (p *Package) FieldMarked(fv *types.Var, marker string) bool {
+	if f := p.fieldAt[fv.Pos()]; f != nil {
+		if commentHasMarker(f.Doc, marker) || commentHasMarker(f.Comment, marker) {
+			return true
+		}
+	}
+	return p.MarkedAt(fv.Pos(), marker)
+}
+
+func commentHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		for _, m := range markersIn(c.Text) {
+			if m == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileOf returns the syntax file containing pos, or nil.
+func (p *Package) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Basename returns the last element of the package path — the name the
+// analyzers use to recognize role packages (trace, obs, sweep, dist) so
+// the linttest trees can stand in for the real ones.
+func Basename(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// WithStack walks the file like ast.Inspect but hands fn the stack of
+// enclosing nodes, outermost first; the visited node is stack's last
+// element. Returning false prunes the subtree.
+func WithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			stack = stack[:len(stack)-1] // Inspect will not send the pop
+			return false
+		}
+		return true
+	})
+}

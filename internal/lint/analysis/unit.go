@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// go vet -vettool support. The go command invokes the tool once per
+// package with a JSON config file (see cmd/go/internal/work.vetConfig):
+// source files plus gc export data for every import, already built. A
+// Unit is that invocation, loaded into the same Program shape the
+// standalone path produces — except dependencies are export data only
+// (no syntax, no bodies), so only per-package analyzers can run here.
+// The whole-program analyzers (determinism, wireversion) need the
+// standalone `reunion-lint ./...` entry point.
+
+// vetConfig mirrors the fields of the go command's vet config that the
+// loader consumes.
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// A Unit is one vettool invocation. Prog is nil when type-checking
+// failed and the config says to succeed anyway (the go command sets
+// SucceedOnTypecheckFailure when the compiler will report the errors
+// itself).
+type Unit struct {
+	Prog       *Program
+	VetxOnly   bool
+	VetxOutput string
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// LoadUnit parses a vet config and type-checks its package against the
+// export data of its dependencies.
+func LoadUnit(cfgPath string) (*Unit, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	u := &Unit{VetxOnly: cfg.VetxOnly, VetxOutput: cfg.VetxOutput}
+	if cfg.VetxOnly {
+		// Facts-only request; this suite computes no facts.
+		return u, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return u, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	gc := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+
+	var tcErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if tcErr == nil {
+				tcErr = err
+			}
+		},
+	}
+	info := newInfo()
+	typed, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if tcErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return u, nil
+		}
+		return nil, fmt.Errorf("%s: %v", cfg.ImportPath, tcErr)
+	}
+
+	pkg := &Package{
+		Path: cfg.ImportPath, Name: typed.Name(), Dir: cfg.Dir,
+		Files: files, Types: typed, Info: info,
+	}
+	pkg.finish(fset)
+	u.Prog = &Program{
+		Fset:    fset,
+		Pkgs:    map[string]*Package{pkg.Path: pkg},
+		Targets: []*Package{pkg},
+		byTypes: map[*types.Package]*Package{typed: pkg},
+	}
+	return u, nil
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"reunion/internal/lint/determinism"
+	"reunion/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", determinism.Analyzer)
+}

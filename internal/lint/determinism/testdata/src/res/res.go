@@ -1,0 +1,5 @@
+package res
+
+type Collector struct{ rows []string }
+
+func (c *Collector) Emit(row string) { c.rows = append(c.rows, row) }

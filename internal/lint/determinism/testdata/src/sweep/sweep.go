@@ -1,0 +1,7 @@
+// Package sweep is a fixture stand-in: the Sink interface marks the
+// deterministic-output boundary.
+package sweep
+
+type Sink interface {
+	Emit(row string)
+}

@@ -1,0 +1,136 @@
+// Package linttest is an analysistest-style harness for the lint suite:
+// it loads a GOPATH-style testdata tree, runs one analyzer, and checks
+// its diagnostics against `// want` expectations in the fixture source.
+//
+// Expectation syntax, on the line the diagnostic is expected at:
+//
+//	r.Addf(now, 0, trace.Compare, "x") // want `ungated`
+//
+// The backquoted (or double-quoted) string is an anchored-nowhere
+// regular expression matched against the diagnostic message; several
+// patterns on one line expect several diagnostics. A line with no
+// `// want` comment expects none.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"reunion/internal/lint/analysis"
+)
+
+// Run loads root (a testdata dir containing src/) with the given target
+// patterns, runs the analyzer, and reports any mismatch between its
+// diagnostics and the tree's // want comments on t.
+func Run(t *testing.T, root string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := analysis.LoadTree(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	pending := map[key][]string{} // unmatched diagnostic messages
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		pending[k] = append(pending[k], d.Message)
+	}
+
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			filename := prog.Fset.Position(f.Package).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants := parseWants(t, c.Text)
+					if wants == nil {
+						continue
+					}
+					k := key{filename, prog.Fset.Position(c.Pos()).Line}
+					for _, re := range wants {
+						if !takeMatch(pending, k, re) {
+							t.Errorf("%s:%d: no diagnostic matching %q (have %v)",
+								filename, k.line, re.String(), pending[k])
+						}
+					}
+				}
+			}
+		}
+	}
+	for k, msgs := range pending {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// takeMatch removes and reports the first pending diagnostic at k
+// matching re.
+func takeMatch[K comparable](pending map[K][]string, k K, re *regexp.Regexp) bool {
+	msgs := pending[k]
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			pending[k] = append(msgs[:i:i], msgs[i+1:]...)
+			if len(pending[k]) == 0 {
+				delete(pending, k)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the expectation regexps from one comment, or nil
+// if it is not a want comment.
+func parseWants(t *testing.T, text string) []*regexp.Regexp {
+	t.Helper()
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var wants []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", text)
+			}
+			raw = rest[1 : 1+end]
+			rest = rest[2+end:]
+		case '"':
+			var err error
+			end := strings.IndexByte(rest[1:], '"') // no escaped quotes in fixtures
+			if end < 0 {
+				t.Fatalf("unterminated want pattern: %s", text)
+			}
+			raw, err = strconv.Unquote(rest[:2+end])
+			if err != nil {
+				t.Fatalf("bad want pattern %s: %v", rest[:2+end], err)
+			}
+			rest = rest[2+end:]
+		default:
+			t.Fatalf("want pattern must be quoted or backquoted: %s", text)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", raw, err)
+		}
+		wants = append(wants, re)
+		rest = strings.TrimSpace(rest)
+	}
+	if wants == nil {
+		t.Fatalf("want comment with no patterns: %s", text)
+	}
+	return wants
+}

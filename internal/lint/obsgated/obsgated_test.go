@@ -1,0 +1,12 @@
+package obsgated_test
+
+import (
+	"testing"
+
+	"reunion/internal/lint/linttest"
+	"reunion/internal/lint/obsgated"
+)
+
+func TestObsGated(t *testing.T) {
+	linttest.Run(t, "testdata", obsgated.Analyzer)
+}

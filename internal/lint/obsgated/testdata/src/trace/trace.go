@@ -1,0 +1,13 @@
+// Package trace is a fixture stand-in for the real trace ring: same
+// shape (nil-safe Enabled guard, variadic Addf), none of the content.
+package trace
+
+type Category uint32
+
+type Ring struct{ mask Category }
+
+func (r *Ring) Enabled(c Category) bool { return r != nil && r.mask&c != 0 }
+
+func (r *Ring) Addf(tick uint64, c Category, format string, args ...any) {}
+
+func (r *Ring) Add(tick uint64, c Category, msg string) {}

@@ -1,0 +1,262 @@
+// Package snapshotcomplete enforces the checkpoint-capture contract in
+// every package that has a snapshot path (a snapshot.go, wire.go, or
+// serialize.go file): a struct that participates in snapshotting may
+// not grow a field the snapshot path silently loses.
+//
+// Two capture idioms exist in this repository, and the check follows
+// both:
+//
+//   - Shallow-copy snapshots (snapshot.go): `s.core = *c` captures every
+//     scalar automatically, so only reference-typed fields (slices,
+//     maps, pointers, chans, funcs, interfaces) can be lost — each must
+//     be mentioned somewhere in the snapshot path (deep-copied, fixed
+//     up, or nil'd) or annotated. Struct values captured by the copy
+//     (including slice/array elements) are checked recursively the same
+//     way: a reference inside a copied element leaks identity just as
+//     surely.
+//
+//   - Field-by-field wire encoding (wire.go Encode/Decode): nothing is
+//     automatic, so every field of an encoded struct must be mentioned
+//     in the snapshot path or annotated. Struct-typed constituents
+//     (slice elements, nested values) are checked recursively with the
+//     same all-fields rule.
+//
+// Escapes: `//reunion:derived` on a field declares rebuilt-on-restore
+// state (never captured, reconstructed from serialized state — PR 8's
+// waiter chains); `//reunion:shared` declares a reference intentionally
+// shared between snapshot and live machine (identity-preserved
+// component wiring, immutable-once-created values). Both annotations
+// are also load-bearing for the wireversion analyzer, which excludes
+// annotated fields from the pinned payload digest.
+package snapshotcomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"reunion/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotcomplete",
+	Doc: "every field of a snapshotted or wire-encoded struct must be captured by " +
+		"its package's snapshot path (snapshot.go/wire.go/serialize.go) or annotated " +
+		"//reunion:derived (rebuilt on restore) or //reunion:shared (identity-preserved)",
+	Run: run,
+}
+
+// snapshotFiles are the per-package files that constitute the snapshot
+// path.
+var snapshotFiles = map[string]bool{
+	"snapshot.go": true, "wire.go": true, "serialize.go": true,
+}
+
+// captureMode says which fields of a serialized struct need evidence.
+type captureMode int
+
+const (
+	modeRefsOnly  captureMode = iota // shallow-copied: scalars are automatic
+	modeAllFields                    // wire-encoded: nothing is automatic
+)
+
+func run(pass *analysis.Pass) error {
+	var snapFiles []*ast.File
+	for _, f := range pass.Pkg.Files {
+		name := filepath.Base(pass.Prog.Fset.Position(f.Package).Filename)
+		if snapshotFiles[name] {
+			snapFiles = append(snapFiles, f)
+		}
+	}
+	if len(snapFiles) == 0 {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1 over the snapshot path: which fields are mentioned, which
+	// structs are shallow-copied, which are snapshot/encode receivers.
+	referenced := map[*types.Var]bool{}
+	shallow := map[*types.Named]bool{}
+	serialized := map[*types.Named]captureMode{}
+
+	noteNamed := func(t types.Type, mode captureMode) {
+		if n := localNamedStruct(pass.Pkg.Types, t); n != nil {
+			if cur, ok := serialized[n]; !ok || mode > cur {
+				serialized[n] = mode
+			}
+		}
+	}
+
+	for _, f := range snapFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := info.Defs[fd.Name].(*types.Func).Signature().Recv()
+			switch fd.Name.Name {
+			case "Snapshot":
+				noteNamed(recv.Type(), modeRefsOnly)
+				if res := info.Defs[fd.Name].(*types.Func).Signature().Results(); res.Len() == 1 {
+					noteNamed(res.At(0).Type(), modeAllFields)
+				}
+			case "Encode":
+				noteNamed(recv.Type(), modeAllFields)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if s := info.Selections[n]; s != nil && s.Kind() == types.FieldVal {
+					referenced[s.Obj().(*types.Var)] = true
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+						referenced[v] = true
+					}
+				}
+			case *ast.StarExpr:
+				// `*b` copying a whole struct value marks the shallow-copy
+				// idiom (both `x := *b` and `*b = snap` directions).
+				tv, ok := info.Types[n.X]
+				if !ok || !tv.IsValue() {
+					return true
+				}
+				ptr, ok := tv.Type.Underlying().(*types.Pointer)
+				if !ok {
+					return true
+				}
+				if named := localNamedStruct(pass.Pkg.Types, ptr.Elem()); named != nil {
+					shallow[named] = true
+				}
+			}
+			return true
+		})
+	}
+	// Shallow-copied structs are checked refs-only even when they also
+	// have a Snapshot/Encode method.
+	for n := range shallow {
+		serialized[n] = modeRefsOnly
+	}
+
+	// Close over struct-typed constituents: a value struct reachable
+	// from a serialized struct's fields is captured (or encoded) with
+	// it, so its fields face the same rule.
+	worklist := make([]*types.Named, 0, len(serialized))
+	for n := range serialized {
+		worklist = append(worklist, n)
+	}
+	for len(worklist) > 0 {
+		n := worklist[0]
+		worklist = worklist[1:]
+		mode := serialized[n]
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			for _, elem := range valueConstituents(st.Field(i).Type()) {
+				child := localNamedStruct(pass.Pkg.Types, elem)
+				if child == nil || shallow[child] {
+					continue
+				}
+				if cur, ok := serialized[child]; !ok || mode > cur {
+					serialized[child] = mode
+					worklist = append(worklist, child)
+				}
+			}
+		}
+	}
+
+	// Report: deterministic order over the serialized structs.
+	var names []*types.Named
+	for n := range serialized {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return names[i].Obj().Name() < names[j].Obj().Name()
+	})
+	for _, n := range names {
+		mode := serialized[n]
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" || referenced[f] {
+				continue
+			}
+			if mode == modeRefsOnly && !isRefType(f.Type()) {
+				continue
+			}
+			if pass.Pkg.FieldMarked(f, analysis.MarkDerived) ||
+				pass.Pkg.FieldMarked(f, analysis.MarkShared) {
+				continue
+			}
+			what := "captured by the snapshot path"
+			if mode == modeRefsOnly {
+				what = "deep-copied, fixed up, or nil'd in the snapshot path"
+			}
+			pass.Reportf(f.Pos(),
+				"field %s.%s is neither %s (snapshot.go/wire.go/serialize.go) nor annotated "+
+					"//reunion:derived or //reunion:shared — a checkpoint would silently lose it",
+				n.Obj().Name(), f.Name(), what)
+		}
+	}
+	return nil
+}
+
+// localNamedStruct returns t as a named struct type defined in pkg, or
+// nil.
+func localNamedStruct(pkg *types.Package, t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Named:
+			if u.Obj().Pkg() != pkg {
+				return nil
+			}
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// valueConstituents returns the struct-valued types captured wholesale
+// when a field of type t is copied: t itself, slice/array elements, and
+// map values. Pointees are not included — a pointer field is itself the
+// reference needing evidence, and its target has its own snapshot.
+func valueConstituents(t types.Type) []types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		return []types.Type{t}
+	case *types.Slice:
+		return valueConstituents(u.Elem())
+	case *types.Array:
+		return valueConstituents(u.Elem())
+	case *types.Map:
+		return valueConstituents(u.Elem())
+	}
+	return nil
+}
+
+// isRefType reports whether a field of this type can escape a shallow
+// struct copy: anything that aliases or is rebuilt rather than copied.
+func isRefType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return isRefType(u.Elem())
+	case *types.Struct:
+		// A nested value struct is captured by the copy, but any
+		// reference fields inside it are handled via the constituent
+		// closure — the field itself is not a reference.
+		return false
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package snapshotcomplete_test
+
+import (
+	"testing"
+
+	"reunion/internal/lint/linttest"
+	"reunion/internal/lint/snapshotcomplete"
+)
+
+func TestSnapshotComplete(t *testing.T) {
+	linttest.Run(t, "testdata", snapshotcomplete.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Package snap exercises the shallow-copy snapshot idiom: `*c` captures
+// scalars, reference fields need explicit treatment or an annotation.
+package snap
+
+type Config struct{ Ways int }
+
+type inner struct {
+	id  uint32
+	ptr *uint32 // want `inner\.ptr`
+}
+
+type Core struct {
+	tick uint64
+	buf  []int
+	lost []int // want `Core\.lost`
+	// wake chains are rebuilt from serialized queue state on restore.
+	// //reunion:derived
+	wake []int
+	cfg  *Config //reunion:shared config is immutable once built
+	sets [2]inner
+}
+
+type CoreState struct {
+	core Core
+}
+
+func (c *Core) Snapshot() *CoreState {
+	s := &CoreState{core: *c}
+	s.core.buf = append([]int(nil), c.buf...)
+	return s
+}

@@ -1,0 +1,21 @@
+// Package wire exercises the field-by-field encode idiom: nothing is
+// captured automatically, so even scalars need evidence.
+package wire
+
+type Entry struct {
+	Tag  uint64
+	Data uint64
+}
+
+type TLBState struct {
+	Entries []Entry
+	Tick    uint64
+	Hits    uint64 // want `TLBState\.Hits`
+}
+
+func (s *TLBState) Encode(buf []byte) []byte {
+	for _, e := range s.Entries {
+		buf = append(buf, byte(e.Tag), byte(e.Data))
+	}
+	return append(buf, byte(s.Tick))
+}

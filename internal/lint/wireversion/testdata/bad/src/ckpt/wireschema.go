@@ -1,0 +1,9 @@
+package ckpt
+
+const (
+	wireSchemaPinVersion uint16 = 2                  // want `does not match`
+	wireSchemaPinDigest         = "0000000000000000" // want `wire schema changed`
+)
+
+var _ = wireSchemaPinVersion
+var _ = wireSchemaPinDigest

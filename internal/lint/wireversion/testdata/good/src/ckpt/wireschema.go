@@ -1,0 +1,9 @@
+package ckpt
+
+const (
+	wireSchemaPinVersion uint16 = 3
+	wireSchemaPinDigest         = "87966ecb9791e956"
+)
+
+var _ = wireSchemaPinVersion
+var _ = wireSchemaPinDigest

@@ -1,0 +1,40 @@
+// Package ckpt is a miniature checkpoint payload: the root struct, a
+// descriptor type switch, an annotated derived field, and the pins.
+package ckpt
+
+type DecodedCheckpoint struct {
+	Version uint16
+	Cores   []CoreState
+	Events  []EventDesc
+}
+
+type EventDesc struct {
+	Tag     uint8
+	Payload any
+}
+
+type CoreState struct {
+	Tick uint64
+	// scratch is plain state here: no annotation.
+	scratch []uint64
+}
+
+type EvDecide struct{ Core int }
+
+type EvReply struct{ Addr uint64 }
+
+const ckptFormatVersion uint16 = 3
+
+func decodeEvent(payload any) any {
+	switch p := payload.(type) {
+	case *EvDecide:
+		return p
+	case *EvReply:
+		return p
+	}
+	return nil
+}
+
+var _ = decodeEvent
+var _ = ckptFormatVersion
+var _ = CoreState{}.scratch

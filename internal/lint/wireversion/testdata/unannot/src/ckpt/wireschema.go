@@ -1,0 +1,9 @@
+package ckpt
+
+const (
+	wireSchemaPinVersion uint16 = 3
+	wireSchemaPinDigest         = "PLACEHOLDER"
+)
+
+var _ = wireSchemaPinVersion
+var _ = wireSchemaPinDigest

@@ -1,0 +1,281 @@
+// Package wireversion makes checkpoint-format drift a build-time
+// error. PR 6's incident class — an edit to a serialized type that
+// silently changes the payload while ckptFormatVersion stays put — is
+// invisible to tests that encode and decode with the same binary, so
+// the invariant is enforced structurally:
+//
+//  1. The analyzer computes a canonical digest of every named type
+//     reachable from the checkpoint payload root (DecodedCheckpoint,
+//     plus the descriptor types named in serialize.go's decode type
+//     switches), traversing only wire-capable packages (those with a
+//     snapshot.go, wire.go, or serialize.go).
+//  2. The digest is pinned in wireschema.go next to ckptFormatVersion
+//     (wireSchemaPinVersion / wireSchemaPinDigest).
+//  3. Any change to a reachable type changes the digest and fails the
+//     lint until the author either bumps ckptFormatVersion and re-pins
+//     (acknowledging the break) or annotates the edited field
+//     `//reunion:wire-compat <why>` (asserting the encoding is
+//     unchanged — e.g. a rename, or a field the encoder skips).
+//
+// Fields annotated //reunion:derived or //reunion:shared are excluded
+// from the digest — they never hit the wire — which also makes those
+// annotations load-bearing: deleting one changes the digest and trips
+// this analyzer until the field's snapshot treatment is reconsidered.
+package wireversion
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"reunion/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireversion",
+	Doc: "the canonical digest of all types reachable from the checkpoint payload " +
+		"must match the wireSchemaPinDigest pinned beside ckptFormatVersion; edits " +
+		"require a version bump + re-pin, or a //reunion:wire-compat justification",
+	WholeProgram: true,
+	Run:          run,
+}
+
+// payloadRoot is the type the reachability walk starts from: the pure
+// wire-data form of a checkpoint, before it is bound to a System.
+const payloadRoot = "DecodedCheckpoint"
+
+// Pin constant names, expected in the package declaring the root.
+const (
+	pinVersionConst = "wireSchemaPinVersion"
+	pinDigestConst  = "wireSchemaPinDigest"
+	formatConst     = "ckptFormatVersion"
+)
+
+func run(pass *analysis.Pass) error {
+	root := findRoot(pass.Prog)
+	if root == nil {
+		return nil // no checkpoint payload in this tree
+	}
+	digest, _ := Digest(pass.Prog)
+
+	scope := root.Types.Scope()
+	pinDigest, digestPos, ok := lookupString(scope, pinDigestConst)
+	if !ok {
+		pass.Reportf(scope.Lookup(payloadRoot).Pos(),
+			"package %s declares %s but no %s pin: add a wireschema.go pinning the "+
+				"payload digest (currently %s) beside %s",
+			root.Name, payloadRoot, pinDigestConst, digest, formatConst)
+		return nil
+	}
+	if pinDigest != digest {
+		pass.Reportf(digestPos,
+			"checkpoint wire schema changed: payload digest is %s but %s pins %s — "+
+				"bump %s and re-pin (reunion-lint -wirepin prints the digest), or annotate "+
+				"the edited field //reunion:wire-compat if the encoding is truly unchanged",
+			digest, pinDigestConst, pinDigest, formatConst)
+	}
+	pinVersion, pinPos, okPin := lookupInt(scope, pinVersionConst)
+	format, _, okFmt := lookupInt(scope, formatConst)
+	if okPin && okFmt && pinVersion != format {
+		pass.Reportf(pinPos,
+			"%s (%d) does not match %s (%d): the digest pin must be refreshed in the "+
+				"same change that bumps the format version",
+			pinVersionConst, pinVersion, formatConst, format)
+	}
+	return nil
+}
+
+// Digest computes the canonical wire-schema digest for the program and
+// reports whether a payload root was found. Exported for the
+// reunion-lint -wirepin re-pinning helper and the tests.
+func Digest(prog *analysis.Program) (string, bool) {
+	root := findRoot(prog)
+	if root == nil {
+		return "", false
+	}
+
+	// Wire-capable packages: only their types are described internally;
+	// a reference to a type elsewhere is digested as an opaque name.
+	wireCapable := map[*types.Package]bool{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			name := filepath.Base(prog.Fset.Position(f.Package).Filename)
+			if name == "snapshot.go" || name == "wire.go" || name == "serialize.go" {
+				wireCapable[pkg.Types] = true
+				break
+			}
+		}
+	}
+
+	// Roots: the payload struct plus every concrete type named in a
+	// serialize.go decode type switch (descriptor payloads reached only
+	// through interface fields).
+	var roots []types.Type
+	roots = append(roots, root.Types.Scope().Lookup(payloadRoot).Type())
+	for _, f := range root.Files {
+		if filepath.Base(prog.Fset.Position(f.Package).Filename) != "serialize.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for _, e := range cc.List {
+				if tv, ok := root.Info.Types[e]; ok && tv.IsType() {
+					roots = append(roots, tv.Type)
+				}
+			}
+			return true
+		})
+	}
+
+	entries := map[string]string{} // "path.Name" -> canonical description
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		switch u := t.(type) {
+		case *types.Pointer:
+			visit(u.Elem())
+		case *types.Slice:
+			visit(u.Elem())
+		case *types.Array:
+			visit(u.Elem())
+		case *types.Map:
+			visit(u.Key())
+			visit(u.Elem())
+		case *types.Chan, *types.Signature, *types.Interface, *types.Basic:
+			// Opaque for digest purposes: chans and funcs never hit the
+			// wire, interfaces are covered by the type-switch roots.
+		case *types.Struct:
+			// Unnamed struct: digest its fields in place via the parent's
+			// field type string; still traverse for reachability.
+			for i := 0; i < u.NumFields(); i++ {
+				visit(u.Field(i).Type())
+			}
+		case *types.Named:
+			obj := u.Obj()
+			if obj.Pkg() == nil || !wireCapable[obj.Pkg()] {
+				return
+			}
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if _, seen := entries[key]; seen {
+				return
+			}
+			entries[key] = "" // reserve before recursing: cycles terminate
+			entries[key] = describe(prog, u)
+			switch under := u.Underlying().(type) {
+			case *types.Struct:
+				pkg := prog.PkgOf(obj.Pkg())
+				for i := 0; i < under.NumFields(); i++ {
+					f := under.Field(i)
+					if excluded(prog, pkg, f) {
+						continue
+					}
+					visit(f.Type())
+				}
+			default:
+				visit(under)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s\n%s\n", k, entries[k])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8]), true
+}
+
+// describe renders one named type's wire-relevant shape canonically.
+func describe(prog *analysis.Program, n *types.Named) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	switch under := n.Underlying().(type) {
+	case *types.Struct:
+		pkg := prog.PkgOf(n.Obj().Pkg())
+		b.WriteString("struct {\n")
+		for i := 0; i < under.NumFields(); i++ {
+			f := under.Field(i)
+			if excluded(prog, pkg, f) {
+				continue
+			}
+			fmt.Fprintf(&b, "\t%s %s\n", f.Name(), types.TypeString(f.Type(), qual))
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(&b, "= %s", types.TypeString(under, qual))
+	}
+	return b.String()
+}
+
+// excluded reports whether a field does not participate in the wire
+// digest: blanks, funcs (never serialized), and fields annotated
+// derived, shared, or wire-compat.
+func excluded(prog *analysis.Program, pkg *analysis.Package, f *types.Var) bool {
+	if f.Name() == "_" {
+		return true
+	}
+	if _, isFunc := f.Type().Underlying().(*types.Signature); isFunc {
+		return true
+	}
+	if pkg == nil {
+		return false
+	}
+	return pkg.FieldMarked(f, analysis.MarkDerived) ||
+		pkg.FieldMarked(f, analysis.MarkShared) ||
+		pkg.FieldMarked(f, analysis.MarkWireCompat)
+}
+
+// findRoot locates the package declaring the payload root struct.
+func findRoot(prog *analysis.Program) *analysis.Package {
+	var found *analysis.Package
+	for _, pkg := range prog.Pkgs {
+		obj := pkg.Types.Scope().Lookup(payloadRoot)
+		if obj == nil {
+			continue
+		}
+		if tn, ok := obj.(*types.TypeName); ok {
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); isStruct {
+				if found == nil || pkg.Path < found.Path {
+					found = pkg
+				}
+			}
+		}
+	}
+	return found
+}
+
+func lookupString(scope *types.Scope, name string) (string, token.Pos, bool) {
+	c, ok := scope.Lookup(name).(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return "", token.NoPos, false
+	}
+	return constant.StringVal(c.Val()), c.Pos(), true
+}
+
+func lookupInt(scope *types.Scope, name string) (int64, token.Pos, bool) {
+	c, ok := scope.Lookup(name).(*types.Const)
+	if !ok {
+		return 0, token.NoPos, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	if !ok {
+		return 0, c.Pos(), false
+	}
+	return v, c.Pos(), true
+}

@@ -1,0 +1,46 @@
+package wireversion_test
+
+import (
+	"testing"
+
+	"reunion/internal/lint/analysis"
+	"reunion/internal/lint/linttest"
+	"reunion/internal/lint/wireversion"
+)
+
+// TestGoodTree: correctly pinned payload, annotated derived field — no
+// diagnostics.
+func TestGoodTree(t *testing.T) {
+	linttest.Run(t, "testdata/good", wireversion.Analyzer)
+}
+
+// TestBadTree: stale digest pin and a pin version that trails the
+// format version — both flagged at the pin site.
+func TestBadTree(t *testing.T) {
+	linttest.Run(t, "testdata/bad", wireversion.Analyzer)
+}
+
+// TestAnnotationsAreLoadBearing: removing a //reunion:derived
+// annotation pulls the field into the digest, so the digest moves and
+// the pin check fails — the acceptance property that deleting any one
+// annotation makes the lint exit nonzero.
+func TestAnnotationsAreLoadBearing(t *testing.T) {
+	good := digestOf(t, "testdata/good")
+	unannot := digestOf(t, "testdata/unannot")
+	if good == unannot {
+		t.Fatalf("digest unchanged (%s) after deleting a //reunion:derived annotation", good)
+	}
+}
+
+func digestOf(t *testing.T, root string) string {
+	t.Helper()
+	prog, err := analysis.LoadTree(root)
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	d, ok := wireversion.Digest(prog)
+	if !ok {
+		t.Fatalf("no payload root in %s", root)
+	}
+	return d
+}

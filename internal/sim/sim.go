@@ -103,7 +103,7 @@ type EventQueue struct {
 	order int64
 	now   int64
 	gen   uint64   // bumped by Snapshot; see Event.gen
-	free  []*Event // fired events safe to recycle (gen was current at fire time)
+	free  []*Event // fired events safe to recycle (gen was current at fire time) //reunion:derived
 }
 
 // alloc returns a cleared Event, reusing a pooled one when available.

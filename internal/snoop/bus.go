@@ -61,11 +61,12 @@ const (
 // cancellation), so the system can swap topologies.
 type Bus struct {
 	cfg Config
-	eq  *sim.EventQueue
-	mem *mem.Memory
+	// Identity wiring: preserved across Restore, never serialized.
+	eq  *sim.EventQueue //reunion:shared
+	mem *mem.Memory     //reunion:shared
 
-	q   *interconnect.BankQueue
-	l1d []*cache.L1
+	q   *interconnect.BankQueue //reunion:shared
+	l1d []*cache.L1             //reunion:shared
 
 	memInFlight  int
 	memBankFree  []int64

@@ -1,0 +1,17 @@
+package reunion
+
+import "testing"
+
+// TestWireSchemaPinTracksFormatVersion mirrors the wireversion
+// analyzer's coupling rule at test time: re-pinning the digest without
+// bumping the format version (or vice versa) is always a mistake.
+func TestWireSchemaPinTracksFormatVersion(t *testing.T) {
+	if wireSchemaPinVersion != ckptFormatVersion {
+		t.Fatalf("wireSchemaPinVersion = %d, ckptFormatVersion = %d: refresh the pin "+
+			"(reunion-lint -wirepin) in the same change that bumps the format",
+			wireSchemaPinVersion, ckptFormatVersion)
+	}
+	if len(wireSchemaPinDigest) != 16 {
+		t.Fatalf("wireSchemaPinDigest %q is not a 16-hex digest", wireSchemaPinDigest)
+	}
+}
