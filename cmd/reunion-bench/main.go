@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"reunion"
+	"reunion/internal/cliconf"
 	"reunion/internal/obs"
 	"reunion/internal/workload"
 )
@@ -34,9 +35,7 @@ func main() {
 		"warm-reuse trajectory file written by -experiment snapshot")
 	ckptOut := flag.String("ckptstore-out", "BENCH_ckptstore.json",
 		"shared-store fleet trajectory file written by -experiment ckptstore")
-	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
-	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
-	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (experiments done, rate) to stderr at this interval (0 = off)")
+	obsFlags := cliconf.RegisterObs(flag.CommandLine).WithHeartbeat(flag.CommandLine)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	compare := flag.Bool("compare", false,
@@ -93,19 +92,16 @@ func main() {
 	}
 	// Telemetry is a pure observer: experiment tables and trajectory files
 	// are byte-identical with or without these flags.
-	sc := obs.NewScope(*traceOut, *metricsOut)
+	sc := obsFlags.Scope()
 	cfg.Observe(sc)
 
-	hb := &obs.Heartbeat{Label: "bench", Every: *heartbeatEvery, W: os.Stderr}
-	if *heartbeatEvery <= 0 {
-		hb = nil
-	}
+	hb := obsFlags.Heartbeat("bench", 0)
 	stopHeartbeat := hb.Start()
 
 	exitErr := func(name string, err error) {
 		stopHeartbeat()
 		pprof.StopCPUProfile() // flush a partial profile before exiting (no-op if not started)
-		if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+		if werr := obsFlags.WriteFiles(sc); werr != nil {
 			fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", werr)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -145,7 +141,7 @@ func main() {
 	run("ckptstore", func() error { return runCkptStore(*full, *ckptOut) })
 
 	stopHeartbeat()
-	if err := sc.WriteFiles(*traceOut, *metricsOut); err != nil {
+	if err := obsFlags.WriteFiles(sc); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: telemetry: %v\n", err)
 		pprof.StopCPUProfile()
 		os.Exit(1)

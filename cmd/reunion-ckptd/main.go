@@ -10,8 +10,8 @@
 // Workers point at it with -ckpt-url http://host:9347 (reunion-sweep,
 // reunion-inject).
 //
-// Besides the store endpoints (/ckpt/<key>), the daemon serves its own
-// operational surface:
+// Besides the store endpoints (/ckpt/<key>), the daemon serves the
+// shared operational surface of internal/serve:
 //
 //	/metrics       Prometheus text exposition (request counts/latency/
 //	               bytes by handler, method, and status; store op stats)
@@ -19,20 +19,18 @@
 //	/debug/pprof/  the standard net/http/pprof profiling endpoints
 //
 // Metrics are always on — the daemon is a server, not a measured run, so
-// the pure-observer budget of the engines does not apply here.
+// the pure-observer budget of the engines does not apply here. The
+// daemon drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
-	"os"
-	"path/filepath"
 
 	"reunion/internal/ckptstore"
 	"reunion/internal/obs"
+	"reunion/internal/serve"
 )
 
 func main() {
@@ -44,47 +42,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := serve.SignalContext()
+	defer stop()
 	log.Printf("reunion-ckptd: serving %s on %s", *root, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(disk, *root, obs.NewRegistry())))
+	if err := serve.ListenAndServe(ctx, *addr, newHandler(disk, *root, obs.NewRegistry()), log.Printf); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// newHandler assembles the daemon's full mux: the instrumented store
-// API plus /metrics, /healthz, and /debug/pprof. Split from main so the
-// httptest-based tests drive exactly what the daemon serves. The tracer
-// is deliberately absent: a daemon runs indefinitely and a span buffer
-// would only ever grow or drop; the registry plus pprof cover a server's
-// observability needs.
+// newHandler assembles the daemon's full mux on the serve scaffold: the
+// instrumented store API plus the scaffold's /metrics, /healthz, and
+// /debug/pprof. Split from main so the httptest-based tests drive
+// exactly what the daemon serves.
 func newHandler(store ckptstore.Store, root string, reg *obs.Registry) http.Handler {
-	mux := http.NewServeMux()
 	api := ckptstore.Handler(ckptstore.Instrument(store, obs.Scope{Metrics: reg}))
-	mux.Handle("/ckpt/", obs.Middleware("ckpt", reg, api))
-	mux.Handle("/metrics", obs.MetricsHandler(reg))
-	mux.Handle("/healthz", obs.HealthzHandler(func() error { return checkRoot(root) }))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-// checkRoot is the health probe: the storage root must exist and be a
-// writable directory — the two failure modes (deleted root, full or
-// read-only filesystem) that turn a running daemon into a silent
-// recompute-everything fallback for the whole fleet.
-func checkRoot(root string) error {
-	st, err := os.Stat(root)
-	if err != nil {
-		return err
-	}
-	if !st.IsDir() {
-		return fmt.Errorf("%s is not a directory", root)
-	}
-	probe, err := os.CreateTemp(root, ".healthz-*")
-	if err != nil {
-		return fmt.Errorf("root not writable: %w", err)
-	}
-	name := probe.Name()
-	probe.Close()
-	return os.Remove(filepath.Clean(name))
+	return serve.NewMux(reg, serve.DirHealth(root),
+		serve.Route{Pattern: "/ckpt/", Name: "ckpt", Handler: api})
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"reunion/internal/coord"
+	"reunion/internal/obs"
+)
+
+// The daemon mux serves the worker protocol and the shared operational
+// surface, and a campaign driven through it reaches a terminal outcome.
+func TestHandlerServesProtocolAndOperationalSurface(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+	out := filepath.Join(dir, "merged.jsonl")
+	reg := obs.NewRegistry()
+	c, err := coord.New(coord.Config{
+		RangeSize: 4,
+		LeaseTTL:  time.Minute,
+		Dir:       state,
+		Out:       out,
+		Obs:       obs.Scope{Metrics: reg},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(c, state, reg))
+	defer srv.Close()
+
+	cl := &coord.Client{Base: srv.URL, Worker: "w1"}
+	if err := cl.Register("daemon-test", 4, 0xabc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lease == nil {
+		t.Fatalf("no lease: %+v", res)
+	}
+	var body bytes.Buffer
+	for i := res.Lease.Lo; i < res.Lease.Hi; i++ {
+		fmt.Fprintf(&body, "{\"index\":%d}\n", i)
+	}
+	if err := cl.Complete(res.Lease.ID, body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Outcome != coord.OutcomeSuccess || st.Done != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The operational endpoints of the serve scaffold are mounted too.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %s", path, resp.Status)
+		}
+	}
+
+	// The protocol routes are metered through the scaffold middleware.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `handler="coord"`) {
+		t.Fatal("coord route requests are not metered")
+	}
+	if !strings.Contains(string(b), "coord_ranges_done") {
+		t.Fatal("coordinator state gauges are not exported")
+	}
+}

@@ -33,6 +33,13 @@
 //	reunion-inject -trials 3000 -shard 0/3 -journal shard-0.jsonl
 //	reunion-merge -out inject.jsonl shard-*.jsonl
 //
+// With -coordinator the worker instead pulls small index-range leases
+// from a reunion-coordinator and streams each completed range back —
+// dynamic dispatch for heterogeneous fleets, same byte-identical merged
+// stream (the coordinator does the merging):
+//
+//	reunion-inject -trials 3000 -coordinator http://host:8080
+//
 // A sharded run's coverage table covers only that shard's trials — and
 // a resumed run's, only the trials executed in that invocation (a
 // stderr note says so); the journal always holds the full shard stream,
@@ -41,7 +48,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,25 +56,19 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
-	"strings"
 	"time"
 
 	"reunion"
 	"reunion/internal/campaign"
 	"reunion/internal/ckptstore"
+	"reunion/internal/cliconf"
 	"reunion/internal/dist"
-	"reunion/internal/obs"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
 )
 
 // warnOut receives axis-flag warnings (tests capture it).
 var warnOut io.Writer = os.Stderr
-
-// dedupe warns about and drops duplicate axis values (sweep.Dedupe).
-func dedupe[V comparable](axis string, vals []V, format func(V) string) []V {
-	return sweep.Dedupe(warnOut, "inject", axis, vals, format)
-}
 
 func main() {
 	trials := flag.Int("trials", 200, "total trial budget, split evenly across cells (min 1 per cell)")
@@ -88,12 +88,10 @@ func main() {
 	shardStr := flag.String("shard", "", "run only slice i/n of the flattened trial matrix (e.g. 0/3; default: all trials)")
 	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete trial record")
+	coordinator := flag.String("coordinator", "", "run as a lease-pulling worker of a reunion-coordinator at this base URL (excludes -shard/-journal/-resume/-out)")
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
-	ckptDir := flag.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)")
-	ckptURL := flag.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)")
-	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
-	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
-	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
+	ckpt := cliconf.RegisterCkpt(flag.CommandLine)
+	obsFlags := cliconf.RegisterObs(flag.CommandLine).WithHeartbeat(flag.CommandLine)
 	traceDump := flag.Int("trace-dump", 0, "record the last N kernel events of each injected run and print them to stderr for SDC and DUE trials (0 = off; prints even under -quiet)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list workloads and exit")
@@ -133,9 +131,25 @@ func main() {
 	// stream and journal bytes are byte-identical (asserted in tests and
 	// CI). The per-trial kernel-event ring behind -trace-dump is too —
 	// Options.TraceEvents is excluded from every cache and checkpoint key.
-	sc := obs.NewScope(*traceOut, *metricsOut)
+	sc := obsFlags.Scope()
 
 	total := spec.Matrix.Size() * spec.Trials
+	// Pin the journal to this exact campaign configuration — matrix
+	// axes, base options (warm/target/deadline), trial budget, fault
+	// model, and draw seed — so resuming or merging under different
+	// flags that happen to yield the same name and trial count fails
+	// loudly instead of interleaving two campaigns.
+	fingerprint := dist.Fingerprint(append(spec.Matrix.FingerprintParts(),
+		fmt.Sprintf("base:%+v", spec.Matrix.Base),
+		fmt.Sprintf("trials:%d", spec.Trials),
+		fmt.Sprintf("campaign-seed:%d", spec.Seed),
+		fmt.Sprintf("model:%+v", spec.Model),
+		fmt.Sprintf("exclude:%v", spec.StreamExclude))...)
+
+	if *coordinator != "" {
+		os.Exit(runCoordinated(*coordinator, spec, fingerprint, *parallel, *traceDump, *quiet, sc, ckpt, obsFlags))
+	}
+
 	shard, nshards, err := dist.ParseShard(*shardStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -146,31 +160,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	// Pin the journal to this exact campaign configuration — matrix
-	// axes, base options (warm/target/deadline), trial budget, fault
-	// model, and draw seed — so resuming or merging under different
-	// flags that happen to yield the same name and trial count fails
-	// loudly instead of interleaving two campaigns.
-	plan.Fingerprint = dist.Fingerprint(append(spec.Matrix.FingerprintParts(),
-		fmt.Sprintf("base:%+v", spec.Matrix.Base),
-		fmt.Sprintf("trials:%d", spec.Trials),
-		fmt.Sprintf("campaign-seed:%d", spec.Seed),
-		fmt.Sprintf("model:%+v", spec.Model),
-		fmt.Sprintf("exclude:%v", spec.StreamExclude))...)
+	plan.Fingerprint = fingerprint
 
+	if err := cliconf.CheckJournalFlags("inject", *journal, *format, *resume, dist.FlagWasSet("out")); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var sink sweep.Sink
 	var outFile *os.File
 	var jnl *dist.Journal
 	switch {
 	case *journal != "":
-		if *format != "jsonl" {
-			fmt.Fprintln(os.Stderr, "inject: a -journal is jsonl-only (merge output is byte-identical to a jsonl run)")
-			os.Exit(2)
-		}
-		if dist.FlagWasSet("out") {
-			fmt.Fprintln(os.Stderr, "inject: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
-			os.Exit(2)
-		}
 		jnl, err = dist.OpenOrCreateObs(*journal, plan, *resume, sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -182,9 +182,6 @@ func main() {
 			return
 		}
 		sink = jnl
-	case *resume:
-		fmt.Fprintln(os.Stderr, "inject: -resume requires -journal")
-		os.Exit(2)
 	case *out == "":
 	case *format == "jsonl" || *format == "csv":
 		w := os.Stdout
@@ -232,7 +229,7 @@ func main() {
 	// records are unchanged.
 	warmCache := reunion.NewWarmCache()
 	warmCache.Observe(sc)
-	store, err := openCkptStore(*ckptDir, *ckptURL)
+	store, err := ckpt.Open()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "inject: %v\n", err)
 		os.Exit(2)
@@ -245,10 +242,7 @@ func main() {
 	if nshards > 1 {
 		hbLabel = fmt.Sprintf("inject shard %d/%d", shard, nshards)
 	}
-	hb := &obs.Heartbeat{Label: hbLabel, Total: int64(len(indices)), Every: *heartbeatEvery, W: os.Stderr}
-	if *heartbeatEvery <= 0 {
-		hb = nil
-	}
+	hb := obsFlags.Heartbeat(hbLabel, int64(len(indices)))
 	stopHeartbeat := hb.Start()
 
 	start := time.Now() //reunion:nondeterm-ok host wall-clock for the progress summary
@@ -300,7 +294,7 @@ func main() {
 	}
 	// Telemetry flushes even when the campaign failed — that is when the
 	// trace is most wanted — but a flush error must not mask a run error.
-	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+	if werr := obsFlags.WriteFiles(sc); werr != nil {
 		fmt.Fprintf(os.Stderr, "inject: telemetry: %v\n", werr)
 		if err == nil {
 			err = werr
@@ -324,23 +318,10 @@ func main() {
 	}
 }
 
-// openCkptStore resolves the -ckpt-store/-ckpt-url flag pair into a
-// checkpoint-store backend, or nil when neither is set.
-func openCkptStore(dir, url string) (ckptstore.Store, error) {
-	switch {
-	case dir != "" && url != "":
-		return nil, errors.New("-ckpt-store and -ckpt-url are mutually exclusive")
-	case dir != "":
-		return ckptstore.NewDisk(dir)
-	case url != "":
-		return ckptstore.NewClient(url), nil
-	}
-	return nil, nil
-}
-
-// buildSpec assembles the campaign from the flags. Axis order fixes the
-// enumeration (and results-file) order: mode, phantom, seed, workload,
-// trial.
+// buildSpec assembles the campaign from the flags (validation and
+// dedupe-warning rules live in cliconf, shared with the other CLIs).
+// Axis order fixes the enumeration (and results-file) order: mode,
+// phantom, seed, workload, trial.
 func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 	warm, target, deadline int64, totalTrials int, campSeed uint64) (campaign.Spec[reunion.Options], error) {
 	spec := campaign.Spec[reunion.Options]{
@@ -376,71 +357,32 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 		},
 	}
 
-	var ms []reunion.Mode
-	for _, name := range splitCSV(modes) {
-		switch name {
-		case "non-redundant":
-			ms = append(ms, reunion.ModeNonRedundant)
-		case "strict":
-			// The strict oracle simulates a single core whose partner is
-			// idealized away: it models comparison *timing*, so a fault
-			// campaign against it would just re-measure the unprotected
-			// substrate and mislabel it.
-			return spec, fmt.Errorf("mode strict models comparison timing only (no simulated partner); inject supports reunion,non-redundant")
-		case "reunion":
-			ms = append(ms, reunion.ModeReunion)
-		default:
-			return spec, fmt.Errorf("unknown mode %q (valid: reunion, non-redundant)", name)
-		}
+	ms, err := cliconf.Modes(warnOut, "inject", modes, false)
+	if err != nil {
+		return spec, err
 	}
-	ms = dedupe("mode", ms, reunion.Mode.String)
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
 		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
 
-	var phs []reunion.Phantom
-	for _, name := range splitCSV(phantoms) {
-		switch name {
-		case "global":
-			phs = append(phs, reunion.PhantomGlobal)
-		case "shared":
-			phs = append(phs, reunion.PhantomShared)
-		case "null":
-			phs = append(phs, reunion.PhantomNull)
-		default:
-			return spec, fmt.Errorf("unknown phantom strength %q (valid: global, shared, null)", name)
-		}
+	phs, err := cliconf.Phantoms(warnOut, "inject", phantoms)
+	if err != nil {
+		return spec, err
 	}
-	phs = dedupe("phantom", phs, reunion.Phantom.String)
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
 		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
 
-	var sds []uint64
-	for _, f := range splitCSV(seeds) {
-		v, err := strconv.ParseUint(f, 0, 64)
-		if err != nil {
-			return spec, fmt.Errorf("seeds: %w", err)
-		}
-		sds = append(sds, v)
+	sds, err := cliconf.Seeds(warnOut, "inject", seeds)
+	if err != nil {
+		return spec, fmt.Errorf("seeds: %w", err)
 	}
-	sds = dedupe("seed", sds, func(s uint64) string { return strconv.FormatUint(s, 10) })
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("seed", sds,
 		func(s uint64) string { return strconv.FormatUint(s, 10) },
 		func(o *reunion.Options, s uint64) { o.Seed = s }))
 
-	var ps []workload.Params
-	if workloads == "all" {
-		ps = workload.Suite()
-	} else {
-		for _, name := range splitCSV(workloads) {
-			p, ok := workload.ByName(name)
-			if !ok {
-				return spec, fmt.Errorf("unknown workload %q (valid: %s, or 'all')",
-					name, strings.Join(workload.Names(), ", "))
-			}
-			ps = append(ps, p)
-		}
+	ps, err := cliconf.Workloads(warnOut, "inject", workloads)
+	if err != nil {
+		return spec, err
 	}
-	ps = dedupe("workload", ps, func(p workload.Params) string { return p.Name })
 	matrix.Axes = append(matrix.Axes, sweep.NewAxis("workload", ps,
 		func(p workload.Params) string { return p.Name },
 		func(o *reunion.Options, p workload.Params) { o.Workload = p }))
@@ -457,35 +399,7 @@ func buildSpec(modes, workloads, phantoms, seeds, bits, window string,
 	return spec, spec.Validate()
 }
 
-func splitCSV(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
 // parseRange parses "lo-hi" (inclusive) or a single value "n" (= n-n).
 func parseRange(s string, defLo, defHi int64) (lo, hi int64, err error) {
-	if s == "" {
-		return defLo, defHi, nil
-	}
-	parts := strings.SplitN(s, "-", 2)
-	lo, err = strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
-	if err != nil {
-		return 0, 0, err
-	}
-	hi = lo
-	if len(parts) == 2 {
-		hi, err = strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
-		if err != nil {
-			return 0, 0, err
-		}
-	}
-	if hi < lo {
-		return 0, 0, fmt.Errorf("range %q is empty", s)
-	}
-	return lo, hi, nil
+	return cliconf.ParseRange(s, defLo, defHi)
 }

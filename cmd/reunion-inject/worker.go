@@ -1,0 +1,135 @@
+package main
+
+// Coordinated mode: the process is a lease-pulling worker of a
+// reunion-coordinator. Each leased range of the flattened cells×trials
+// space runs through the same campaign Engine as a local shard and its
+// trial record lines are streamed back for the coordinator to verify
+// and merge. One warm-checkpoint cache is shared across every lease
+// this worker runs — the whole point of leasing small ranges is that a
+// worker keeps its warmed cells hot from one lease to the next.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"reunion"
+	"reunion/internal/campaign"
+	"reunion/internal/ckptstore"
+	"reunion/internal/cliconf"
+	"reunion/internal/coord"
+	"reunion/internal/obs"
+	"reunion/internal/sweep"
+)
+
+// workerName identifies this process in leases and coordinator logs.
+func workerName(tool string) string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return fmt.Sprintf("%s-%s-%d", tool, host, os.Getpid())
+}
+
+// exitCode maps a coordinated run's terminal outcome to the process
+// exit code shared with reunion-merge -manifest: 0 success, 3 partial,
+// 1 failed.
+func exitCode(outcome string) int {
+	switch outcome {
+	case coord.OutcomeSuccess:
+		return 0
+	case coord.OutcomePartial:
+		return 3
+	default:
+		return 1
+	}
+}
+
+func runCoordinated(url string, spec campaign.Spec[reunion.Options], fingerprint uint64,
+	parallel, traceDump int, quiet bool, sc obs.Scope,
+	ckpt *cliconf.CkptFlags, obsFlags *cliconf.ObsFlags) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	warmCache := reunion.NewWarmCache()
+	warmCache.Observe(sc)
+	store, err := ckpt.Open()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inject: %v\n", err)
+		return 2
+	}
+	if store != nil {
+		warmCache.UseStore(ckptstore.Instrument(store, sc))
+	}
+	runTrial := reunion.TrialRunnerTraced(spec.Model, warmCache, traceDump)
+
+	name := workerName("inject")
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+
+	total := spec.Matrix.Size() * spec.Trials
+	w := &coord.Worker{
+		Client: &coord.Client{Base: url, Worker: name},
+		Produce: func(ctx context.Context, lo, hi int) ([]byte, error) {
+			return produceInjectRange(ctx, spec, runTrial, parallel, sc, lo, hi)
+		},
+		Obs:  sc,
+		Logf: logf,
+	}
+
+	fmt.Fprintf(os.Stderr, "inject: worker %s pulling leases from %s (%d trials total, %d per cell × %d cells)\n",
+		name, url, total, spec.Trials, spec.Matrix.Size())
+	start := time.Now() //reunion:nondeterm-ok host wall-clock for the progress summary
+	outcome, err := w.Run(ctx, spec.Name, total, fingerprint)
+	if werr := obsFlags.WriteFiles(sc); werr != nil {
+		fmt.Fprintf(os.Stderr, "inject: telemetry: %v\n", werr)
+		if err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inject: coordinated run: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "inject: coordinated run terminal after %s: %s (merged results and coverage statistics live with the coordinator's output file)\n",
+		time.Since(start).Round(time.Millisecond), outcome) //reunion:nondeterm-ok host wall-clock
+	return exitCode(outcome)
+}
+
+// produceInjectRange runs trial indices [lo, hi) and returns their JSONL
+// record lines. The Engine emits in index order at any parallelism, so
+// the buffer holds exactly the single-process stream's bytes for the
+// range. Trial failures journal deterministic DUE records rather than
+// failing the range — exactly as the single-process stream carries them.
+func produceInjectRange(ctx context.Context, spec campaign.Spec[reunion.Options],
+	runTrial func(ctx context.Context, cell sweep.Point[reunion.Options], t campaign.Trial) campaign.Observation,
+	parallel int, sc obs.Scope, lo, hi int) ([]byte, error) {
+	indices := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		indices = append(indices, i)
+	}
+	var buf bytes.Buffer
+	sink := sweep.NewJSONL(&buf)
+	eng := campaign.Engine[reunion.Options]{
+		Spec:        spec,
+		RunTrial:    runTrial,
+		Parallelism: parallel,
+		Sink:        sink,
+		Indices:     indices,
+		Obs:         sc,
+	}
+	if _, err := eng.Run(ctx); err != nil {
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

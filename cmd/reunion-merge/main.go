@@ -15,6 +15,18 @@
 // through a temporary file and a rename, so a failed merge never leaves
 // a half-written results file. The merged stream's SHA-256 is printed to
 // stderr for comparison against a reference run's digest.
+//
+// With -manifest the strict completeness requirement is relaxed to the
+// partial-merge discipline: every journal that verifies is merged (any
+// mix of shard and ranged journals from one run), and a machine-readable
+// manifest accounting for every index — merged, missing, or failed and
+// why — is written to the given file. The exit code distinguishes the
+// three verdicts an operator acts on:
+//
+//	0  every index verified and merged (the manifest says "success")
+//	3  a verified subset was merged (the manifest lists the holes)
+//	1  nothing trustworthy: journals from different runs, overlapping
+//	   verified slices, or an I/O failure — corrupt, not partial
 package main
 
 import (
@@ -26,15 +38,15 @@ import (
 	"os"
 	"sort"
 
+	"reunion/internal/cliconf"
 	"reunion/internal/dist"
-	"reunion/internal/obs"
 )
 
 func main() {
 	out := flag.String("out", "merged.jsonl", "merged results file ('-' = stdout)")
+	manifest := flag.String("manifest", "", "partial mode: merge every journal that verifies and write the index-accounting manifest to this file (exit 0 complete, 3 partial, 1 corrupt)")
 	quiet := flag.Bool("quiet", false, "suppress the summary on stderr")
-	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
-	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
+	obsFlags := cliconf.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	paths := append([]string(nil), flag.Args()...)
@@ -47,7 +59,11 @@ func main() {
 
 	// Telemetry is a pure observer: the merged stream (and its digest) is
 	// byte-identical with or without these flags.
-	sc := obs.NewScope(*traceOut, *metricsOut)
+	sc := obsFlags.Scope()
+
+	if *manifest != "" {
+		os.Exit(mergePartial(*out, *manifest, paths, *quiet))
+	}
 
 	digest := sha256.New()
 	var info *dist.MergeInfo
@@ -61,7 +77,7 @@ func main() {
 	} else {
 		info, err = dist.MergeFileObs(*out, paths, digest, sc)
 	}
-	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+	if werr := obsFlags.WriteFiles(sc); werr != nil {
 		fmt.Fprintf(os.Stderr, "merge: telemetry: %v\n", werr)
 		if err == nil {
 			err = werr
@@ -75,4 +91,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "merge: %s: %d records from %d shards, sha256 %x\n",
 			info.Spec, info.Records, info.NShards, digest.Sum(nil))
 	}
+}
+
+// mergePartial is the -manifest mode: merge what verifies, account for
+// the rest, and return the exit code (0 complete, 3 partial, 1 corrupt).
+func mergePartial(out, manifestPath string, paths []string, quiet bool) int {
+	var m *dist.Manifest
+	var err error
+	if out == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		m, err = dist.MergePartial(w, paths)
+		if err == nil {
+			err = w.Flush()
+		}
+		if err == nil {
+			err = m.WriteFile(manifestPath)
+		}
+	} else {
+		m, err = dist.MergePartialFile(out, manifestPath, paths, nil)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "merge: %v\n", err)
+		return 1
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "merge: %s: %s — %d of %d records merged, %d journals failed verification, manifest %s\n",
+			m.Spec, m.Outcome, m.Records, m.Total, len(m.Failed), manifestPath)
+		for _, f := range m.Failed {
+			fmt.Fprintf(os.Stderr, "merge:   %s [%d,%d): %s\n", f.Path, f.Slic.Lo, f.Slic.Hi, f.Err)
+		}
+		for _, r := range m.Missing {
+			fmt.Fprintf(os.Stderr, "merge:   missing [%d,%d)\n", r.Lo, r.Hi)
+		}
+	}
+	if m.Success() {
+		return 0
+	}
+	return 3
 }

@@ -25,6 +25,13 @@
 //	reunion-sweep -shard 0/3 -journal shard-0.jsonl   # one per worker
 //	reunion-merge -out sweep.jsonl shard-*.jsonl
 //
+// For dynamic dispatch — a fleet of identical workers pulling leases
+// from a reunion-coordinator instead of fixed shard assignments — run
+// workers with -coordinator:
+//
+//	reunion-coordinator -spec-cmd sweep ... &
+//	reunion-sweep -coordinator http://host:8080 &   # any number of these
+//
 // Run with -list to enumerate workloads, and see EXPERIMENTS.md for the
 // invocation reproducing each paper table and figure.
 package main
@@ -40,13 +47,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
-	"strings"
 	"time"
 
 	"reunion"
 	"reunion/internal/ckptstore"
+	"reunion/internal/cliconf"
 	"reunion/internal/dist"
-	"reunion/internal/obs"
 	"reunion/internal/stats"
 	"reunion/internal/sweep"
 	"reunion/internal/workload"
@@ -54,11 +60,6 @@ import (
 
 // warnOut receives axis-flag warnings (tests capture it).
 var warnOut io.Writer = os.Stderr
-
-// dedupe warns about and drops duplicate axis values (sweep.Dedupe).
-func dedupe[V comparable](axis string, vals []V, format func(V) string) []V {
-	return sweep.Dedupe(warnOut, "sweep", axis, vals, format)
-}
 
 func main() {
 	modes := flag.String("modes", "non-redundant,strict,reunion", "execution models to sweep (csv)")
@@ -75,15 +76,13 @@ func main() {
 	out := flag.String("out", "sweep.jsonl", "results file ('-' = stdout)")
 	format := flag.String("format", "jsonl", "results format: jsonl | csv")
 	kernelName := flag.String("kernel", "fastforward", "simulation kernel: fastforward | naive (results are bit-identical)")
-	ckptDir := flag.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)")
-	ckptURL := flag.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)")
+	ckpt := cliconf.RegisterCkpt(flag.CommandLine)
 	shardStr := flag.String("shard", "", "run only slice i/n of the matrix (e.g. 0/3; default: the whole matrix)")
 	journal := flag.String("journal", "", "write the slice as a resumable shard journal (JSONL + checksummed footer; replaces -out, excludes -format csv)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal from its last complete record")
+	coordinator := flag.String("coordinator", "", "run as a lease-pulling worker of a reunion-coordinator at this base URL (excludes -shard/-journal/-resume/-out)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr")
-	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)")
-	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)")
-	heartbeatEvery := flag.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
+	obsFlags := cliconf.RegisterObs(flag.CommandLine).WithHeartbeat(flag.CommandLine)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -131,8 +130,8 @@ func main() {
 	// Telemetry is a pure observer: with or without these flags the
 	// results stream and journal bytes are byte-identical (asserted in
 	// tests and CI).
-	sc := obs.NewScope(*traceOut, *metricsOut)
-	store, err := openCkptStore(*ckptDir, *ckptURL)
+	sc := obsFlags.Scope()
+	store, err := ckpt.Open()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
@@ -153,16 +152,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown format %q (valid: jsonl, csv)\n", *format)
 		os.Exit(2)
 	}
-	shard, nshards, err := dist.ParseShard(*shardStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	plan, err := dist.NewPlan(spec.Name, spec.Size(), shard, nshards)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+
 	// Pin the journal to this exact run configuration, not just the
 	// (constant) spec name and size: resuming or merging under different
 	// flags must fail loudly instead of interleaving two experiments.
@@ -174,22 +164,33 @@ func main() {
 	fpBase := spec.Base
 	fpBase.Kernel = reunion.KernelFastForward
 	fpBase.Warm = nil
-	plan.Fingerprint = dist.Fingerprint(append(spec.FingerprintParts(),
+	fingerprint := dist.Fingerprint(append(spec.FingerprintParts(),
 		fmt.Sprintf("base:%+v", fpBase))...)
 
+	if *coordinator != "" {
+		os.Exit(runCoordinated(*coordinator, spec, fingerprint, *parallel, *quiet, sc, obsFlags))
+	}
+
+	shard, nshards, err := dist.ParseShard(*shardStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := dist.NewPlan(spec.Name, spec.Size(), shard, nshards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan.Fingerprint = fingerprint
+
+	if err := cliconf.CheckJournalFlags("sweep", *journal, *format, *resume, dist.FlagWasSet("out")); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var sink sweep.Sink
 	var outFile *os.File
 	var jnl *dist.Journal
-	switch {
-	case *journal != "":
-		if *format != "jsonl" {
-			fmt.Fprintln(os.Stderr, "sweep: a -journal is jsonl-only (merge output is byte-identical to a jsonl run)")
-			os.Exit(2)
-		}
-		if dist.FlagWasSet("out") {
-			fmt.Fprintln(os.Stderr, "sweep: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)")
-			os.Exit(2)
-		}
+	if *journal != "" {
 		jnl, err = dist.OpenOrCreateObs(*journal, plan, *resume, sc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -207,10 +208,7 @@ func main() {
 			return
 		}
 		sink = jnl
-	case *resume:
-		fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
-		os.Exit(2)
-	default:
+	} else {
 		w := os.Stdout
 		if *out != "-" {
 			f, err := os.Create(*out)
@@ -241,10 +239,7 @@ func main() {
 	if nshards > 1 {
 		hbLabel = fmt.Sprintf("sweep shard %d/%d", shard, nshards)
 	}
-	hb := &obs.Heartbeat{Label: hbLabel, Total: int64(len(indices)), Every: *heartbeatEvery, W: os.Stderr}
-	if *heartbeatEvery <= 0 {
-		hb = nil
-	}
+	hb := obsFlags.Heartbeat(hbLabel, int64(len(indices)))
 	stopHeartbeat := hb.Start()
 
 	var ipc stats.Online
@@ -320,7 +315,7 @@ func main() {
 	}
 	// Telemetry flushes even when the sweep failed — that is when the
 	// trace is most wanted — but a flush error must not mask a run error.
-	if werr := sc.WriteFiles(*traceOut, *metricsOut); werr != nil {
+	if werr := obsFlags.WriteFiles(sc); werr != nil {
 		fmt.Fprintf(os.Stderr, "sweep: telemetry: %v\n", werr)
 		if err == nil {
 			err = werr
@@ -347,33 +342,12 @@ func main() {
 // parseKernel resolves the -kernel flag. Both kernels are bit-identical
 // in results, which is what makes a per-shard fastforward-vs-naive byte
 // comparison of journals a kernel-equivalence check (see CI).
-// openCkptStore resolves the -ckpt-store/-ckpt-url flag pair into a
-// checkpoint-store backend, or nil when neither is set.
-func openCkptStore(dir, url string) (ckptstore.Store, error) {
-	switch {
-	case dir != "" && url != "":
-		return nil, errors.New("-ckpt-store and -ckpt-url are mutually exclusive")
-	case dir != "":
-		return ckptstore.NewDisk(dir)
-	case url != "":
-		return ckptstore.NewClient(url), nil
-	}
-	return nil, nil
-}
+func parseKernel(name string) (reunion.Kernel, error) { return cliconf.Kernel(name) }
 
-func parseKernel(name string) (reunion.Kernel, error) {
-	switch name {
-	case "fastforward", "fast-forward":
-		return reunion.KernelFastForward, nil
-	case "naive":
-		return reunion.KernelNaive, nil
-	}
-	return 0, fmt.Errorf("unknown kernel %q (valid: fastforward, naive)", name)
-}
-
-// buildSpec assembles the matrix from the axis flags. Axis order fixes
-// the enumeration (and output) order: workload, mode, latency, phantom,
-// tlb, consistency, interval, seed.
+// buildSpec assembles the matrix from the axis flags (validation and
+// dedupe-warning rules live in cliconf, shared with the other CLIs).
+// Axis order fixes the enumeration (and output) order: workload, mode,
+// latency, phantom, tlb, consistency, interval, seed.
 func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, intervals, seeds string, warm, measure int64, kern reunion.Kernel) (sweep.Spec[reunion.Options], error) {
 	// No reunion.WarmCache here: every axis of this matrix shapes the
 	// warmup itself, so no two cells could share a warm checkpoint —
@@ -385,46 +359,25 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 		Base: reunion.Options{WarmCycles: warm, MeasureCycles: measure, Kernel: kern},
 	}
 
-	var ps []workload.Params
-	if workloads == "all" {
-		ps = workload.Suite()
-	} else {
-		for _, name := range splitCSV(workloads) {
-			p, ok := workload.ByName(name)
-			if !ok {
-				return spec, fmt.Errorf("unknown workload %q (valid: %s, or 'all')",
-					name, strings.Join(workload.Names(), ", "))
-			}
-			ps = append(ps, p)
-		}
+	ps, err := cliconf.Workloads(warnOut, "sweep", workloads)
+	if err != nil {
+		return spec, err
 	}
-	ps = dedupe("workload", ps, func(p workload.Params) string { return p.Name })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("workload", ps,
 		func(p workload.Params) string { return p.Name },
 		func(o *reunion.Options, p workload.Params) { o.Workload = p }))
 
-	var ms []reunion.Mode
-	for _, name := range splitCSV(modes) {
-		switch name {
-		case "non-redundant":
-			ms = append(ms, reunion.ModeNonRedundant)
-		case "strict":
-			ms = append(ms, reunion.ModeStrict)
-		case "reunion":
-			ms = append(ms, reunion.ModeReunion)
-		default:
-			return spec, fmt.Errorf("unknown mode %q (valid: non-redundant, strict, reunion)", name)
-		}
+	ms, err := cliconf.Modes(warnOut, "sweep", modes, true)
+	if err != nil {
+		return spec, err
 	}
-	ms = dedupe("mode", ms, reunion.Mode.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("mode", ms, reunion.Mode.String,
 		func(o *reunion.Options, m reunion.Mode) { o.Mode = m }))
 
-	lats, err := parseInt64s(latencies)
+	lats, err := cliconf.Int64Axis(warnOut, "sweep", "latency", latencies)
 	if err != nil {
-		return spec, fmt.Errorf("latencies: %w", err)
+		return spec, err
 	}
-	lats = dedupe("latency", lats, func(l int64) string { return strconv.FormatInt(l, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("latency", lats,
 		func(l int64) string { return strconv.FormatInt(l, 10) },
 		func(o *reunion.Options, l int64) {
@@ -434,67 +387,39 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 			o.CompareLatency = l
 		}))
 
-	var phs []reunion.Phantom
-	for _, name := range splitCSV(phantoms) {
-		switch name {
-		case "global":
-			phs = append(phs, reunion.PhantomGlobal)
-		case "shared":
-			phs = append(phs, reunion.PhantomShared)
-		case "null":
-			phs = append(phs, reunion.PhantomNull)
-		default:
-			return spec, fmt.Errorf("unknown phantom strength %q (valid: global, shared, null)", name)
-		}
+	phs, err := cliconf.Phantoms(warnOut, "sweep", phantoms)
+	if err != nil {
+		return spec, err
 	}
-	phs = dedupe("phantom", phs, reunion.Phantom.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("phantom", phs, reunion.Phantom.String,
 		func(o *reunion.Options, ph reunion.Phantom) { o.Phantom = ph }))
 
-	var ts []reunion.TLBMode
-	for _, name := range splitCSV(tlbs) {
-		switch name {
-		case "hardware":
-			ts = append(ts, reunion.TLBHardware)
-		case "software":
-			ts = append(ts, reunion.TLBSoftware)
-		default:
-			return spec, fmt.Errorf("unknown TLB discipline %q (valid: hardware, software)", name)
-		}
+	ts, err := cliconf.TLBs(warnOut, "sweep", tlbs)
+	if err != nil {
+		return spec, err
 	}
-	ts = dedupe("tlb", ts, reunion.TLBMode.String)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("tlb", ts, reunion.TLBMode.String,
 		func(o *reunion.Options, m reunion.TLBMode) { o.TLB = m }))
 
-	var cs []reunion.Consistency
-	for _, name := range splitCSV(consistencies) {
-		switch name {
-		case "tso":
-			cs = append(cs, reunion.TSO)
-		case "sc":
-			cs = append(cs, reunion.SC)
-		default:
-			return spec, fmt.Errorf("unknown consistency model %q (valid: tso, sc)", name)
-		}
+	cs, err := cliconf.Consistencies(warnOut, "sweep", consistencies)
+	if err != nil {
+		return spec, err
 	}
-	cs = dedupe("consistency", cs, reunion.ConsistencyName)
 	spec.Axes = append(spec.Axes, sweep.NewAxis("consistency", cs, reunion.ConsistencyName,
 		func(o *reunion.Options, m reunion.Consistency) { o.Consistency = m }))
 
-	ivs, err := parseInt64s(intervals)
+	ivs, err := cliconf.Int64Axis(warnOut, "sweep", "interval", intervals)
 	if err != nil {
-		return spec, fmt.Errorf("intervals: %w", err)
+		return spec, err
 	}
-	ivs = dedupe("interval", ivs, func(iv int64) string { return strconv.FormatInt(iv, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("interval", ivs,
 		func(iv int64) string { return strconv.FormatInt(iv, 10) },
 		func(o *reunion.Options, iv int64) { o.FPInterval = int(iv) }))
 
-	sds, err := parseUint64s(seeds)
+	sds, err := cliconf.Seeds(warnOut, "sweep", seeds)
 	if err != nil {
-		return spec, fmt.Errorf("seeds: %w", err)
+		return spec, err
 	}
-	sds = dedupe("seed", sds, func(s uint64) string { return strconv.FormatUint(s, 10) })
 	spec.Axes = append(spec.Axes, sweep.NewAxis("seed", sds,
 		func(s uint64) string { return strconv.FormatUint(s, 10) },
 		func(o *reunion.Options, s uint64) { o.Seed = s }))
@@ -505,36 +430,4 @@ func buildSpec(modes, workloads, latencies, phantoms, tlbs, consistencies, inter
 	return spec, nil
 }
 
-func splitCSV(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
-func parseInt64s(s string) ([]int64, error) {
-	var out []int64
-	for _, f := range splitCSV(s) {
-		v, err := strconv.ParseInt(f, 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseUint64s(s string) ([]uint64, error) {
-	var out []uint64
-	for _, f := range splitCSV(s) {
-		v, err := strconv.ParseUint(f, 0, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
+func splitCSV(s string) []string { return cliconf.SplitCSV(s) }

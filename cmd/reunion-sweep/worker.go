@@ -1,0 +1,129 @@
+package main
+
+// Coordinated mode: instead of a fixed -shard slice, the process is a
+// lease-pulling worker of a reunion-coordinator. Each leased index
+// range is run through the same Runner as a local sweep and its record
+// lines — exactly the bytes the single-process stream carries for those
+// indices — are streamed back; the coordinator verifies and merges, so
+// this process writes no results file of its own.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"reunion"
+	"reunion/internal/cliconf"
+	"reunion/internal/coord"
+	"reunion/internal/obs"
+	"reunion/internal/sweep"
+)
+
+// workerName identifies this process in leases and coordinator logs.
+func workerName(tool string) string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return fmt.Sprintf("%s-%s-%d", tool, host, os.Getpid())
+}
+
+// exitCode maps a coordinated run's terminal outcome to the process
+// exit code shared with reunion-merge -manifest: 0 success, 3 partial,
+// 1 failed.
+func exitCode(outcome string) int {
+	switch outcome {
+	case coord.OutcomeSuccess:
+		return 0
+	case coord.OutcomePartial:
+		return 3
+	default:
+		return 1
+	}
+}
+
+func runCoordinated(url string, spec sweep.Spec[reunion.Options], fingerprint uint64,
+	parallel int, quiet bool, sc obs.Scope, obsFlags *cliconf.ObsFlags) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	name := workerName("sweep")
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+
+	w := &coord.Worker{
+		Client: &coord.Client{Base: url, Worker: name},
+		Produce: func(ctx context.Context, lo, hi int) ([]byte, error) {
+			return produceSweepRange(ctx, spec, parallel, sc, lo, hi)
+		},
+		Obs:  sc,
+		Logf: logf,
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: worker %s pulling leases from %s (%d runs total)\n",
+		name, url, spec.Size())
+	start := time.Now() //reunion:nondeterm-ok host wall-clock for the progress summary
+	outcome, err := w.Run(ctx, spec.Name, spec.Size(), fingerprint)
+	if werr := obsFlags.WriteFiles(sc); werr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: telemetry: %v\n", werr)
+		if err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: coordinated run: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sweep: coordinated run terminal after %s: %s (merged results live with the coordinator)\n",
+		time.Since(start).Round(time.Millisecond), outcome) //reunion:nondeterm-ok host wall-clock
+	return exitCode(outcome)
+}
+
+// produceSweepRange runs matrix indices [lo, hi) and returns their
+// JSONL record lines. The Runner emits in index order at any
+// parallelism, so the buffer holds exactly the single-process stream's
+// bytes for the range.
+func produceSweepRange(ctx context.Context, spec sweep.Spec[reunion.Options],
+	parallel int, sc obs.Scope, lo, hi int) ([]byte, error) {
+	indices := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		indices = append(indices, i)
+	}
+	var buf bytes.Buffer
+	sink := sweep.NewJSONL(&buf)
+	runner := sweep.Runner[reunion.Options, reunion.Result]{
+		Parallelism: parallel,
+		Obs:         sc,
+		Run: func(_ context.Context, p sweep.Point[reunion.Options]) (reunion.Result, error) {
+			return reunion.Run(p.Config)
+		},
+		Emit: func(r sweep.Result[reunion.Options, reunion.Result]) error {
+			if errors.Is(r.Err, sweep.ErrSkipped) {
+				// A cancelled, never-executed run must not be uploaded as a
+				// bogus error record; abort the range instead (the lease is
+				// lost or the worker is shutting down).
+				return r.Err
+			}
+			var metrics map[string]float64
+			if r.Err == nil {
+				metrics = r.Out.Metrics()
+			}
+			return sink.Write(sweep.NewRecord(spec.Name, r.Point.Index, r.Point.LabelMap(), metrics, r.Err))
+		},
+	}
+	if _, err := runner.SweepIndices(ctx, spec, indices); err != nil {
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,147 @@
+package reunion
+
+// Coordinated-execution acceptance: a campaign dispatched dynamically by
+// the coordinator — small index-range leases pulled by a fleet over real
+// HTTP, including a worker killed mid-range — merges to a stream
+// byte-identical to the single-process run. This drives the same
+// internal/coord layer the reunion-coordinator daemon and the CLIs'
+// -coordinator mode use, with real simulations producing the ranges.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"reunion/internal/coord"
+	"reunion/internal/dist"
+	"reunion/internal/sweep"
+)
+
+func TestCoordinatedSweepKilledWorkerByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinated e2e runs real simulations")
+	}
+	spec := shardSweepSpec()
+	total := spec.Size()
+	ctx := context.Background()
+
+	// Reference: the single-process stream.
+	var ref bytes.Buffer
+	refSink := sweep.NewJSONL(&ref)
+	runner := sweep.Runner[Options, Result]{
+		Parallelism: 2,
+		Run: func(_ context.Context, p sweep.Point[Options]) (Result, error) {
+			return Run(p.Config)
+		},
+		Emit: sweepEmit(spec, refSink),
+	}
+	if _, err := runner.Sweep(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator, behind a real HTTP server.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "merged.jsonl")
+	fp := dist.Fingerprint("coord-e2e")
+	c, err := coord.New(coord.Config{
+		RangeSize: 2,
+		LeaseTTL:  500 * time.Millisecond,
+		Dir:       filepath.Join(dir, "state"),
+		Out:       out,
+		Manifest:  filepath.Join(dir, "manifest.json"),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	watchCtx, cancelWatch := context.WithCancel(ctx)
+	defer cancelWatch()
+	go c.Watch(watchCtx)
+
+	// The killed worker: leases a range and dies mid-run — no heartbeat,
+	// no result, exactly what SIGKILL leaves behind. Its range must be
+	// re-leased to the survivors after the TTL.
+	killed := &coord.Client{Base: srv.URL, Worker: "killed"}
+	if err := killed.Register(spec.Name, total, fp); err != nil {
+		t.Fatal(err)
+	}
+	kres, err := killed.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kres.Lease == nil {
+		t.Fatalf("killed worker got no lease: %+v", kres)
+	}
+
+	// Two surviving workers running real simulations per leased range,
+	// through the same Produce path as the CLIs' -coordinator mode.
+	produce := func(ctx context.Context, lo, hi int) ([]byte, error) {
+		indices := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			indices = append(indices, i)
+		}
+		var buf bytes.Buffer
+		sink := sweep.NewJSONL(&buf)
+		r := sweep.Runner[Options, Result]{
+			Parallelism: 2,
+			Run: func(_ context.Context, p sweep.Point[Options]) (Result, error) {
+				return Run(p.Config)
+			},
+			Emit: sweepEmit(spec, sink),
+		}
+		if _, err := r.SweepIndices(ctx, spec, indices); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]string, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &coord.Worker{
+				Client:  &coord.Client{Base: srv.URL, Worker: fmt.Sprintf("survivor-%d", i)},
+				Produce: produce,
+				Logf:    t.Logf,
+			}
+			outcomes[i], errs[i] = w.Run(ctx, spec.Name, total, fp)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+		if outcomes[i] != coord.OutcomeSuccess {
+			t.Fatalf("survivor %d outcome = %q", i, outcomes[i])
+		}
+	}
+
+	merged, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, ref.Bytes()) {
+		t.Errorf("coordinated merge differs from the single-process stream (%d vs %d bytes)",
+			len(merged), ref.Len())
+	}
+
+	// The terminal manifest certifies full coverage.
+	outcome, m, ferr := c.Outcome()
+	if outcome != coord.OutcomeSuccess || ferr != nil {
+		t.Fatalf("terminal outcome %q, err %v", outcome, ferr)
+	}
+	if m == nil || !m.Success() || m.Records != total {
+		t.Fatalf("manifest: %+v", m)
+	}
+}

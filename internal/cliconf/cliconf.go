@@ -1,0 +1,316 @@
+// Package cliconf is the shared flag-parsing and validation layer of
+// the reunion CLIs. Five commands (sweep, inject, bench, merge, and
+// the coordinator worker modes) accept overlapping flag families —
+// axis CSVs with duplicate-value warnings and fail-fast unknown-value
+// listing, the telemetry trio, the checkpoint-store pair, and the
+// -shard/-journal/-resume cluster — and before this package each CLI
+// carried its own copy, which is exactly how validation rules drift
+// apart. The parsers here are the single source of those rules; the
+// CLIs keep only their flag registration and exit-code choreography.
+package cliconf
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"reunion"
+	"reunion/internal/ckptstore"
+	"reunion/internal/obs"
+	"reunion/internal/sweep"
+	"reunion/internal/workload"
+)
+
+// SplitCSV splits a comma-separated flag value, trimming whitespace and
+// dropping empty fields.
+func SplitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Int64s parses a CSV of int64s.
+func Int64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range SplitCSV(s) {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Uint64s parses a CSV of uint64s (0x… accepted).
+func Uint64s(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range SplitCSV(s) {
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseRange parses "lo-hi" (inclusive) or a single value "n" (= n-n);
+// the empty string yields the defaults.
+func ParseRange(s string, defLo, defHi int64) (lo, hi int64, err error) {
+	if s == "" {
+		return defLo, defHi, nil
+	}
+	parts := strings.SplitN(s, "-", 2)
+	lo, err = strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi = lo
+	if len(parts) == 2 {
+		hi, err = strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q is empty", s)
+	}
+	return lo, hi, nil
+}
+
+// Kernel resolves a -kernel flag value. Both kernels are bit-identical
+// in results (CI byte-compares their journals), so the choice never
+// enters a run fingerprint.
+func Kernel(name string) (reunion.Kernel, error) {
+	switch name {
+	case "fastforward", "fast-forward":
+		return reunion.KernelFastForward, nil
+	case "naive":
+		return reunion.KernelNaive, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (valid: fastforward, naive)", name)
+}
+
+// dedupe drops duplicate axis values with a warning to w — a
+// duplicated seed or latency would silently run every matching cell
+// twice and skew class averages.
+func dedupe[V comparable](w io.Writer, tool, axis string, vals []V, format func(V) string) []V {
+	return sweep.Dedupe(w, tool, axis, vals, format)
+}
+
+// Modes parses an execution-model axis CSV. allowStrict selects the
+// sweep form; inject passes false, because its strict oracle simulates
+// comparison timing only and a fault campaign against it would
+// mislabel the unprotected substrate.
+func Modes(w io.Writer, tool, csv string, allowStrict bool) ([]reunion.Mode, error) {
+	var ms []reunion.Mode
+	for _, name := range SplitCSV(csv) {
+		switch name {
+		case "non-redundant":
+			ms = append(ms, reunion.ModeNonRedundant)
+		case "strict":
+			if !allowStrict {
+				return nil, fmt.Errorf("mode strict models comparison timing only (no simulated partner); inject supports reunion,non-redundant")
+			}
+			ms = append(ms, reunion.ModeStrict)
+		case "reunion":
+			ms = append(ms, reunion.ModeReunion)
+		default:
+			if !allowStrict {
+				return nil, fmt.Errorf("unknown mode %q (valid: reunion, non-redundant)", name)
+			}
+			return nil, fmt.Errorf("unknown mode %q (valid: non-redundant, strict, reunion)", name)
+		}
+	}
+	return dedupe(w, tool, "mode", ms, reunion.Mode.String), nil
+}
+
+// Phantoms parses a phantom-strength axis CSV.
+func Phantoms(w io.Writer, tool, csv string) ([]reunion.Phantom, error) {
+	var phs []reunion.Phantom
+	for _, name := range SplitCSV(csv) {
+		switch name {
+		case "global":
+			phs = append(phs, reunion.PhantomGlobal)
+		case "shared":
+			phs = append(phs, reunion.PhantomShared)
+		case "null":
+			phs = append(phs, reunion.PhantomNull)
+		default:
+			return nil, fmt.Errorf("unknown phantom strength %q (valid: global, shared, null)", name)
+		}
+	}
+	return dedupe(w, tool, "phantom", phs, reunion.Phantom.String), nil
+}
+
+// TLBs parses a TLB-discipline axis CSV.
+func TLBs(w io.Writer, tool, csv string) ([]reunion.TLBMode, error) {
+	var ts []reunion.TLBMode
+	for _, name := range SplitCSV(csv) {
+		switch name {
+		case "hardware":
+			ts = append(ts, reunion.TLBHardware)
+		case "software":
+			ts = append(ts, reunion.TLBSoftware)
+		default:
+			return nil, fmt.Errorf("unknown TLB discipline %q (valid: hardware, software)", name)
+		}
+	}
+	return dedupe(w, tool, "tlb", ts, reunion.TLBMode.String), nil
+}
+
+// Consistencies parses a memory-consistency axis CSV.
+func Consistencies(w io.Writer, tool, csv string) ([]reunion.Consistency, error) {
+	var cs []reunion.Consistency
+	for _, name := range SplitCSV(csv) {
+		switch name {
+		case "tso":
+			cs = append(cs, reunion.TSO)
+		case "sc":
+			cs = append(cs, reunion.SC)
+		default:
+			return nil, fmt.Errorf("unknown consistency model %q (valid: tso, sc)", name)
+		}
+	}
+	return dedupe(w, tool, "consistency", cs, reunion.ConsistencyName), nil
+}
+
+// Workloads parses a workload axis CSV ("all" = the full suite),
+// listing every valid name on an unknown value.
+func Workloads(w io.Writer, tool, csv string) ([]workload.Params, error) {
+	var ps []workload.Params
+	if csv == "all" {
+		ps = workload.Suite()
+	} else {
+		for _, name := range SplitCSV(csv) {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q (valid: %s, or 'all')",
+					name, strings.Join(workload.Names(), ", "))
+			}
+			ps = append(ps, p)
+		}
+	}
+	return dedupe(w, tool, "workload", ps, func(p workload.Params) string { return p.Name }), nil
+}
+
+// Seeds parses a workload-seed axis CSV.
+func Seeds(w io.Writer, tool, csv string) ([]uint64, error) {
+	sds, err := Uint64s(csv)
+	if err != nil {
+		return nil, err
+	}
+	return dedupe(w, tool, "seed", sds, func(s uint64) string { return strconv.FormatUint(s, 10) }), nil
+}
+
+// Int64Axis parses a CSV of int64 axis values with dedupe warnings
+// under the given axis name (latency, interval, …).
+func Int64Axis(w io.Writer, tool, axis, csv string) ([]int64, error) {
+	vals, err := Int64s(csv)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", axis, err)
+	}
+	return dedupe(w, tool, axis, vals, func(v int64) string { return strconv.FormatInt(v, 10) }), nil
+}
+
+// OpenCkptStore resolves the -ckpt-store/-ckpt-url flag pair into a
+// checkpoint-store backend, or nil when neither is set.
+func OpenCkptStore(dir, url string) (ckptstore.Store, error) {
+	switch {
+	case dir != "" && url != "":
+		return nil, errors.New("-ckpt-store and -ckpt-url are mutually exclusive")
+	case dir != "":
+		return ckptstore.NewDisk(dir)
+	case url != "":
+		return ckptstore.NewClient(url), nil
+	}
+	return nil, nil
+}
+
+// CkptFlags is the shared checkpoint-store flag pair.
+type CkptFlags struct {
+	Dir, URL *string
+}
+
+// RegisterCkpt registers -ckpt-store/-ckpt-url on fs.
+func RegisterCkpt(fs *flag.FlagSet) *CkptFlags {
+	return &CkptFlags{
+		Dir: fs.String("ckpt-store", "", "directory of a shared warm-checkpoint store (content-addressed; written and read in place)"),
+		URL: fs.String("ckpt-url", "", "base URL of a reunion-ckptd checkpoint server (mutually exclusive with -ckpt-store)"),
+	}
+}
+
+// Open resolves the pair (see OpenCkptStore).
+func (c *CkptFlags) Open() (ckptstore.Store, error) { return OpenCkptStore(*c.Dir, *c.URL) }
+
+// ObsFlags is the shared telemetry flag family. Telemetry is a pure
+// observer everywhere these flags appear: results and journal bytes
+// are byte-identical with or without them.
+type ObsFlags struct {
+	TraceOut, MetricsOut *string
+	HeartbeatEvery       *time.Duration
+}
+
+// RegisterObs registers -trace-out/-metrics-out on fs.
+func RegisterObs(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		TraceOut:   fs.String("trace-out", "", "write spans as Chrome trace-event JSON to this file at exit ('-' = stdout; open in Perfetto)"),
+		MetricsOut: fs.String("metrics-out", "", "write metrics in Prometheus text format to this file at exit ('-' = stdout)"),
+	}
+}
+
+// WithHeartbeat additionally registers -heartbeat for the CLIs with a
+// progress loop.
+func (o *ObsFlags) WithHeartbeat(fs *flag.FlagSet) *ObsFlags {
+	o.HeartbeatEvery = fs.Duration("heartbeat", 0, "print a progress heartbeat (done/total, rate, ETA, lag) to stderr at this interval (0 = off)")
+	return o
+}
+
+// Scope builds the run's observability scope from the flags.
+func (o *ObsFlags) Scope() obs.Scope { return obs.NewScope(*o.TraceOut, *o.MetricsOut) }
+
+// Heartbeat builds the stderr heartbeat, or nil when the flag is off
+// (obs.Heartbeat is nil-safe).
+func (o *ObsFlags) Heartbeat(label string, total int64) *obs.Heartbeat {
+	if o.HeartbeatEvery == nil || *o.HeartbeatEvery <= 0 {
+		return nil
+	}
+	return &obs.Heartbeat{Label: label, Total: total, Every: *o.HeartbeatEvery, W: os.Stderr}
+}
+
+// WriteFiles flushes the scope's trace and metrics to the flagged
+// destinations at exit.
+func (o *ObsFlags) WriteFiles(sc obs.Scope) error {
+	return sc.WriteFiles(*o.TraceOut, *o.MetricsOut)
+}
+
+// CheckJournalFlags enforces the -journal/-resume/-out/-format rules
+// the sharded CLIs share; the returned error is a usage error (exit 2).
+// outSet reports whether -out was passed explicitly (dist.FlagWasSet):
+// -out has a non-empty default, so presence can't be read from the
+// value.
+func CheckJournalFlags(tool, journal, format string, resume, outSet bool) error {
+	if journal != "" {
+		if format != "jsonl" {
+			return fmt.Errorf("%s: a -journal is jsonl-only (merge output is byte-identical to a jsonl run)", tool)
+		}
+		if outSet {
+			return fmt.Errorf("%s: -journal and -out are mutually exclusive (merge shard journals with reunion-merge)", tool)
+		}
+		return nil
+	}
+	if resume {
+		return fmt.Errorf("%s: -resume requires -journal", tool)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package coord
+
+// The wire protocol. One coordinator, any number of workers, five
+// POST endpoints plus a status probe — all JSON except the completed
+// range payload, which travels as raw JSONL body bytes so the exact
+// producer bytes reach the journal verifier (a decode/re-encode round
+// trip could normalize them and break byte-identity).
+//
+//	POST /v1/register   {worker, spec, total, fingerprint}      409 on run mismatch
+//	POST /v1/lease      {worker}                                → lease | wait | terminal
+//	POST /v1/heartbeat  {worker, lease}                         410 when the lease is gone
+//	POST /v1/complete   raw JSONL; X-Reunion-Worker/-Lease      410 lease gone, 422 bad payload
+//	POST /v1/fail       {worker, lease, reason}                 410 when the lease is gone
+//	GET  /v1/status     run snapshot
+//
+// 410 Gone is load-bearing: it tells a worker its result belongs to no
+// one — the range was re-leased after an expiry — so the worker must
+// discard silently, not retry. 422 tells it the payload itself was
+// rejected and the coordinator has already charged the failure budget.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+const (
+	headerWorker = "X-Reunion-Worker"
+	headerLease  = "X-Reunion-Lease"
+	// maxPayload bounds a completed range's body (64 MiB) — a runaway
+	// worker must not OOM the coordinator.
+	maxPayload = 64 << 20
+)
+
+type registerReq struct {
+	Worker      string `json:"worker"`
+	Spec        string `json:"spec"`
+	Total       int    `json:"total"`
+	Fingerprint string `json:"fingerprint"` // %016x
+}
+
+type leaseReq struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResp struct {
+	Status  string `json:"status"` // "lease" | "wait" | "terminal"
+	Lease   string `json:"lease,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	TTLMs   int64  `json:"ttl_ms,omitempty"`
+	RetryMs int64  `json:"retry_ms,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+type leaseRef struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+	Reason string `json:"reason,omitempty"`
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the coordinator protocol under /v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", c.handleRegister)
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/complete", c.handleComplete)
+	mux.HandleFunc("/v1/fail", c.handleFail)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResp{"POST only"})
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{err.Error()})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	fp, err := strconv.ParseUint(req.Fingerprint, 16, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{fmt.Sprintf("bad fingerprint %q", req.Fingerprint)})
+		return
+	}
+	if err := c.Register(req.Worker, req.Spec, req.Total, fp); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errMismatch) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, errResp{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseReq
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	res := c.Lease(req.Worker)
+	switch {
+	case res.Lease != nil:
+		writeJSON(w, http.StatusOK, leaseResp{
+			Status: "lease", Lease: res.Lease.ID,
+			Lo: res.Lease.Lo, Hi: res.Lease.Hi, TTLMs: res.Lease.TTL.Milliseconds(),
+		})
+	case res.Outcome != "":
+		writeJSON(w, http.StatusOK, leaseResp{Status: "terminal", Outcome: res.Outcome})
+	default:
+		writeJSON(w, http.StatusOK, leaseResp{Status: "wait", RetryMs: res.Wait.Milliseconds()})
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req leaseRef
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := c.Heartbeat(req.Worker, req.Lease); err != nil {
+		writeJSON(w, http.StatusGone, errResp{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errResp{"POST only"})
+		return
+	}
+	worker, lease := r.Header.Get(headerWorker), r.Header.Get(headerLease)
+	if worker == "" || lease == "" {
+		writeJSON(w, http.StatusBadRequest, errResp{"missing " + headerWorker + " or " + headerLease})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPayload+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResp{err.Error()})
+		return
+	}
+	if len(body) > maxPayload {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errResp{"payload exceeds limit"})
+		return
+	}
+	switch err := c.Complete(worker, lease, body); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case errors.Is(err, ErrLeaseLost):
+		writeJSON(w, http.StatusGone, errResp{err.Error()})
+	case errors.Is(err, ErrBadPayload):
+		writeJSON(w, http.StatusUnprocessableEntity, errResp{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errResp{err.Error()})
+	}
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req leaseRef
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := c.Fail(req.Worker, req.Lease, req.Reason); err != nil {
+		writeJSON(w, http.StatusGone, errResp{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// Client is the worker side of the protocol.
+type Client struct {
+	// Base is the coordinator's base URL (http://host:port).
+	Base string
+	// Worker identifies this worker in leases and logs.
+	Worker string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (cl *Client) client() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends v as JSON and decodes the response into out when the
+// status matches okCode; other statuses map to errors (410 →
+// ErrLeaseLost, 422 → ErrBadPayload).
+func (cl *Client) post(path string, v, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.client().Post(cl.Base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return cl.finish(resp, out)
+}
+
+func (cl *Client) finish(resp *http.Response, out any) error {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return ErrLeaseLost
+	case http.StatusUnprocessableEntity:
+		var e errResp
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%w: %s", ErrBadPayload, e.Error)
+	default:
+		var e errResp
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("coord: %s: %s", resp.Request.URL.Path, e.Error)
+	}
+}
+
+// Register announces the worker's run identity; the first registration
+// adopts the run on the coordinator.
+func (cl *Client) Register(spec string, total int, fingerprint uint64) error {
+	return cl.post("/v1/register", registerReq{
+		Worker: cl.Worker, Spec: spec, Total: total,
+		Fingerprint: fmt.Sprintf("%016x", fingerprint),
+	}, nil)
+}
+
+// Lease asks for work.
+func (cl *Client) Lease() (LeaseResult, error) {
+	var resp leaseResp
+	if err := cl.post("/v1/lease", leaseReq{Worker: cl.Worker}, &resp); err != nil {
+		return LeaseResult{}, err
+	}
+	switch resp.Status {
+	case "lease":
+		return LeaseResult{Lease: &Lease{
+			ID: resp.Lease, Lo: resp.Lo, Hi: resp.Hi,
+			TTL: time.Duration(resp.TTLMs) * time.Millisecond,
+		}}, nil
+	case "terminal":
+		return LeaseResult{Outcome: resp.Outcome}, nil
+	case "wait":
+		return LeaseResult{Wait: time.Duration(resp.RetryMs) * time.Millisecond}, nil
+	}
+	return LeaseResult{}, fmt.Errorf("coord: unknown lease status %q", resp.Status)
+}
+
+// Heartbeat renews the lease; ErrLeaseLost means stop working on it.
+func (cl *Client) Heartbeat(leaseID string) error {
+	return cl.post("/v1/heartbeat", leaseRef{Worker: cl.Worker, Lease: leaseID}, nil)
+}
+
+// Complete uploads the finished range's record lines.
+func (cl *Client) Complete(leaseID string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, cl.Base+"/v1/complete", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/jsonl")
+	req.Header.Set(headerWorker, cl.Worker)
+	req.Header.Set(headerLease, leaseID)
+	resp, err := cl.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return cl.finish(resp, nil)
+}
+
+// Fail reports that the range could not be produced.
+func (cl *Client) Fail(leaseID, reason string) error {
+	return cl.post("/v1/fail", leaseRef{Worker: cl.Worker, Lease: leaseID, Reason: reason}, nil)
+}
+
+// Status fetches the coordinator's run snapshot.
+func (cl *Client) Status() (Status, error) {
+	resp, err := cl.client().Get(cl.Base + "/v1/status")
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("coord: status: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

@@ -1,0 +1,174 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// End-to-end over real HTTP: a coordinator behind httptest, two honest
+// Workers pulling leases concurrently, and one saboteur that leases a
+// range and vanishes without heartbeating — the coordinated run must
+// still terminate successfully with output byte-identical to the
+// single-process stream.
+func TestHTTPEndToEndWithAbandoningWorker(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "merged.jsonl")
+	c, err := New(Config{
+		RangeSize: 3,
+		LeaseTTL:  300 * time.Millisecond,
+		Dir:       filepath.Join(dir, "state"),
+		Out:       out,
+		Manifest:  filepath.Join(dir, "manifest.json"),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go c.Watch(ctx)
+
+	const total = 20
+
+	// The saboteur: registers, takes the first lease, and dies — no
+	// heartbeat, no result. Its range must come back and be re-run.
+	saboteur := &Client{Base: srv.URL, Worker: "saboteur"}
+	if err := saboteur.Register(testSpec, total, testFP); err != nil {
+		t.Fatal(err)
+	}
+	sres, err := saboteur.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Lease == nil {
+		t.Fatalf("saboteur got no lease: %+v", sres)
+	}
+
+	produce := func(ctx context.Context, lo, hi int) ([]byte, error) {
+		var b bytes.Buffer
+		for i := lo; i < hi; i++ {
+			b.Write(line(i))
+		}
+		return b.Bytes(), nil
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]string, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Client:  &Client{Base: srv.URL, Worker: fmt.Sprintf("honest-%d", i)},
+				Produce: produce,
+				Logf:    t.Logf,
+			}
+			outcomes[i], errs[i] = w.Run(ctx, testSpec, total, testFP)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if outcomes[i] != OutcomeSuccess {
+			t.Fatalf("worker %d outcome = %q", i, outcomes[i])
+		}
+	}
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, slice(0, total)) {
+		t.Fatalf("coordinated merge differs from the single-process stream:\n%s", got)
+	}
+
+	// The saboteur's stale lease must be refused if it ever comes back.
+	if err := saboteur.Heartbeat(sres.Lease.ID); err != ErrLeaseLost {
+		t.Fatalf("stale heartbeat over HTTP: %v", err)
+	}
+	if err := saboteur.Complete(sres.Lease.ID, slice(sres.Lease.Lo, sres.Lease.Hi)); err != ErrLeaseLost {
+		t.Fatalf("stale complete over HTTP: %v", err)
+	}
+}
+
+// The HTTP surface maps run mismatches to 409 and decodes the
+// coordinator's refusal into a client error.
+func TestHTTPRegisterMismatch(t *testing.T) {
+	c, _ := newTestCoord(t, nil, nil)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	a := &Client{Base: srv.URL, Worker: "a"}
+	if err := a.Register(testSpec, 8, testFP); err != nil {
+		t.Fatal(err)
+	}
+	b := &Client{Base: srv.URL, Worker: "b"}
+	if err := b.Register(testSpec, 8, 0xdead); err == nil {
+		t.Fatal("mismatched fingerprint accepted over HTTP")
+	}
+}
+
+// A worker whose Produce errors reports Fail; the budgets turn that
+// into a partial outcome that the Worker loop surfaces.
+func TestHTTPWorkerProduceFailure(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{
+		RangeSize: 4,
+		LeaseTTL:  time.Minute,
+		Dir:       filepath.Join(dir, "state"),
+		Out:       filepath.Join(dir, "merged.jsonl"),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	w := &Worker{
+		Client: &Client{Base: srv.URL, Worker: "crashy"},
+		Produce: func(ctx context.Context, lo, hi int) ([]byte, error) {
+			if lo >= 4 {
+				return nil, fmt.Errorf("injected fault at %d", lo)
+			}
+			return slice(lo, hi), nil
+		},
+		Logf: t.Logf,
+	}
+	outcome, err := w.Run(context.Background(), testSpec, 8, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomePartial {
+		t.Fatalf("outcome = %q", outcome)
+	}
+	_, m, _ := c.Outcome()
+	if m == nil || len(m.Failed) != 1 || m.Failed[0].Err != "injected fault at 4" {
+		t.Fatalf("manifest: %+v", m)
+	}
+	if !bytes.Equal(mustRead(t, filepath.Join(dir, "merged.jsonl")), slice(0, 4)) {
+		t.Fatal("partial merge is not the verified prefix")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -58,6 +58,12 @@ type Plan struct {
 	Total int
 	// Shard/NShards select this worker's slice.
 	Shard, NShards int
+	// Ranged marks a plan whose slice is the explicit [RangeLo, RangeHi)
+	// instead of the shard arithmetic — the coordinator's lease granule.
+	// Ranged journals record their bounds in the header, so a range
+	// journal can only be resumed or merged as that exact range.
+	Ranged           bool
+	RangeLo, RangeHi int
 }
 
 // NewPlan validates and returns the plan for one shard.
@@ -74,11 +80,36 @@ func NewPlan(spec string, total, shard, nshards int) (Plan, error) {
 	return Plan{Spec: spec, Total: total, Shard: shard, NShards: nshards}, nil
 }
 
+// NewRange validates and returns a ranged plan for the explicit slice
+// [lo, hi) of a total-index space — the coordinator's lease unit. The
+// slice must be non-empty: an empty lease has nothing to journal, and a
+// footer over zero records could not distinguish "done" from "never
+// ran".
+func NewRange(spec string, total, lo, hi int) (Plan, error) {
+	if total < 0 {
+		return Plan{}, fmt.Errorf("dist: negative total %d", total)
+	}
+	if lo < 0 || hi > total || lo >= hi {
+		return Plan{}, fmt.Errorf("dist: range [%d,%d) invalid for total %d", lo, hi, total)
+	}
+	return Plan{Spec: spec, Total: total, NShards: 1, Ranged: true, RangeLo: lo, RangeHi: hi}, nil
+}
+
 // Lo returns the first global index of the shard's slice.
-func (p Plan) Lo() int { return p.Total * p.Shard / p.NShards }
+func (p Plan) Lo() int {
+	if p.Ranged {
+		return p.RangeLo
+	}
+	return p.Total * p.Shard / p.NShards
+}
 
 // Hi returns one past the last global index of the shard's slice.
-func (p Plan) Hi() int { return p.Total * (p.Shard + 1) / p.NShards }
+func (p Plan) Hi() int {
+	if p.Ranged {
+		return p.RangeHi
+	}
+	return p.Total * (p.Shard + 1) / p.NShards
+}
 
 // Count returns the number of indices in the shard's slice.
 func (p Plan) Count() int { return p.Hi() - p.Lo() }
@@ -99,8 +130,12 @@ func (p Plan) Indices() []int {
 	return out
 }
 
-// String renders the slice for progress messages: "shard 1/3 [8,16)".
+// String renders the slice for progress messages: "shard 1/3 [8,16)",
+// or "range [8,16)" for a ranged plan.
 func (p Plan) String() string {
+	if p.Ranged {
+		return fmt.Sprintf("range [%d,%d)", p.RangeLo, p.RangeHi)
+	}
 	return fmt.Sprintf("shard %d/%d [%d,%d)", p.Shard, p.NShards, p.Lo(), p.Hi())
 }
 

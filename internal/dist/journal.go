@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash"
@@ -29,6 +30,12 @@ type header struct {
 	Shard       int    `json:"shard"`
 	NShards     int    `json:"nshards"`
 	Total       int    `json:"total"`
+	// Ranged journals (coordinator leases) pin their explicit slice
+	// bounds; absent on classic shard journals, so the framing stays
+	// FormatV1-compatible in both directions.
+	Ranged  bool `json:"ranged,omitempty"`
+	RangeLo int  `json:"range_lo,omitempty"`
+	RangeHi int  `json:"range_hi,omitempty"`
 }
 
 // footer is the last line of a complete journal: the record count and
@@ -50,12 +57,24 @@ type footerLine struct {
 
 func (p Plan) header() header {
 	return header{Format: FormatV1, Spec: p.Spec, Fingerprint: p.Fingerprint,
-		Shard: p.Shard, NShards: p.NShards, Total: p.Total}
+		Shard: p.Shard, NShards: p.NShards, Total: p.Total,
+		Ranged: p.Ranged, RangeLo: p.RangeLo, RangeHi: p.RangeHi}
+}
+
+// plan reconstructs the Plan a header pins — the slice identity merge
+// and resume verify records against.
+func (h header) plan() Plan {
+	return Plan{Spec: h.Spec, Fingerprint: h.Fingerprint, Total: h.Total,
+		Shard: h.Shard, NShards: h.NShards,
+		Ranged: h.Ranged, RangeLo: h.RangeLo, RangeHi: h.RangeHi}
 }
 
 func (h header) check(p Plan) error {
 	if h.Format != FormatV1 {
 		return fmt.Errorf("unsupported journal format %q", h.Format)
+	}
+	if h.Ranged != p.Ranged || h.RangeLo != p.RangeLo || h.RangeHi != p.RangeHi {
+		return fmt.Errorf("journal is for %s, want %s", h.plan(), p)
 	}
 	if h.Spec != p.Spec || h.Shard != p.Shard || h.NShards != p.NShards || h.Total != p.Total {
 		return fmt.Errorf("journal is for spec=%q shard %d/%d total %d, want spec=%q shard %d/%d total %d",
@@ -369,6 +388,47 @@ func (j *Journal) Write(rec sweep.Record) error {
 	}
 	j.recMetric.Inc()
 	j.byteMetric.Add(int64(len(b)))
+	return nil
+}
+
+// WriteLine appends one pre-encoded payload line — a single JSONL
+// record including its trailing newline, byte-for-byte as the producer
+// emitted it. The coordinator uses it to journal worker-streamed
+// records without a decode/re-encode round trip that could perturb the
+// bytes (float formatting, key order); the index-order discipline of
+// Write still applies, so a wrong, duplicated, or out-of-order line
+// fails loudly instead of corrupting the file.
+func (j *Journal) WriteLine(line []byte) error {
+	if j.closed || j.complete {
+		return fmt.Errorf("dist: write to %s journal", map[bool]string{true: "a completed", false: "a closed"}[j.complete])
+	}
+	if len(line) == 0 || line[len(line)-1] != '\n' || bytes.IndexByte(line, '\n') != len(line)-1 {
+		return fmt.Errorf("dist: WriteLine needs exactly one newline-terminated record line")
+	}
+	var rec struct {
+		Index *int   `json:"index"`
+		Err   string `json:"err"`
+	}
+	if err := json.Unmarshal(line, &rec); err != nil || rec.Index == nil {
+		return fmt.Errorf("dist: WriteLine payload is not a record line")
+	}
+	if j.done >= j.plan.Count() {
+		return fmt.Errorf("dist: record %d past the shard's %d-record slice", *rec.Index, j.plan.Count())
+	}
+	if want := j.plan.Index(j.done); *rec.Index != want {
+		return fmt.Errorf("dist: out-of-order record: got index %d, want %d", *rec.Index, want)
+	}
+	j.crc.Write(line)
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	j.done++
+	if rec.Err != "" {
+		j.failed++
+		j.errMetric.Inc()
+	}
+	j.recMetric.Inc()
+	j.byteMetric.Add(int64(len(line)))
 	return nil
 }
 

@@ -1,0 +1,243 @@
+// Partial merge: reassemble what a run actually produced, and say
+// precisely what is missing. The strict Merge is the right tool for a
+// finished run — one incomplete shard fails the whole merge — but an
+// operator (or the coordinator's terminal state) also needs the other
+// answer: "merge everything that verifies, and give me a machine-
+// readable account of the holes". MergePartial is that answer, and the
+// Manifest is the account.
+
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Manifest outcome values.
+const (
+	// OutcomeSuccess: every record of the run verified and was written.
+	OutcomeSuccess = "success"
+	// OutcomePartial: the verified subset was written; Missing/Failed
+	// say which index ranges are not in the output and why.
+	OutcomePartial = "partial"
+)
+
+// IndexRange is a half-open [Lo, Hi) slice of the flattened index
+// space.
+type IndexRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// JournalFailure records one journal that was given to the partial
+// merge but did not survive verification — a torn file, a missing or
+// contradicted footer, an index-sequence break. Its slice counts as
+// missing from the output.
+type JournalFailure struct {
+	Path string     `json:"path"`
+	Slic IndexRange `json:"range"`
+	Err  string     `json:"err"`
+}
+
+// Manifest is the machine-readable result of a partial merge: which
+// slices of the run made it into the output, which did not, and why.
+// The coordinator writes one for its partial terminal state, and
+// reunion-merge -manifest emits one for operators reassembling an
+// interrupted fleet's journals by hand.
+type Manifest struct {
+	Spec        string `json:"spec"`
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total"`
+	// Records is the number of verified records written to the output.
+	Records int    `json:"records"`
+	Outcome string `json:"outcome"` // "success" | "partial"
+	// Missing lists the index ranges absent from the output, coalesced
+	// and in ascending order — no journal covered them, or the covering
+	// journal failed verification.
+	Missing []IndexRange `json:"missing,omitempty"`
+	// Failed lists the given journals that failed verification.
+	Failed []JournalFailure `json:"failed,omitempty"`
+}
+
+// Success reports whether the merge covered the whole run.
+func (m *Manifest) Success() bool { return m.Outcome == OutcomeSuccess }
+
+// WriteFile writes the manifest as indented JSON via a temporary file
+// and rename, so a crashed writer never leaves a torn manifest — the
+// file's whole point is to be trusted by tooling.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// MergePartial merges whatever verifies. It accepts any mix of shard
+// and ranged journals from one run (same spec, total, fingerprint),
+// verifies each journal fully before a single byte of it is written,
+// copies the verified slices to w in global index order, and returns a
+// Manifest accounting for every index of [0, Total).
+//
+// The error split is deliberate: journals that are individually broken
+// (torn, unsealed, checksum-contradicted) are reported in the manifest
+// and their slices counted missing — that is the "partial" outcome the
+// caller can act on. A contradictory *set* — journals from different
+// runs, or two verified journals claiming overlapping slices — returns
+// an error, because no output could be trusted; that is "corrupt", not
+// "partial".
+func MergePartial(w io.Writer, paths []string) (*Manifest, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dist: merge of zero journals")
+	}
+
+	type member struct {
+		path   string
+		lo, hi int
+	}
+	var ok []member
+	var failed []JournalFailure
+	var first *header
+	slice := func(h header) (int, int) { p := h.plan(); return p.Lo(), p.Hi() }
+
+	// Pass 1: verify every journal end to end (headers against the
+	// adopted run, every record against the journal's slice, payload
+	// against the footer) before anything is written. A verification
+	// failure found mid-copy would already have emitted garbage.
+	for _, path := range paths {
+		s, err := openShard(path)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil {
+			h := s.head
+			first = &h
+		} else if err := sameRunLoose(s, *first); err != nil {
+			s.f.Close()
+			return nil, err
+		}
+		lo, hi := slice(s.head)
+		_, verr := s.copyVerified(io.Discard)
+		s.f.Close()
+		if verr != nil {
+			failed = append(failed, JournalFailure{Path: path, Slic: IndexRange{lo, hi}, Err: verr.Error()})
+			continue
+		}
+		ok = append(ok, member{path, lo, hi})
+	}
+
+	// Coverage: verified slices must not overlap (corrupt set), and the
+	// gaps between them are the manifest's missing ranges.
+	sort.Slice(ok, func(i, j int) bool { return ok[i].lo < ok[j].lo })
+	m := &Manifest{Spec: first.Spec, Fingerprint: fmt.Sprintf("%016x", first.Fingerprint), Total: first.Total}
+	next := 0
+	for _, mem := range ok {
+		if mem.lo < next {
+			return nil, fmt.Errorf("dist: %s range [%d,%d) overlaps another verified journal's slice ending at %d",
+				mem.path, mem.lo, mem.hi, next)
+		}
+		if mem.lo > next {
+			m.Missing = append(m.Missing, IndexRange{next, mem.lo})
+		}
+		next = mem.hi
+	}
+	if next < first.Total {
+		m.Missing = append(m.Missing, IndexRange{next, first.Total})
+	}
+	m.Failed = failed
+
+	// Pass 2: copy the verified slices in index order.
+	for _, mem := range ok {
+		s, err := openShard(mem.path)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.copyVerified(w)
+		s.f.Close()
+		if err != nil {
+			// The file changed between the passes; nothing written is
+			// trustworthy now.
+			return nil, fmt.Errorf("dist: %s: verified then failed on copy: %w", mem.path, err)
+		}
+		m.Records += n
+	}
+	m.Outcome = OutcomePartial
+	if len(m.Missing) == 0 && len(m.Failed) == 0 {
+		m.Outcome = OutcomeSuccess
+	}
+	return m, nil
+}
+
+// sameRunLoose is sameRun without the shard-count comparison: a partial
+// merge accepts any mix of slicings of one run, so only the run
+// identity (spec, total, fingerprint) must agree.
+func sameRunLoose(s *shardFile, first header) error {
+	if s.head.Spec != first.Spec || s.head.Total != first.Total {
+		return fmt.Errorf("dist: %s is from a different run: spec=%q total=%d, want spec=%q total=%d",
+			s.path, s.head.Spec, s.head.Total, first.Spec, first.Total)
+	}
+	if s.head.Fingerprint != first.Fingerprint {
+		return fmt.Errorf("dist: %s was written by a run with a different configuration (fingerprint %016x vs %016x) — same spec name and size, different flags",
+			s.path, s.head.Fingerprint, first.Fingerprint)
+	}
+	return nil
+}
+
+// MergePartialFile is MergePartial with the file discipline of
+// MergeFile: output through a temp file and rename (only when at least
+// one record verified), the manifest written to manifestPath, and a
+// non-nil tee receiving the merged bytes as they are written. An
+// all-missing run writes a manifest but no output file.
+func MergePartialFile(outPath, manifestPath string, paths []string, tee io.Writer) (*Manifest, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".merge-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	var w io.Writer = tmp
+	if tee != nil {
+		w = io.MultiWriter(tmp, tee)
+	}
+	m, err := MergePartial(w, paths)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.Records > 0 {
+		if err := os.Rename(tmp.Name(), outPath); err != nil {
+			return nil, err
+		}
+	}
+	if manifestPath != "" {
+		if err := m.WriteFile(manifestPath); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"reunion/internal/obs"
 )
@@ -25,9 +26,12 @@ type MergeInfo struct {
 // single-process run. Paths may arrive in any order; the journals must
 // form exactly one complete shard set — same spec and total, nshards
 // equal to the number of paths, every shard present once, every journal
-// sealed by a verified footer. Each record is verified as it is copied:
-// the payload index sequence must match the shard's plan and the payload
-// bytes must reproduce the footer checksum. On error the bytes already
+// sealed by a verified footer. Ranged journals (coordinator leases) are
+// accepted under the same discipline: all journals must then be ranged,
+// from one run, and their ranges must tile [0, Total) exactly — no gap,
+// no overlap. Each record is verified as it is copied: the payload
+// index sequence must match the journal's slice and the payload bytes
+// must reproduce the footer checksum. On error the bytes already
 // written to w are meaningless; merge to a temporary destination.
 func Merge(w io.Writer, paths []string) (*MergeInfo, error) {
 	return MergeObs(w, paths, obs.Scope{})
@@ -57,36 +61,19 @@ func MergeObs(w io.Writer, paths []string, sc obs.Scope) (*MergeInfo, error) {
 
 	first := shards[0].head
 	for _, s := range shards {
-		if s.head.Spec != first.Spec || s.head.Total != first.Total || s.head.NShards != first.NShards {
-			return nil, fmt.Errorf("dist: %s is from a different run: spec=%q shards=%d total=%d, want spec=%q shards=%d total=%d",
-				s.path, s.head.Spec, s.head.NShards, s.head.Total, first.Spec, first.NShards, first.Total)
-		}
-		if s.head.Fingerprint != first.Fingerprint {
-			return nil, fmt.Errorf("dist: %s was written by a run with a different configuration (fingerprint %016x vs %016x) — same spec name and size, different flags",
-				s.path, s.head.Fingerprint, first.Fingerprint)
+		if err := sameRun(s, first); err != nil {
+			return nil, err
 		}
 	}
-	// The shard-count check precedes the slot allocation: NShards comes
-	// from a file header, so it must bound the journals actually given
-	// before it sizes anything.
-	if len(paths) != first.NShards {
-		return nil, fmt.Errorf("dist: run has %d shards but %d journals given", first.NShards, len(paths))
+	var bySlot []*shardFile
+	var err error
+	if first.Ranged {
+		bySlot, err = orderRanged(shards, first.Total)
+	} else {
+		bySlot, err = orderShards(shards, first.NShards, len(paths))
 	}
-	bySlot := make([]*shardFile, first.NShards)
-	for _, s := range shards {
-		if s.head.Shard < 0 || s.head.Shard >= first.NShards {
-			return nil, fmt.Errorf("dist: %s claims shard %d of %d", s.path, s.head.Shard, first.NShards)
-		}
-		if bySlot[s.head.Shard] != nil {
-			return nil, fmt.Errorf("dist: shard %d appears twice: %s and %s",
-				s.head.Shard, bySlot[s.head.Shard].path, s.path)
-		}
-		bySlot[s.head.Shard] = s
-	}
-	for i, s := range bySlot {
-		if s == nil {
-			return nil, fmt.Errorf("dist: shard %d journal missing", i)
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	var recCounter *obs.Counter
@@ -110,7 +97,88 @@ func MergeObs(w io.Writer, paths []string, sc obs.Scope) (*MergeInfo, error) {
 		// tile [0,Total)), kept as a last-line invariant check.
 		return nil, fmt.Errorf("dist: merged %d records, plan total is %d", records, first.Total)
 	}
-	return &MergeInfo{Spec: first.Spec, NShards: first.NShards, Records: records}, nil
+	nshards := first.NShards
+	if first.Ranged {
+		nshards = len(bySlot)
+	}
+	return &MergeInfo{Spec: first.Spec, NShards: nshards, Records: records}, nil
+}
+
+// sameRun rejects a journal from a different run than the reference
+// header — merging streams of two experiments must fail loudly.
+func sameRun(s *shardFile, first header) error {
+	if s.head.Spec != first.Spec || s.head.Total != first.Total ||
+		s.head.Ranged != first.Ranged || (!first.Ranged && s.head.NShards != first.NShards) {
+		return fmt.Errorf("dist: %s is from a different run: spec=%q shards=%d total=%d, want spec=%q shards=%d total=%d",
+			s.path, s.head.Spec, s.head.NShards, s.head.Total, first.Spec, first.NShards, first.Total)
+	}
+	if s.head.Fingerprint != first.Fingerprint {
+		return fmt.Errorf("dist: %s was written by a run with a different configuration (fingerprint %016x vs %016x) — same spec name and size, different flags",
+			s.path, s.head.Fingerprint, first.Fingerprint)
+	}
+	return nil
+}
+
+// orderShards places classic shard journals into their slots: nshards
+// journals, every shard present exactly once.
+func orderShards(shards []*shardFile, nshards, given int) ([]*shardFile, error) {
+	// The shard-count check precedes the slot allocation: NShards comes
+	// from a file header, so it must bound the journals actually given
+	// before it sizes anything.
+	if given != nshards {
+		return nil, fmt.Errorf("dist: run has %d shards but %d journals given", nshards, given)
+	}
+	bySlot := make([]*shardFile, nshards)
+	for _, s := range shards {
+		if s.head.Shard < 0 || s.head.Shard >= nshards {
+			return nil, fmt.Errorf("dist: %s claims shard %d of %d", s.path, s.head.Shard, nshards)
+		}
+		if bySlot[s.head.Shard] != nil {
+			return nil, fmt.Errorf("dist: shard %d appears twice: %s and %s",
+				s.head.Shard, bySlot[s.head.Shard].path, s.path)
+		}
+		bySlot[s.head.Shard] = s
+	}
+	for i, s := range bySlot {
+		if s == nil {
+			return nil, fmt.Errorf("dist: shard %d journal missing", i)
+		}
+	}
+	return bySlot, nil
+}
+
+// orderRanged sorts ranged journals by their lower bound and requires
+// them to tile [0, total) exactly: the first range starts at 0, each
+// range starts where the previous ended, the last ends at total. A gap
+// means a lease never completed; an overlap means two leases claim the
+// same records — both must fail the merge, never silently drop or
+// duplicate records.
+func orderRanged(shards []*shardFile, total int) ([]*shardFile, error) {
+	ordered := append([]*shardFile(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].head.RangeLo != ordered[j].head.RangeLo {
+			return ordered[i].head.RangeLo < ordered[j].head.RangeLo
+		}
+		return ordered[i].head.RangeHi < ordered[j].head.RangeHi
+	})
+	next := 0
+	for _, s := range ordered {
+		lo, hi := s.head.RangeLo, s.head.RangeHi
+		if lo < 0 || hi > total || lo >= hi {
+			return nil, fmt.Errorf("dist: %s claims invalid range [%d,%d) of total %d", s.path, lo, hi, total)
+		}
+		if lo < next {
+			return nil, fmt.Errorf("dist: %s range [%d,%d) overlaps the previous range ending at %d", s.path, lo, hi, next)
+		}
+		if lo > next {
+			return nil, fmt.Errorf("dist: range [%d,%d) journal missing", next, lo)
+		}
+		next = hi
+	}
+	if next != total {
+		return nil, fmt.Errorf("dist: range [%d,%d) journal missing", next, total)
+	}
+	return ordered, nil
 }
 
 // MergeFile merges into outPath via a temporary file in the same
@@ -202,9 +270,7 @@ func openShard(path string) (*shardFile, error) {
 // footer checksum, and a missing or short footer is an error. It
 // returns the number of records copied.
 func (s *shardFile) copyVerified(w io.Writer) (int, error) {
-	plan := Plan{Spec: s.head.Spec, Fingerprint: s.head.Fingerprint,
-		Total: s.head.Total, Shard: s.head.Shard, NShards: s.head.NShards}
-	st, err := replay(s.r, 0, plan, true, func(line []byte) error {
+	st, err := replay(s.r, 0, s.head.plan(), true, func(line []byte) error {
 		_, werr := w.Write(line)
 		return werr
 	})

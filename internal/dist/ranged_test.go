@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mustRange builds a ranged plan or fails the test.
+func mustRange(t *testing.T, total, lo, hi int) Plan {
+	t.Helper()
+	p, err := NewRange("t", total, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// writeRange journals [lo,hi) of a total-index run and seals it.
+func writeRange(t *testing.T, path string, total, lo, hi int, fp uint64) {
+	t.Helper()
+	p := mustRange(t, total, lo, hi)
+	p.Fingerprint = fp
+	writeShard(t, path, p)
+}
+
+func TestNewRangeValidates(t *testing.T) {
+	for _, bad := range []struct{ total, lo, hi int }{
+		{-1, 0, 1}, {10, -1, 3}, {10, 3, 11}, {10, 5, 5}, {10, 7, 3},
+	} {
+		if _, err := NewRange("t", bad.total, bad.lo, bad.hi); err == nil {
+			t.Errorf("NewRange(total=%d, [%d,%d)) accepted", bad.total, bad.lo, bad.hi)
+		}
+	}
+	p := mustRange(t, 10, 3, 7)
+	if p.Lo() != 3 || p.Hi() != 7 || p.Count() != 4 || p.Index(0) != 3 || !p.Owns(6) || p.Owns(7) {
+		t.Fatalf("ranged plan arithmetic wrong: %+v", p)
+	}
+	if got := p.String(); got != "range [3,7)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// A set of ranged journals tiling [0,Total) merges to the exact
+// single-process stream — the coordinator's terminal byte-identity
+// invariant, at the dist layer.
+func TestRangedMergeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	const total = 11
+	bounds := [][2]int{{0, 4}, {4, 5}, {5, 9}, {9, 11}}
+	var paths []string
+	for _, b := range bounds {
+		path := filepath.Join(dir, fmt.Sprintf("r-%d-%d.jsonl", b[0], b[1]))
+		writeRange(t, path, total, b[0], b[1], 7)
+		paths = append(paths, path)
+	}
+	// Shuffle the order: merge must order by range, not by argument.
+	paths[0], paths[2] = paths[2], paths[0]
+
+	var got bytes.Buffer
+	info, err := Merge(&got, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != total || info.NShards != len(bounds) {
+		t.Fatalf("info = %+v", info)
+	}
+	if want := refBytes(t, total); !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("ranged merge differs from single-process stream:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}
+
+func TestRangedMergeRejectsGapsOverlapsAndMixes(t *testing.T) {
+	dir := t.TempDir()
+	const total = 10
+	mk := func(name string, lo, hi int) string {
+		path := filepath.Join(dir, name)
+		writeRange(t, path, total, lo, hi, 7)
+		return path
+	}
+	a := mk("a.jsonl", 0, 4)
+	b := mk("b.jsonl", 4, 10)
+	overlap := mk("o.jsonl", 3, 6)
+	short := mk("s.jsonl", 4, 9)
+
+	if _, err := Merge(io.Discard, []string{a, short}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("gap accepted: %v", err)
+	}
+	if _, err := Merge(io.Discard, []string{a, overlap, b}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap accepted: %v", err)
+	}
+
+	// Mixing a ranged journal into a classic shard set must fail.
+	classic := filepath.Join(dir, "shard.jsonl")
+	p, err := NewPlan("t", total, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fingerprint = 7
+	writeShard(t, classic, p)
+	if _, err := Merge(io.Discard, []string{classic, b}); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Errorf("classic/ranged mix accepted: %v", err)
+	}
+
+	// A ranged journal from a differently-configured run must fail.
+	alien := filepath.Join(dir, "alien.jsonl")
+	writeRange(t, alien, total, 0, 4, 8)
+	if _, err := Merge(io.Discard, []string{alien, b}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+// WriteLine appends exactly the producer's bytes under the same
+// index-order discipline as Write: the journal it seals is
+// indistinguishable from one written record by record.
+func TestWriteLineByteIdenticalAndOrdered(t *testing.T) {
+	dir := t.TempDir()
+	p := mustRange(t, 9, 3, 7)
+
+	// Reference: the same range journaled via Write.
+	ref := filepath.Join(dir, "ref.jsonl")
+	writeShard(t, ref, p)
+
+	// Lines as a worker would stream them: the slice of the
+	// single-process stream.
+	all := refBytes(t, 9)
+	lines := bytes.SplitAfter(all, []byte("\n"))
+
+	got := filepath.Join(dir, "got.jsonl")
+	j, err := Create(got, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteLine(lines[2]); err == nil {
+		t.Fatal("out-of-order line accepted")
+	}
+	if err := j.WriteLine([]byte("not json\n")); err == nil {
+		t.Fatal("non-record line accepted")
+	}
+	if err := j.WriteLine(append(append([]byte{}, lines[3]...), lines[4]...)); err == nil {
+		t.Fatal("multi-line payload accepted")
+	}
+	for i := 3; i < 7; i++ {
+		if err := j.WriteLine(lines[i]); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+	if err := j.WriteLine(lines[7]); err == nil {
+		t.Fatal("line past the slice accepted")
+	}
+	if err := j.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, _ := os.ReadFile(ref)
+	gb, _ := os.ReadFile(got)
+	if !bytes.Equal(rb, gb) {
+		t.Fatalf("WriteLine journal differs from Write journal:\n%s\nvs:\n%s", gb, rb)
+	}
+}
+
+// The partial merge writes every verified slice, and the manifest
+// accounts for exactly the rest.
+func TestMergePartialManifest(t *testing.T) {
+	dir := t.TempDir()
+	const total = 12
+	a := filepath.Join(dir, "a.jsonl")
+	c := filepath.Join(dir, "c.jsonl")
+	bad := filepath.Join(dir, "bad.jsonl")
+	writeRange(t, a, total, 0, 4, 7)
+	writeRange(t, c, total, 8, 10, 7)
+	writeRange(t, bad, total, 10, 12, 7)
+	// Corrupt the sealed journal: flip a payload byte so the footer CRC
+	// contradicts it.
+	blob, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[bytes.IndexByte(blob, '\n')+5] ^= 1
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	m, err := MergePartial(&out, []string{a, c, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != OutcomePartial || m.Success() {
+		t.Fatalf("outcome = %q", m.Outcome)
+	}
+	if m.Records != 6 {
+		t.Errorf("records = %d, want 6", m.Records)
+	}
+	wantMissing := []IndexRange{{4, 8}, {10, 12}}
+	if len(m.Missing) != 2 || m.Missing[0] != wantMissing[0] || m.Missing[1] != wantMissing[1] {
+		t.Errorf("missing = %+v, want %+v", m.Missing, wantMissing)
+	}
+	if len(m.Failed) != 1 || m.Failed[0].Path != bad || m.Failed[0].Slic != (IndexRange{10, 12}) {
+		t.Errorf("failed = %+v", m.Failed)
+	}
+
+	// The output holds exactly the verified slices, in index order.
+	var want bytes.Buffer
+	all := refBytes(t, total)
+	lines := bytes.SplitAfter(all, []byte("\n"))
+	for _, i := range []int{0, 1, 2, 3, 8, 9} {
+		want.Write(lines[i])
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatalf("partial output:\n%s\nwant:\n%s", out.Bytes(), want.Bytes())
+	}
+
+	// A complete set reports success with an empty accounting.
+	b := filepath.Join(dir, "b.jsonl")
+	d := filepath.Join(dir, "d.jsonl")
+	writeRange(t, b, total, 4, 8, 7)
+	writeRange(t, d, total, 10, 12, 7)
+	out.Reset()
+	m, err = MergePartial(&out, []string{a, b, c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Success() || m.Records != total || len(m.Missing) != 0 || len(m.Failed) != 0 {
+		t.Fatalf("complete set: %+v", m)
+	}
+	if !bytes.Equal(out.Bytes(), all) {
+		t.Fatal("complete partial merge is not the single-process stream")
+	}
+
+	// Overlapping verified journals are a corrupt set, not a partial one.
+	o := filepath.Join(dir, "o.jsonl")
+	writeRange(t, o, total, 2, 6, 7)
+	if _, err := MergePartial(io.Discard, []string{a, o}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlapping set: %v", err)
+	}
+}
+
+func TestMergePartialFileWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	const total = 6
+	a := filepath.Join(dir, "a.jsonl")
+	writeRange(t, a, total, 0, 4, 7)
+
+	out := filepath.Join(dir, "merged.jsonl")
+	manifest := filepath.Join(dir, "merged.manifest.json")
+	m, err := MergePartialFile(out, manifest, []string{a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != OutcomePartial || m.Records != 4 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	ob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refBytes(t, total)[:lenOfLines(t, total, 4)]; !bytes.Equal(ob, want) {
+		t.Fatalf("partial file content:\n%s\nwant:\n%s", ob, want)
+	}
+	mb, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(mb, &back); err != nil {
+		t.Fatalf("manifest is not JSON: %v\n%s", err, mb)
+	}
+	if back.Outcome != OutcomePartial || len(back.Missing) != 1 || back.Missing[0] != (IndexRange{4, 6}) {
+		t.Fatalf("manifest round trip: %+v", back)
+	}
+}
+
+// lenOfLines returns the byte length of the first n lines of the
+// single-process stream for [0,total).
+func lenOfLines(t *testing.T, total, n int) int {
+	t.Helper()
+	lines := bytes.SplitAfter(refBytes(t, total), []byte("\n"))
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += len(lines[i])
+	}
+	return sum
+}

@@ -1,0 +1,140 @@
+// Package serve is the shared HTTP service scaffold for the repo's
+// daemons (reunion-ckptd, reunion-coordinator): one place that builds
+// the operational mux — instrumented API routes, /metrics, /healthz,
+// net/http/pprof — and runs the listener with sane timeouts and
+// graceful shutdown on SIGINT/SIGTERM.
+//
+// Extracting it is what keeps the two daemons' operational surfaces
+// identical by construction instead of by copy-paste: a route added
+// here (or a timeout fixed here) is a route both daemons serve. The
+// tracer is deliberately absent from the scaffold: a daemon runs
+// indefinitely and a span buffer would only ever grow or drop; the
+// registry plus pprof cover a server's observability needs.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"reunion/internal/obs"
+)
+
+// Route is one API surface mounted on the scaffold mux. Name labels
+// the route's metrics (http_requests_total{handler=Name,...} via
+// obs.Middleware); an empty Name mounts the handler unmetered.
+type Route struct {
+	Pattern string
+	Name    string
+	Handler http.Handler
+}
+
+// NewMux assembles a daemon's full mux: every route wrapped in the
+// metrics middleware under reg, plus the operational endpoints every
+// daemon serves —
+//
+//	/metrics       Prometheus text exposition
+//	/healthz       liveness: 200 "ok" unless the health check vetoes
+//	/debug/pprof/  the standard net/http/pprof profiling endpoints
+func NewMux(reg *obs.Registry, health func() error, routes ...Route) *http.ServeMux {
+	mux := http.NewServeMux()
+	for _, rt := range routes {
+		h := rt.Handler
+		if rt.Name != "" {
+			h = obs.Middleware(rt.Name, reg, h)
+		}
+		mux.Handle(rt.Pattern, h)
+	}
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.Handle("/healthz", obs.HealthzHandler(health))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DirHealth returns a health check requiring root to exist and be a
+// writable directory — the two failure modes (deleted root, full or
+// read-only filesystem) that turn a running daemon into a silent
+// degraded fallback for the whole fleet.
+func DirHealth(root string) func() error {
+	return func() error {
+		st, err := os.Stat(root)
+		if err != nil {
+			return err
+		}
+		if !st.IsDir() {
+			return fmt.Errorf("%s is not a directory", root)
+		}
+		probe, err := os.CreateTemp(root, ".healthz-*")
+		if err != nil {
+			return fmt.Errorf("root not writable: %w", err)
+		}
+		name := probe.Name()
+		probe.Close()
+		return os.Remove(filepath.Clean(name))
+	}
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// shutdown trigger both daemons share.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// shutdownTimeout bounds the graceful drain: in-flight requests get
+// this long after the shutdown signal before the listener is torn down.
+const shutdownTimeout = 10 * time.Second
+
+// ListenAndServe runs handler on addr until ctx is cancelled, then
+// drains gracefully. logf (nil = silent) receives the bound address —
+// which, with addr ":0", is where the kernel actually put the listener.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, logf func(format string, args ...any)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, handler, logf)
+}
+
+// Serve is ListenAndServe on an existing listener (tests bind :0 and
+// read the port back). The server closes the listener on return.
+func Serve(ctx context.Context, ln net.Listener, handler http.Handler, logf func(format string, args ...any)) error {
+	srv := &http.Server{
+		Handler: handler,
+		// Slowloris guard; no WriteTimeout — /debug/pprof/profile
+		// legitimately streams for 30s.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if logf != nil {
+		logf("serving on %s", ln.Addr())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if logf != nil {
+		logf("shutting down")
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return err
+	}
+	<-errc // always http.ErrServerClosed after a clean Shutdown
+	return nil
+}

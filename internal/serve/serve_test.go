@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"reunion/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// The scaffold mux serves the API route (metered), /metrics, /healthz,
+// and the pprof endpoints — the full operational surface both daemons
+// share.
+func TestNewMuxOperationalSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "api-ok")
+	})
+	mux := NewMux(reg, nil, Route{Pattern: "/api/", Name: "api", Handler: api})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/api/x"); code != 200 || body != "api-ok" {
+		t.Fatalf("GET /api/x = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("GET /healthz = %d %q", code, body)
+	}
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	// The API route is metered under its Route.Name.
+	if !strings.Contains(body, `http_requests_total{code="200",handler="api",method="GET"} 1`) {
+		t.Errorf("metrics page lacks the api request count:\n%s", body)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("GET /debug/pprof/cmdline = %d", code)
+	}
+}
+
+// An unnamed route mounts unmetered: no handler label appears for it.
+func TestNewMuxUnnamedRouteUnmetered(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux := NewMux(reg, nil, Route{Pattern: "/raw", Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "raw") })})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	if code, body := get(t, srv, "/raw"); code != 200 || body != "raw" {
+		t.Fatalf("GET /raw = %d %q", code, body)
+	}
+	if _, body := get(t, srv, "/metrics"); strings.Contains(body, `handler="raw"`) {
+		t.Errorf("unnamed route was metered:\n%s", body)
+	}
+}
+
+// The health check's veto turns /healthz into a 503.
+func TestHealthzVeto(t *testing.T) {
+	mux := NewMux(nil, func() error { return fmt.Errorf("degraded") })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("GET /healthz = %d %q, want 503 with the veto reason", code, body)
+	}
+}
+
+// DirHealth accepts a writable directory and rejects a deleted or
+// non-directory root.
+func TestDirHealth(t *testing.T) {
+	dir := t.TempDir()
+	if err := DirHealth(dir)(); err != nil {
+		t.Fatalf("writable dir unhealthy: %v", err)
+	}
+	if err := DirHealth(filepath.Join(dir, "gone"))(); err == nil {
+		t.Error("missing root reported healthy")
+	}
+	file := filepath.Join(dir, "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := DirHealth(file)(); err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Errorf("plain-file root: %v", err)
+	}
+}
+
+// Serve answers requests until the context is cancelled, then drains
+// and returns nil — the graceful-shutdown contract SIGTERM rides on.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln, NewMux(nil, nil), nil)
+	}()
+
+	url := "http://" + ln.Addr().String() + "/healthz"
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
